@@ -1,0 +1,54 @@
+(* Fig. 1: heat maps of total bytes per link when running a 1 GB All-Reduce
+   with Direct, RHD, Ring and TACOS over FullyConnected, Ring, 2D Mesh and a
+   3D Hypercube. Topology-aware algorithms produce the balanced ("cooler")
+   maps; foreign algorithms over/undersubscribe links. We use 16 NPUs per
+   topology so the 16x16 maps stay printable. *)
+
+open Tacos_topology
+open Tacos_collective
+open Exp_common
+module Heatmap = Tacos_util.Heatmap
+module Schedule = Tacos_collective.Schedule
+module Engine = Tacos_sim.Engine
+
+let size = 1e9
+
+let topologies () =
+  [
+    ("FullyConnected", Builders.fully_connected 16);
+    ("Ring", Builders.ring 16);
+    ("2D Mesh 4x4", Builders.mesh [| 4; 4 |]);
+    ("3D HC 4x2x2", Builders.mesh [| 4; 2; 2 |]);
+  ]
+
+let baseline_bytes algo topo =
+  (Algo.simulate algo topo (spec ~size topo Pattern.All_reduce)).Engine.link_bytes
+
+let tacos_bytes topo =
+  let result = tacos_result ~chunks_per_npu:4 topo ~size Pattern.All_reduce in
+  let chunk_size = Spec.chunk_size result.Synth.spec in
+  Schedule.link_bytes topo ~chunk_size result.Synth.schedule
+
+let run () =
+  section "Fig. 1 — link-traffic heat maps, 1 GB All-Reduce, 16 NPUs";
+  note "cells: bytes over link (src row, dst column); '#': no physical link";
+  List.iter
+    (fun (topo_name, topo) ->
+      List.iter
+        (fun (algo_name, bytes) ->
+          Printf.printf "\n--- %s / %s ---\n" topo_name algo_name;
+          print_string (Heatmap.render (traffic_matrix topo bytes));
+          let loaded = Array.to_list (Array.map (fun b -> b) bytes) in
+          let maxv = List.fold_left Float.max 0. loaded in
+          let mean =
+            List.fold_left ( +. ) 0. loaded /. float_of_int (List.length loaded)
+          in
+          note "max/mean link load = %.2f (lower = better balanced)"
+            (if mean > 0. then maxv /. mean else 0.))
+        [
+          ("Direct", baseline_bytes Algo.Direct topo);
+          ("RHD", baseline_bytes Algo.Rhd topo);
+          ("Ring", baseline_bytes Algo.ring topo);
+          ("TACOS", tacos_bytes topo);
+        ])
+    (topologies ())

@@ -1,0 +1,77 @@
+(* Fig. 2(a): All-Reduce bandwidth of the basic algorithms over different
+   64-NPU topologies (1 GB, alpha = 0.5us, 1/beta = 50 GB/s), plus TACOS on
+   the asymmetric Mesh/Hypercube where no basic algorithm is native.
+   Fig. 2(b): the same on a fixed 128-NPU Ring (alpha = 30ns, 1/beta =
+   150 GB/s) across collective sizes — the best algorithm flips between
+   Direct (latency-bound) and Ring (bandwidth-bound). *)
+
+open Tacos_topology
+open Tacos_collective
+open Exp_common
+module Table = Tacos_util.Table
+module Units = Tacos_util.Units
+
+let algos = [ ("Ring", Algo.ring); ("Direct", Algo.Direct); ("RHD", Algo.Rhd); ("DBT", Algo.Dbt) ]
+
+let run_a () =
+  section "Fig. 2(a) — All-Reduce bandwidth by topology, 64 NPUs, 1 GB";
+  let link = Link.of_bandwidth ~alpha:0.5e-6 50e9 in
+  let size = 1e9 in
+  let topologies =
+    [
+      ("Ring", Builders.ring ~link 64, false);
+      ("FullyConnected", Builders.fully_connected ~link 64, false);
+      ("2D Mesh 8x8", Builders.mesh ~link [| 8; 8 |], true);
+      ("3D HC 4x4x4", Builders.mesh ~link [| 4; 4; 4 |], true);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, topo, with_tacos) ->
+        let times =
+          List.map (fun (_, a) -> baseline_time a topo ~size Pattern.All_reduce) algos
+        in
+        let tacos =
+          if with_tacos then Some (tacos_time topo ~size Pattern.All_reduce) else None
+        in
+        let bws = List.map (fun t -> bandwidth ~size t) times in
+        let tacos_bw = Option.map (fun t -> bandwidth ~size t) tacos in
+        let all = bws @ Option.to_list tacos_bw in
+        let smallest = List.fold_left Float.min infinity all in
+        name
+        :: (List.map (fun b -> Printf.sprintf "%.2f" (b /. smallest)) bws
+           @ [
+               (match tacos_bw with
+               | Some b -> Printf.sprintf "%.2f" (b /. smallest)
+               | None -> "-");
+             ]))
+      topologies
+  in
+  Table.print
+    ~header:[ "Topology"; "Ring"; "Direct"; "RHD"; "DBT"; "TACOS" ]
+    rows;
+  note "values: All-Reduce bandwidth normalized to the smallest per topology";
+  note "paper: Ring 16.71x over Direct on Ring; Direct 62.63x over Ring on FC"
+
+let run_b () =
+  section "Fig. 2(b) — All-Reduce bandwidth vs collective size, 128-NPU Ring";
+  let link = Link.of_bandwidth ~alpha:30e-9 150e9 in
+  let topo = Builders.ring ~link 128 in
+  let sizes = [ 1e3; 16e3; 256e3; 4e6; 64e6; 1e9 ] in
+  let rows =
+    List.map
+      (fun size ->
+        let bws =
+          List.map
+            (fun (_, a) -> bandwidth ~size (baseline_time a topo ~size Pattern.All_reduce))
+            algos
+        in
+        Units.bytes_pp size :: normalized_row bws)
+      sizes
+  in
+  Table.print ~header:[ "Size"; "Ring"; "Direct"; "RHD"; "DBT" ] rows;
+  note "paper: Direct wins at 1 KB (latency-bound), Ring wins at 1 GB"
+
+let run () =
+  run_a ();
+  run_b ()

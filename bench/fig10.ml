@@ -1,0 +1,46 @@
+(* Fig. 10: All-Gather synthesis over four 4-NPU topologies with shrinking
+   connectivity (12, 8, 6 and 4 links). Sparser networks force TACOS to
+   expand the TEN for more time spans, but every span stays maximally
+   matched. Rendered as the TEN grids of the paper. *)
+
+open Tacos_topology
+open Tacos_collective
+open Exp_common
+module Ten = Tacos_ten.Ten
+module Schedule = Tacos_collective.Schedule
+
+let unit_link = Link.make ~alpha:1. ~beta:0.
+
+let topologies () =
+  let six_links () =
+    (* Unidirectional ring plus the two diagonals. *)
+    let t = Topology.create ~name:"Ring+diagonals" 4 in
+    List.iter
+      (fun (s, d) -> ignore (Topology.add_link t ~src:s ~dst:d unit_link))
+      [ (0, 1); (1, 2); (2, 3); (3, 0); (0, 2); (1, 3) ];
+    t
+  in
+  [
+    ("(a) FullyConnected, 12 links", Builders.fully_connected ~link:unit_link 4);
+    ("(b) Bidirectional Ring, 8 links", Builders.ring ~link:unit_link 4);
+    ("(c) Ring + diagonals, 6 links", six_links ());
+    ("(d) Unidirectional Ring, 4 links", Builders.ring ~link:unit_link ~bidirectional:false 4);
+  ]
+
+let run () =
+  section "Fig. 10 — All-Gather synthesis vs connectivity (4 NPUs)";
+  List.iter
+    (fun (name, topo) ->
+      let result = tacos_result ~chunks_per_npu:1 ~trials:8 topo ~size:4. Pattern.All_gather in
+      let spans = int_of_float (Float.round result.Synth.collective_time) in
+      Printf.printf "\n--- %s: %d link(s), %d time span(s) ---\n" name
+        (Topology.num_links topo) spans;
+      let ten = Ten.of_schedule topo ~span_cost:1. result.Synth.schedule in
+      print_string (Ten.render ten);
+      let utils =
+        List.init (Ten.spans ten) (fun s -> Ten.utilization ten ~span:s)
+      in
+      note "per-span link utilization: %s"
+        (String.concat " " (List.map pct utils)))
+    (topologies ());
+  note "paper: FC finishes in one shot (Direct); sparser nets need more spans"

@@ -1,0 +1,72 @@
+(* Fig. 15(a): All-Reduce bandwidth of Ring/Direct basic algorithms and the
+   TACCL-like and TACOS synthesizers on DragonFly (asymmetric +
+   heterogeneous), 2D Switch and 3D-RFS, against the theoretical ideal.
+   Fig. 15(b): link-utilization balance on DragonFly and 3D-RFS. *)
+
+open Tacos_topology
+open Tacos_collective
+open Exp_common
+module Table = Tacos_util.Table
+module Stats = Tacos_util.Stats
+module Schedule = Tacos_collective.Schedule
+module Engine = Tacos_sim.Engine
+
+let size = 256e6
+
+let topologies () =
+  [
+    ("DragonFly 4x5", Builders.dragonfly ~bw:(Tacos_util.Units.gbps 400., Tacos_util.Units.gbps 200.) ());
+    ("2D Switch 8x4", Builders.two_level_switch ~bw:(Tacos_util.Units.gbps 300., Tacos_util.Units.gbps 25.) (8, 4));
+    ("3D-RFS 2x4x8", Builders.rfs3d ~bw:(Tacos_util.Units.gbps 200., Tacos_util.Units.gbps 100., Tacos_util.Units.gbps 50.) (2, 4, 8));
+  ]
+
+let run_a () =
+  section "Fig. 15(a) — All-Reduce bandwidth on DF / 2D Switch / 3D-RFS (256 MB)";
+  let rows =
+    List.map
+      (fun (name, topo) ->
+        let ring = baseline_time Algo.ring topo ~size Pattern.All_reduce in
+        let direct = baseline_time Algo.Direct topo ~size Pattern.All_reduce in
+        let taccl = baseline_time Algo.Taccl_like topo ~size Pattern.All_reduce in
+        let tacos = tacos_time ~chunks_per_npu:16 topo ~size Pattern.All_reduce in
+        let ideal = Ideal.all_reduce_time topo ~size in
+        let bws = List.map (fun t -> bandwidth ~size t) [ ring; direct; taccl; tacos ] in
+        let smallest = List.fold_left Float.min infinity bws in
+        (name :: List.map (fun b -> Printf.sprintf "%.2f" (b /. smallest)) bws)
+        @ [ pct (ideal /. tacos) ])
+      (topologies ())
+  in
+  Table.print
+    ~header:[ "Topology"; "Ring"; "Direct"; "TACCL-like"; "TACOS"; "TACOS eff" ]
+    rows;
+  note "values: bandwidth normalized to the worst algorithm per topology;";
+  note "paper: TACOS avg 2.56x over baselines, >90%% of the theoretical ideal"
+
+let run_b () =
+  section "Fig. 15(b) — per-link utilization balance (TACOS vs Ring)";
+  List.iter
+    (fun (name, topo) ->
+      let tacos = tacos_result ~chunks_per_npu:16 topo ~size Pattern.All_reduce in
+      let tacos_busy = Schedule.link_busy_seconds topo tacos.Synth.schedule in
+      let tacos_util =
+        Array.to_list (Array.map (fun b -> b /. tacos.Synth.collective_time) tacos_busy)
+      in
+      let ring = Algo.simulate Algo.ring topo (spec ~size topo Pattern.All_reduce) in
+      let ring_util =
+        Array.to_list
+          (Array.map (fun b -> b /. ring.Engine.finish_time) ring.Engine.link_busy)
+      in
+      let describe label utils =
+        note "%-10s %-6s mean %s  min %s  max %s  stddev %.3f" name label
+          (pct (Stats.mean utils)) (pct (Stats.minimum utils))
+          (pct (Stats.maximum utils)) (Stats.stddev utils)
+      in
+      describe "TACOS" tacos_util;
+      describe "Ring" ring_util)
+    (List.filteri (fun i _ -> i <> 1) (topologies ()));
+  note "paper: basic algorithms oversubscribe some links and idle others;";
+  note "TACOS spreads traffic evenly (90.84%% efficiency vs ideal)"
+
+let run () =
+  run_a ();
+  run_b ()

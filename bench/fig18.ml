@@ -1,0 +1,41 @@
+(* Fig. 18: network utilization over the course of an All-Reduce on the
+   symmetric 3D Torus (5x5x5) and the asymmetric 2D Mesh (10x10) and 3D
+   Hypercube (5x5x5), TACOS vs Ring. Asymmetric edges force some ramp-up /
+   drain idling, but TACOS saturates the fabric in between. *)
+
+open Tacos_topology
+open Tacos_collective
+open Exp_common
+module Schedule = Tacos_collective.Schedule
+module Engine = Tacos_sim.Engine
+
+let size = 256e6
+
+let run () =
+  section "Fig. 18 — utilization during All-Reduce, TACOS vs Ring";
+  let link = Link.of_bandwidth 50e9 in
+  let topologies =
+    [
+      ("3D Torus 5x5x5", Builders.torus ~link [| 5; 5; 5 |]);
+      ("2D Mesh 10x10", Builders.mesh ~link [| 10; 10 |]);
+      ("3D HC 5x5x5", Builders.mesh ~link [| 5; 5; 5 |]);
+    ]
+  in
+  List.iter
+    (fun (name, topo) ->
+      let tacos = tacos_result ~chunks_per_npu:2 topo ~size Pattern.All_reduce in
+      let tacos_tl =
+        List.map snd (Schedule.utilization_timeline topo ~bins:30 tacos.Synth.schedule)
+      in
+      let ring = Algo.simulate Algo.ring topo (spec ~size topo Pattern.All_reduce) in
+      let ring_tl = List.map snd (Engine.utilization_timeline topo ring ~bins:30) in
+      let ideal = Ideal.all_reduce_time topo ~size in
+      Printf.printf "%-16s TACOS |%s| avg %s  eff %s\n" name (sparkline tacos_tl)
+        (pct (Schedule.average_utilization topo tacos.Synth.schedule))
+        (pct (ideal /. tacos.Synth.collective_time));
+      Printf.printf "%-16s Ring  |%s| avg %s  eff %s\n" name (sparkline ring_tl)
+        (pct (Engine.average_utilization topo ring))
+        (pct (ideal /. ring.Engine.finish_time)))
+    topologies;
+  note "paper: TACOS 100%% utilization on the Torus, 98.40%% efficiency avg;";
+  note "asymmetric topologies only idle during ramp-up and drain"

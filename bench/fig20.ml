@@ -1,0 +1,50 @@
+(* Fig. 20: end-to-end training time of GNMT (64-NPU 3D-RFS), ResNet-50 and
+   Turing-NLG (256-NPU 3D-RFS) under Ring, Themis, TACOS and the ideal
+   bound, normalized to TACOS. *)
+
+open Tacos_topology
+open Exp_common
+open Tacos_workload
+module Table = Tacos_util.Table
+module Units = Tacos_util.Units
+
+let gbps = Units.gbps
+
+let run () =
+  section "Fig. 20 — end-to-end training time, normalized to TACOS";
+  let rfs last = Builders.rfs3d ~bw:(gbps 200., gbps 100., gbps 50.) (2, 4, last) in
+  let small = rfs 8 in
+  let big = match scale with Small -> rfs 8 | Default | Large -> rfs 32 in
+  let cases =
+    [
+      (Models.gnmt, small);
+      (Models.resnet50, big);
+      (Models.turing_nlg, big);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (model, topo) ->
+        let backends =
+          [
+            Training.ring_backend topo;
+            Training.themis_backend ~chunks:16 topo;
+            Training.tacos_backend ~chunks_per_npu:8 topo;
+            Training.ideal_backend topo;
+          ]
+        in
+        let breakdowns = List.map (fun b -> Training.iteration model b) backends in
+        let totals = List.map Training.total breakdowns in
+        let tacos_total = List.nth totals 2 in
+        let ideal_comm = Training.comm (List.nth breakdowns 3) in
+        let tacos_comm = Training.comm (List.nth breakdowns 2) in
+        Printf.sprintf "%s @ %d NPUs" model.Models.name (Topology.num_npus topo)
+        :: (List.map (fun t -> Printf.sprintf "%.2f" (t /. tacos_total)) totals
+           @ [ pct (ideal_comm /. tacos_comm) ]))
+      cases
+  in
+  Table.print
+    ~header:[ "Workload"; "Ring"; "Themis"; "TACOS"; "Ideal"; "comm eff" ]
+    rows;
+  note "paper: TACOS 1.58x over Ring and 1.21x over Themis end-to-end,";
+  note "93.17%% communication efficiency vs the theoretical bound"

@@ -1,0 +1,70 @@
+(* Bechamel micro-benchmarks: one Test.make per experiment family, timing
+   the computational kernel that regenerates it (synthesis for the
+   TACOS-side figures, simulation for the baseline-side ones). Run via
+   `dune exec bench/main.exe -- bechamel`. *)
+
+open Bechamel
+open Toolkit
+open Tacos_topology
+open Tacos_collective
+module Algo = Tacos_baselines.Algo
+
+let spec ?(k = 1) topo size =
+  Spec.make ~chunks_per_npu:k ~buffer_size:size ~pattern:Pattern.All_reduce
+    ~npus:(Topology.num_npus topo) ()
+
+let synth_test name topo =
+  Test.make ~name (Staged.stage (fun () ->
+      ignore (Tacos.Synthesizer.synthesize topo (spec topo 1e9))))
+
+let simulate_test name algo topo =
+  Test.make ~name (Staged.stage (fun () ->
+      ignore (Algo.collective_time algo topo (spec topo 1e9))))
+
+let tests () =
+  let link = Link.of_bandwidth 50e9 in
+  Test.make_grouped ~name:"tacos" ~fmt:"%s %s"
+    [
+      (* fig1/fig2a kernels *)
+      synth_test "fig02a: synth mesh 8x8" (Builders.mesh ~link [| 8; 8 |]);
+      simulate_test "fig02b: ring 128 sim" Algo.ring (Builders.ring ~link 128);
+      (* fig15/tab5 kernels *)
+      synth_test "tab5: synth 3D-RFS 64"
+        (Builders.rfs3d ~bw:(200e9, 100e9, 50e9) (2, 4, 8));
+      simulate_test "fig15: taccl-like DF" Algo.Taccl_like
+        (Builders.dragonfly ~bw:(400e9, 200e9) ());
+      (* fig16-18 kernels *)
+      synth_test "fig16: synth torus 4x4x4" (Builders.torus ~link [| 4; 4; 4 |]);
+      simulate_test "fig16: themis-64 torus" (Algo.Themis { chunks = 64 })
+        (Builders.torus ~link [| 4; 4; 4 |]);
+      simulate_test "fig17: multitree mesh 5x5" Algo.Multitree
+        (Builders.mesh ~link [| 5; 5 |]);
+      simulate_test "fig17b: ccube dgx1" Algo.Ccube (Builders.dgx1 ());
+      (* fig19 kernel *)
+      synth_test "fig19: synth mesh 16x16" (Builders.mesh ~link [| 16; 16 |]);
+      (* extension kernels *)
+      Test.make ~name:"a2a: route mesh 4x4"
+        (Staged.stage (fun () ->
+             ignore
+               (Tacos.Router.synthesize
+                  (Builders.mesh ~link [| 4; 4 |])
+                  (Spec.make ~buffer_size:64e6 ~pattern:Pattern.All_to_all ~npus:16 ()))));
+    ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun _ tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "%-32s (no estimate)\n" name)
+        tbl)
+    results

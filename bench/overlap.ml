@@ -1,0 +1,43 @@
+(* Extension experiment: gradient-bucketed comm/compute overlap. Figs. 20-21
+   charge the gradient All-Reduce fully exposed; frameworks bucket it behind
+   the backward pass. This sweeps the bucket size for ResNet-50 on a 3D
+   Torus under Ring and TACOS backends: better collective algorithms shrink
+   the exposed remainder further, and the two effects compose. *)
+
+open Tacos_topology
+open Exp_common
+open Tacos_workload
+module Table = Tacos_util.Table
+module Units = Tacos_util.Units
+
+let run () =
+  section "Overlap — bucketed gradient All-Reduce, ResNet-50 @ 64-NPU 3D Torus";
+  let topo = Builders.torus ~link:(Link.of_bandwidth 25e9) [| 4; 4; 4 |] in
+  let model = Models.resnet50 in
+  let backends =
+    [ Training.ring_backend topo; Training.tacos_backend ~chunks_per_npu:4 topo ]
+  in
+  let bucket_sizes =
+    [ (infinity, "unbucketed"); (20e6, "20 MB"); (5e6, "5 MB"); (1e6, "1 MB") ]
+  in
+  List.iter
+    (fun backend ->
+      Printf.printf "\n--- backend: %s ---\n" backend.Training.backend_name;
+      let rows =
+        List.map
+          (fun (bucket_bytes, label) ->
+            let o = Overlap.iteration ~bucket_bytes model backend in
+            [
+              label;
+              string_of_int o.Overlap.buckets;
+              Units.time_pp o.Overlap.exposed_comm;
+              Units.time_pp o.Overlap.iteration_time;
+            ])
+          bucket_sizes
+      in
+      Table.print
+        ~header:[ "Bucket"; "collectives"; "exposed comm"; "iteration" ]
+        rows)
+    backends;
+  note "bucketing hides communication behind backward compute; a faster";
+  note "collective algorithm shrinks what remains exposed — the effects stack"

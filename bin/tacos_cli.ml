@@ -1,0 +1,332 @@
+(* The tacos command-line tool: synthesize topology-aware collective
+   algorithms, inspect topologies, and compare against the baseline
+   algorithms — the workflow of Fig. 3(b) as a CLI.
+
+     tacos synthesize --topology mesh:3x3 --pattern all-gather --ten
+     tacos compare --topology dgx1 --size 1GB
+     tacos info --topology dragonfly:4x5 *)
+
+open Cmdliner
+open Tacos_topology
+open Tacos_collective
+module Synth = Tacos.Synthesizer
+module Algo = Tacos_baselines.Algo
+module Units = Tacos_util.Units
+module Table = Tacos_util.Table
+
+(* --- common options ------------------------------------------------------ *)
+
+let topology_arg =
+  let doc =
+    "Target topology: ring:N, uniring:N, fc:N, mesh:AxB[xC], torus:AxB[xC], \
+     hypercube:K, switch:N, dgx1, dragonfly[:GxM], rfs:RxFxS."
+  in
+  Arg.(value & opt string "mesh:3x3" & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
+
+let alpha_arg =
+  let doc = "Link latency alpha in microseconds." in
+  Arg.(value & opt float 0.5 & info [ "alpha" ] ~docv:"US" ~doc)
+
+let bw_arg =
+  let doc = "Link bandwidth in GB/s (heterogeneous builders scale from it)." in
+  Arg.(value & opt float 50. & info [ "bandwidth"; "bw" ] ~docv:"GBPS" ~doc)
+
+let size_arg =
+  let doc = "Collective size, e.g. 1GB, 64MB, 4KB." in
+  Arg.(value & opt string "64MB" & info [ "s"; "size" ] ~docv:"SIZE" ~doc)
+
+let pattern_arg =
+  let doc = "Collective pattern: all-gather, reduce-scatter, all-reduce, broadcast[:ROOT], reduce[:ROOT]." in
+  Arg.(value & opt string "all-reduce" & info [ "p"; "pattern" ] ~docv:"PATTERN" ~doc)
+
+let chunks_arg =
+  let doc = "Chunks per NPU (collective decomposition granularity)." in
+  Arg.(value & opt int 1 & info [ "c"; "chunks" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the matching search." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let trials_arg =
+  let doc = "Randomized synthesis restarts; the best schedule is kept." in
+  Arg.(value & opt int 1 & info [ "trials" ] ~docv:"N" ~doc)
+
+let fail fmt = Printf.ksprintf (fun msg -> `Error (false, msg)) fmt
+
+let with_setup topo_str alpha_us bw_gbps f =
+  match Parse.parse_topology ~alpha:(alpha_us *. 1e-6) ~bw:(Units.gbps bw_gbps) topo_str with
+  | Error e -> fail "%s" e
+  | Ok topo -> f topo
+
+(* --- synthesize ----------------------------------------------------------- *)
+
+let synthesize_cmd =
+  let render_ten =
+    Arg.(value & flag & info [ "ten" ] ~doc:"Render the synthesized TEN grid (homogeneous topologies).")
+  in
+  let list_events =
+    Arg.(value & flag & info [ "events" ] ~doc:"List every link-chunk match of the schedule.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the synthesized schedule as JSON to $(docv) ('-' for stdout).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N" ~doc:"Parallel domains for the randomized trials.")
+  in
+  let svg_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE"
+          ~doc:"Write a link-time Gantt chart of the schedule as SVG to $(docv).")
+  in
+  let program_of =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "program" ] ~docv:"NPU"
+          ~doc:"Print the lowered per-NPU send/recv program of $(docv).")
+  in
+  let run topo_str alpha bw size_str pattern_str chunks seed trials domains ten events json svg program =
+    with_setup topo_str alpha bw (fun topo ->
+        match Parse.parse_size size_str with
+        | Error e -> fail "%s" e
+        | Ok size -> (
+          match Parse.parse_pattern pattern_str (Topology.num_npus topo) with
+          | Error e -> fail "%s" e
+          | Ok pattern -> (
+            let spec =
+              Spec.make ~chunks_per_npu:chunks ~buffer_size:size ~pattern
+                ~npus:(Topology.num_npus topo) ()
+            in
+            let synthesize () =
+              if pattern = Pattern.All_to_all then Tacos.Alltoall.synthesize ~seed topo spec
+              else Synth.synthesize ~seed ~trials ~domains topo spec
+            in
+            match synthesize () with
+            | exception Synth.Stuck msg -> fail "synthesis stuck: %s" msg
+            | exception Synth.Unsupported msg -> fail "unsupported: %s" msg
+            | result ->
+              Format.printf "topology:        %a@." Topology.pp topo;
+              Format.printf "collective:      %a@." Spec.pp spec;
+              Format.printf "collective time: %s@." (Units.time_pp result.Synth.collective_time);
+              Format.printf "bandwidth:       %s@."
+                (Units.bandwidth_pp (size /. result.Synth.collective_time));
+              Format.printf "sends:           %d over %d rounds (synthesized in %s)@."
+                (Schedule.num_sends result.Synth.schedule)
+                result.Synth.stats.Synth.rounds
+                (Units.time_pp result.Synth.stats.Synth.wall_seconds);
+              (match
+                 (if pattern = Pattern.All_to_all then
+                    Schedule.validate topo spec result.Synth.schedule
+                  else Synth.verify topo result)
+               with
+              | Ok () -> Format.printf "validation:      ok (congestion-free, postconditions met)@."
+              | Error e -> Format.printf "validation:      FAILED: %s@." e);
+              (match Ideal.all_reduce_time topo ~size with
+              | ideal when pattern = Pattern.All_reduce ->
+                Format.printf "vs ideal:        %.2f%%@."
+                  (100. *. ideal /. result.Synth.collective_time)
+              | _ | (exception _) -> ());
+              if events then Schedule.pp_events Format.std_formatter result.Synth.schedule;
+              (match svg with
+              | Some file ->
+                let oc = open_out file in
+                output_string oc (Svg.render topo result.Synth.schedule);
+                close_out oc;
+                Format.printf "SVG written to %s@." file
+              | None -> ());
+              (match program with
+              | Some npu ->
+                let programs =
+                  Lowering.npu_programs ~npus:(Topology.num_npus topo)
+                    result.Synth.schedule
+                in
+                if npu < 0 || npu >= Array.length programs then
+                  Format.printf "NPU %d out of range@." npu
+                else begin
+                  Format.printf "program of NPU %d:@." npu;
+                  Lowering.pp_program Format.std_formatter programs.(npu)
+                end
+              | None -> ());
+              (match json with
+              | Some "-" -> print_string (Schedule.to_json ~spec result.Synth.schedule)
+              | Some file ->
+                let oc = open_out file in
+                output_string oc (Schedule.to_json ~spec result.Synth.schedule);
+                close_out oc;
+                Format.printf "schedule written to %s@." file
+              | None -> ());
+              if ten then begin
+                let chunk_size = Spec.chunk_size spec in
+                let cost =
+                  match Topology.edges topo with
+                  | e :: _ -> Link.cost e.Topology.link chunk_size
+                  | [] -> 0.
+                in
+                match Tacos_ten.Ten.of_schedule topo ~span_cost:cost result.Synth.schedule with
+                | ten -> print_string (Tacos_ten.Ten.render ten)
+                | exception Invalid_argument _ ->
+                  print_endline "(TEN grid unavailable: heterogeneous topology or composite schedule)"
+              end;
+              `Ok ())))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
+       $ chunks_arg $ seed_arg $ trials_arg $ domains_arg $ render_ten
+       $ list_events $ json_out $ svg_out $ program_of))
+  in
+  Cmd.v (Cmd.info "synthesize" ~doc:"Synthesize a topology-aware collective algorithm") term
+
+(* --- compare --------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run topo_str alpha bw size_str chunks seed trials =
+    with_setup topo_str alpha bw (fun topo ->
+        match Parse.parse_size size_str with
+        | Error e -> fail "%s" e
+        | Ok size ->
+          let n = Topology.num_npus topo in
+          let spec k =
+            Spec.make ~chunks_per_npu:k ~buffer_size:size ~pattern:Pattern.All_reduce
+              ~npus:n ()
+          in
+          let power_of_two = n land (n - 1) = 0 in
+          let baselines =
+            [ ("Ring", Algo.ring); ("Direct", Algo.Direct) ]
+            @ (if power_of_two then [ ("RHD", Algo.Rhd); ("DBT", Algo.Dbt) ] else [])
+            @ [ ("TACCL-like", Algo.Taccl_like) ]
+          in
+          let rows = ref [] in
+          List.iter
+            (fun (name, algo) ->
+              match Algo.collective_time algo topo (spec 1) with
+              | t ->
+                rows := [ name; Units.time_pp t; Units.bandwidth_pp (size /. t) ] :: !rows
+              | exception _ -> rows := [ name; "n/a"; "n/a" ] :: !rows)
+            baselines;
+          let result = Synth.synthesize ~seed ~trials topo (spec chunks) in
+          let program =
+            Tacos_sim.Program.of_schedule ~chunk_size:(Spec.chunk_size (spec chunks))
+              result.Synth.schedule
+          in
+          let t = (Tacos_sim.Engine.run topo program).Tacos_sim.Engine.finish_time in
+          rows := [ "TACOS"; Units.time_pp t; Units.bandwidth_pp (size /. t) ] :: !rows;
+          let ideal = Ideal.all_reduce_time topo ~size in
+          rows := [ "Ideal"; Units.time_pp ideal; Units.bandwidth_pp (size /. ideal) ] :: !rows;
+          Format.printf "All-Reduce of %s on %a@." (Units.bytes_pp size) Topology.pp topo;
+          Table.print ~header:[ "Algorithm"; "Time"; "Bandwidth" ] (List.rev !rows);
+          `Ok ())
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ chunks_arg
+       $ seed_arg $ trials_arg))
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare TACOS against the baseline All-Reduce algorithms")
+    term
+
+(* --- tune ------------------------------------------------------------------ *)
+
+let tune_cmd =
+  let candidates_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16 ]
+      & info [ "candidates" ] ~docv:"K1,K2,..."
+          ~doc:"Chunks-per-NPU granularities to try.")
+  in
+  let run topo_str alpha bw size_str pattern_str seed candidates =
+    with_setup topo_str alpha bw (fun topo ->
+        match Parse.parse_size size_str with
+        | Error e -> fail "%s" e
+        | Ok size -> (
+          match Parse.parse_pattern pattern_str (Topology.num_npus topo) with
+          | Error e -> fail "%s" e
+          | Ok pattern ->
+            let rows = ref [] in
+            List.iter
+              (fun k ->
+                let choice =
+                  Tacos.Tuner.tune ~seed ~candidates:[ k ] topo ~pattern ~size
+                in
+                rows :=
+                  [
+                    string_of_int k;
+                    Units.time_pp choice.Tacos.Tuner.simulated_time;
+                    Units.bandwidth_pp (size /. choice.Tacos.Tuner.simulated_time);
+                  ]
+                  :: !rows)
+              candidates;
+            let best = Tacos.Tuner.tune ~seed ~candidates topo ~pattern ~size in
+            Format.printf "%s of %s on %a@." (Pattern.name pattern)
+              (Units.bytes_pp size) Topology.pp topo;
+            Table.print ~header:[ "chunks/NPU"; "simulated time"; "bandwidth" ]
+              (List.rev !rows);
+            Format.printf "best: %d chunks/NPU (%s)@."
+              best.Tacos.Tuner.chunks_per_npu
+              (Units.time_pp best.Tacos.Tuner.simulated_time);
+            `Ok ()))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
+       $ seed_arg $ candidates_arg))
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Sweep chunk granularities and report the fastest")
+    term
+
+(* --- info -------------------------------------------------------------------- *)
+
+let info_cmd =
+  let run topo_str alpha bw =
+    with_setup topo_str alpha bw (fun topo ->
+        Format.printf "%a@." Topology.pp topo;
+        Format.printf "strongly connected: %b@." (Topology.is_strongly_connected topo);
+        Format.printf "diameter (latency): %s@."
+          (Units.time_pp (Topology.diameter_latency topo));
+        Format.printf "min ingress bw:     %s@."
+          (Units.bandwidth_pp (Topology.min_ingress_bandwidth topo));
+        Format.printf "total bw:           %s@."
+          (Units.bandwidth_pp (Topology.total_bandwidth topo));
+        (match Topology.hierarchy topo with
+        | Some dims ->
+          Format.printf "hierarchy:          %s@."
+            (String.concat " x "
+               (Array.to_list
+                  (Array.map
+                     (fun (d : Topology.dim) ->
+                       let kind =
+                         match d.kind with
+                         | Topology.Ring_dim -> "Ring"
+                         | Topology.Mesh_dim -> "Mesh"
+                         | Topology.Fully_connected_dim -> "FC"
+                         | Topology.Switch_dim k -> Printf.sprintf "Switch(d=%d)" k
+                       in
+                       Printf.sprintf "%s[%d]" kind d.size)
+                     dims)))
+        | None -> ());
+        (match Topology.rings topo with
+        | Some rings -> Format.printf "ring embeddings:    %d recorded@." (List.length rings)
+        | None -> ());
+        `Ok ())
+  in
+  let term = Term.(ret (const run $ topology_arg $ alpha_arg $ bw_arg)) in
+  Cmd.v (Cmd.info "info" ~doc:"Show topology properties") term
+
+let () =
+  let doc = "TACOS: topology-aware collective algorithm synthesizer" in
+  let info = Cmd.info "tacos" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ synthesize_cmd; compare_cmd; tune_cmd; info_cmd ]))

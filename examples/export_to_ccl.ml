@@ -1,0 +1,75 @@
+(* The deployment workflow (Fig. 3(b), right-hand side): describe *your*
+   cluster, synthesize a topology-aware algorithm for it, and hand the
+   result to a CCL runtime — as per-NPU send/recv programs, a JSON algorithm
+   file, and an SVG link-time chart.
+
+     dune exec examples/export_to_ccl.exe *)
+
+open Tacos_topology
+open Tacos_collective
+module Synth = Tacos.Synthesizer
+module Units = Tacos_util.Units
+
+(* An asymmetric 8-NPU cluster nobody wrote a collective for: two fat-ring
+   quads bridged by two thin links. *)
+let description =
+  [
+    "npus 8";
+    "ring 0 1 2 3 100GB/s 0.5us";
+    "ring 4 5 6 7 100GB/s 0.5us";
+    "bilink 3 4 25GB/s 1us";
+    "bilink 0 7 25GB/s 1us";
+  ]
+
+let () =
+  let topo =
+    match Parse.parse_topology_lines ~name:"bridged-quads" description with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  Format.printf "cluster: %a@." Topology.pp topo;
+
+  let spec =
+    Spec.make ~chunks_per_npu:8 ~buffer_size:64e6 ~pattern:Pattern.All_reduce
+      ~npus:8 ()
+  in
+  let result = Synth.synthesize ~seed:13 ~trials:4 topo spec in
+  (match Synth.verify topo result with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  Format.printf "synthesized: %s All-Reduce in %s@."
+    (Units.bytes_pp spec.Spec.buffer_size)
+    (Units.time_pp result.Synth.collective_time);
+
+  (* 1. The runtime-facing JSON algorithm file. *)
+  let json_path = Filename.temp_file "tacos-allreduce" ".json" in
+  Out_channel.with_open_text json_path (fun oc ->
+      output_string oc (Schedule.to_json ~spec result.Synth.schedule));
+  Format.printf "algorithm file: %s@." json_path;
+
+  (* ... which round-trips: a consumer can load and re-validate it. *)
+  let reloaded =
+    match Schedule.of_json (In_channel.with_open_text json_path In_channel.input_all) with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  (match Schedule.validate_all_reduce topo spec
+           ~reduce_scatter:(fst (Option.get result.Synth.phases))
+           ~all_gather:(snd (Option.get result.Synth.phases))
+   with
+  | Ok () -> Format.printf "reloaded schedule re-validated (%d sends)@."
+               (Schedule.num_sends reloaded)
+  | Error e -> failwith e);
+
+  (* 2. The per-NPU programs a CCL would execute. *)
+  let programs = Lowering.npu_programs ~npus:8 result.Synth.schedule in
+  Format.printf "@.NPU 3 executes %d ops; the first five:@."
+    (List.length programs.(3));
+  Lowering.pp_program Format.std_formatter
+    (List.filteri (fun i _ -> i < 5) programs.(3));
+
+  (* 3. The visual: a link-time Gantt chart. *)
+  let svg_path = Filename.temp_file "tacos-allreduce" ".svg" in
+  Out_channel.with_open_text svg_path (fun oc ->
+      output_string oc (Svg.render topo result.Synth.schedule));
+  Format.printf "@.Gantt chart: %s@." svg_path

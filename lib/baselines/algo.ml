@@ -1,0 +1,49 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_collective
+open Tacos_sim
+
+type t =
+  | Ring of { bidirectional : bool }
+  | Direct
+  | Rhd
+  | Dbt
+  | Blueconnect of { chunks : int }
+  | Themis of { chunks : int }
+  | Multitree
+  | Taccl_like
+  | Ccube
+
+let name = function
+  | Ring { bidirectional = true } -> "Ring"
+  | Ring { bidirectional = false } -> "Ring (uni)"
+  | Direct -> "Direct"
+  | Rhd -> "RHD"
+  | Dbt -> "DBT"
+  | Blueconnect { chunks } -> Printf.sprintf "BlueConnect(%d)" chunks
+  | Themis { chunks } -> Printf.sprintf "Themis(%d)" chunks
+  | Multitree -> "MultiTree"
+  | Taccl_like -> "TACCL-like"
+  | Ccube -> "C-Cube"
+
+let ring = Ring { bidirectional = true }
+
+let program t topo spec =
+  match t with
+  | Ring { bidirectional } -> Ring_algo.program ~bidirectional topo spec
+  | Direct -> Direct.program topo spec
+  | Rhd -> Rhd.program topo spec
+  | Dbt -> Dbt.program topo spec
+  | Blueconnect { chunks } -> Blueconnect.program ~chunks topo spec
+  | Themis { chunks } -> Themis.program ~chunks topo spec
+  | Multitree -> Multitree.program topo spec
+  | Taccl_like -> Taccl_like.program topo spec
+  | Ccube -> Ccube.program topo spec
+
+let simulate ?routing_size t topo spec =
+  Engine.run ?routing_size topo (program t topo spec)
+
+let collective_time ?routing_size t topo spec =
+  (simulate ?routing_size t topo spec).Engine.finish_time
+
+let bandwidth ?routing_size t topo spec =
+  spec.Spec.buffer_size /. collective_time ?routing_size t topo spec

@@ -1,0 +1,36 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(** Uniform handle over every baseline collective algorithm of §V-A, plus
+    the simulation driver the benches use. *)
+
+type t =
+  | Ring of { bidirectional : bool }
+  | Direct
+  | Rhd
+  | Dbt
+  | Blueconnect of { chunks : int }
+  | Themis of { chunks : int }
+  | Multitree
+  | Taccl_like
+  | Ccube
+
+val name : t -> string
+
+val ring : t
+(** Bidirectional Ring, the paper's default baseline. *)
+
+val program : t -> Topology.t -> Spec.t -> Program.t
+(** Build the algorithm's logical program for this collective instance. *)
+
+val simulate : ?routing_size:float -> t -> Topology.t -> Spec.t -> Engine.report
+(** [program] then {!Engine.run}. *)
+
+val collective_time : ?routing_size:float -> t -> Topology.t -> Spec.t -> float
+(** The simulated completion time. *)
+
+val bandwidth : ?routing_size:float -> t -> Topology.t -> Spec.t -> float
+(** Collective bandwidth = buffer size / completion time (the paper's
+    reporting metric). *)

@@ -1,0 +1,20 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+let program ?(chunks = 1) topo (spec : Spec.t) =
+  if chunks <= 0 then invalid_arg "Blueconnect.program: chunks must be positive";
+  let rank =
+    match Topology.hierarchy topo with
+    | Some dims -> Array.length dims
+    | None -> invalid_arg "Blueconnect.program: topology has no recorded hierarchy"
+  in
+  let b = Program.builder () in
+  let share = spec.buffer_size /. float_of_int chunks in
+  let order = List.init rank Fun.id in
+  for c = 0 to chunks - 1 do
+    Hiercoll.pipeline b topo ~pattern:spec.pattern ~share ~rs_order:order
+      ~tag:(Printf.sprintf "bc-c%d" c)
+  done;
+  Program.build b

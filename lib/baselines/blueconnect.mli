@@ -1,0 +1,14 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(** BlueConnect [25]: decompose All-Reduce over a symmetric hierarchical
+    network into per-dimension ring Reduce-Scatters (canonical dimension
+    order) followed by the mirrored All-Gathers. [chunks] splits the buffer
+    into independently pipelined pieces (all taking the same dimension
+    order). *)
+
+val program : ?chunks:int -> Topology.t -> Spec.t -> Program.t
+(** Supported patterns: All-Gather, Reduce-Scatter, All-Reduce. Requires a
+    recorded hierarchy. *)

@@ -1,0 +1,75 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(* Two binary trees over the DGX-1V hybrid cube-mesh, edge-disjoint when
+   doubled NVLinks are counted with multiplicity; every GPU touches at most
+   4 of its 6 links. Child lists follow physical NVLinks only. *)
+let tree1_children = [| [ 1; 2 ]; [ 3; 5 ]; [ 6 ]; []; []; []; [ 4; 7 ]; [] |]
+let tree1_root = 0
+let tree2_children = [| []; []; [ 1 ]; [ 0; 2 ]; [ 5 ]; [ 6 ]; []; [ 3; 4 ] |]
+let tree2_root = 7
+
+let to_tree root children =
+  let n = Array.length children in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n 0 in
+  let rec walk v =
+    List.iter
+      (fun c ->
+        parent.(c) <- v;
+        depth.(c) <- depth.(v) + 1;
+        walk c)
+      children.(v)
+  in
+  walk root;
+  { Trees.root; parent; children; depth }
+
+let trees () =
+  [ to_tree tree1_root tree1_children; to_tree tree2_root tree2_children ]
+
+let check_topo topo =
+  if Topology.num_npus topo <> 8 then
+    invalid_arg "Ccube.program: C-Cube is defined for the 8-GPU DGX-1";
+  List.iter
+    (fun tree ->
+      List.iter
+        (fun (p, c) ->
+          if Topology.find_links topo ~src:p ~dst:c = [] then
+            invalid_arg
+              (Printf.sprintf "Ccube.program: tree edge %d->%d is not an NVLink" p c))
+        (Trees.edges_down tree))
+    (trees ())
+
+let program topo (spec : Spec.t) =
+  check_topo topo;
+  if spec.pattern <> Pattern.All_reduce then
+    invalid_arg "Ccube.program: All-Reduce only";
+  let b = Program.builder () in
+  (* Each tree owns half the buffer, pipelined in chunks_per_npu pieces. *)
+  let slots = spec.chunks_per_npu in
+  let size = spec.buffer_size /. 2. /. float_of_int slots in
+  List.iteri
+    (fun ti tree ->
+      for slot = 0 to slots - 1 do
+        let tag phase = Printf.sprintf "ccube-%s-t%d-s%d" phase ti slot in
+        let _, at_root = Treeops.reduce b ~tag:(tag "red") tree ~size ~gate:[] in
+        ignore (Treeops.broadcast b ~tag:(tag "bc") tree ~size ~gate:at_root)
+      done)
+    (trees ());
+  Program.build b
+
+let tree_links_used topo =
+  check_topo topo;
+  let used = Hashtbl.create 32 in
+  List.iter
+    (fun tree ->
+      List.iter
+        (fun (p, c) ->
+          (* Both directions are used (reduce up, broadcast down). *)
+          Hashtbl.replace used (p, c) ();
+          Hashtbl.replace used (c, p) ())
+        (Trees.edges_down tree))
+    (trees ());
+  Hashtbl.length used

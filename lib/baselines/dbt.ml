@@ -1,0 +1,60 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(* A balanced binary tree over ranks lo..hi: the midpoint is the subtree
+   root. Returns (root, children array filled in place). *)
+let balanced_tree n =
+  let children = Array.make n [] in
+  let rec build lo hi =
+    if lo > hi then -1
+    else begin
+      let mid = (lo + hi) / 2 in
+      let l = build lo (mid - 1) in
+      let r = build (mid + 1) hi in
+      children.(mid) <- List.filter (fun v -> v >= 0) [ l; r ];
+      mid
+    end
+  in
+  let root = build 0 (n - 1) in
+  (root, children)
+
+let program topo (spec : Spec.t) =
+  ignore (Topology.num_npus topo);
+  if spec.pattern <> Pattern.All_reduce then
+    invalid_arg "Dbt.program: All-Reduce only";
+  let n = spec.npus in
+  let b = Program.builder () in
+  let half = spec.buffer_size /. 2. in
+  let run_tree ~tag relabel =
+    let root, children = balanced_tree n in
+    let relabeled v = relabel v in
+    (* Reduce: a node sends to its parent once both children delivered; the
+       root's zero-size local "gate" transfer stands in for its reduction. *)
+    let rec reduce_with_parent v parent =
+      let child_sends = List.map (fun c -> reduce_with_parent c v) children.(v) in
+      if parent < 0 then
+        Program.add b ~tag:(tag ^ "-rootgate") ~deps:child_sends ~src:(relabeled v)
+          ~dst:(relabeled v) ~size:0. ()
+      else
+        Program.add b ~tag:(tag ^ "-reduce") ~deps:child_sends ~src:(relabeled v)
+          ~dst:(relabeled parent) ~size:half ()
+    in
+    let root_gate = reduce_with_parent root (-1) in
+    let rec broadcast v incoming =
+      List.iter
+        (fun c ->
+          let send =
+            Program.add b ~tag:(tag ^ "-bcast") ~deps:[ incoming ]
+              ~src:(relabeled v) ~dst:(relabeled c) ~size:half ()
+          in
+          broadcast c send)
+        children.(v)
+    in
+    broadcast root root_gate
+  in
+  run_tree ~tag:"t1" Fun.id;
+  (* The mirror tree swaps leaf/interior roles. *)
+  run_tree ~tag:"t2" (fun v -> n - 1 - v);
+  Program.build b

@@ -1,0 +1,12 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(** Double Binary Tree All-Reduce [24] (NCCL 2.4): two logical binary trees,
+    each reducing half the buffer to its root and broadcasting it back. The
+    second tree mirrors the first so that interior nodes of one are leaves of
+    the other, balancing per-NPU send work. *)
+
+val program : Topology.t -> Spec.t -> Program.t
+(** All-Reduce only. *)

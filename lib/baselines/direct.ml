@@ -1,0 +1,60 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+let program topo (spec : Spec.t) =
+  ignore (Topology.num_npus topo);
+  let n = spec.npus in
+  let k = spec.chunks_per_npu in
+  let size = Spec.chunk_size spec in
+  let b = Program.builder () in
+  (* Reduce-scatter: NPU i ships its partial of owner j's chunks straight to
+     j. Returns, per owner, the transfers that must land before j holds the
+     fully reduced value. *)
+  let reduce_scatter () =
+    Array.init n (fun j ->
+        List.concat
+          (List.init n (fun i ->
+               if i = j then []
+               else
+                 List.init k (fun slot ->
+                     Program.add b
+                       ~tag:(Printf.sprintf "rs-o%d-s%d" j slot)
+                       ~src:i ~dst:j ~size ()))))
+  in
+  let all_gather deps_of_owner =
+    for j = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        if i <> j then
+          for slot = 0 to k - 1 do
+            ignore
+              (Program.add b
+                 ~tag:(Printf.sprintf "ag-o%d-s%d" j slot)
+                 ~deps:(deps_of_owner j) ~src:j ~dst:i ~size ())
+          done
+      done
+    done
+  in
+  (match spec.pattern with
+  | Pattern.All_gather -> all_gather (fun _ -> [])
+  | Pattern.Reduce_scatter -> ignore (reduce_scatter ())
+  | Pattern.All_reduce ->
+    let reduced = reduce_scatter () in
+    all_gather (fun j -> reduced.(j))
+  | Pattern.All_to_all ->
+    (* Direct is the native All-to-All: each pair exchanges its chunk. *)
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then
+          for slot = 0 to k - 1 do
+            ignore
+              (Program.add b
+                 ~tag:(Printf.sprintf "a2a-%d-%d-s%d" i j slot)
+                 ~src:i ~dst:j ~size ())
+          done
+      done
+    done
+  | Pattern.Broadcast _ | Pattern.Reduce _ | Pattern.Gather _ | Pattern.Scatter _ ->
+    invalid_arg "Direct.program: unsupported pattern");
+  Program.build b

@@ -1,0 +1,14 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(** The Direct (one-shot) collective algorithm [22]: every NPU exchanges
+    directly with every other NPU. Optimal on FullyConnected fabrics and for
+    latency-bound tiny collectives; on sparse topologies each of the n(n-1)
+    pairwise messages is routed over multiple hops and the fabric melts down
+    under contention (Figs. 1, 2a — up to 36× worse than TACOS on the
+    multi-node 3D-RFS of Table V). *)
+
+val program : Topology.t -> Spec.t -> Program.t
+(** Supported patterns: All-Gather, Reduce-Scatter, All-Reduce. *)

@@ -1,0 +1,120 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(* Enumerate the groups of a dimension: lists of node ids differing only in
+   that coordinate, in coordinate order. *)
+let groups_of_dim topo dim =
+  let n = Topology.num_npus topo in
+  let seen = Array.make n false in
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      let group = Topology.dim_group topo ~dim v in
+      List.iter (fun u -> seen.(u) <- true) group;
+      acc := group :: !acc
+    end
+  done;
+  List.rev !acc
+
+(* One ring phase (RS and AG share the step structure) over [members],
+   moving [step_size] bytes per step in total. On dimensions whose fabric is
+   bidirectional the ring runs in both orientations at half the step size,
+   like the paper's bidirectional Ring baseline (footnote 3); the unwound
+   Switch fabric only has forward links, so it runs one orientation.
+   [phase_deps] gates each NPU's first participation and is updated to the
+   NPU's final receives of this phase. *)
+let ring_phase b ~tag ~members ~step_size ~bidirectional ~(phase_deps : int list array) =
+  let fwd = Array.of_list members in
+  let s = Array.length fwd in
+  if s > 1 then begin
+    let orientations =
+      if bidirectional && s > 2 then
+        [ (fwd, step_size /. 2.); (Array.init s (fun i -> fwd.(s - 1 - i)), step_size /. 2.) ]
+      else [ (fwd, step_size) ]
+    in
+    let gates =
+      Array.map
+        (fun npu ->
+          match phase_deps.(npu) with
+          | [] -> []
+          | deps -> Program.barrier b deps npu)
+        fwd
+    in
+    let gate_of = Hashtbl.create s in
+    Array.iteri (fun i npu -> Hashtbl.replace gate_of npu gates.(i)) fwd;
+    let final_recv = Hashtbl.create s in
+    List.iteri
+      (fun oi (m, size) ->
+        let pred p = (p - 1 + s) mod s in
+        let prev = Array.make s (-1) in
+        let current = Array.make s (-1) in
+        for step = 0 to s - 2 do
+          for p = 0 to s - 1 do
+            let deps =
+              Hashtbl.find gate_of m.(p) @ (if step > 0 then [ prev.(pred p) ] else [])
+            in
+            current.(p) <-
+              Program.add b
+                ~tag:(Printf.sprintf "%s-o%d-step%d" tag oi step)
+                ~deps ~src:m.(p)
+                ~dst:m.((p + 1) mod s)
+                ~size ()
+          done;
+          Array.blit current 0 prev 0 s
+        done;
+        Array.iteri
+          (fun p npu ->
+            let existing = Option.value ~default:[] (Hashtbl.find_opt final_recv npu) in
+            Hashtbl.replace final_recv npu (prev.(pred p) :: existing))
+          m)
+      orientations;
+    Array.iter (fun npu -> phase_deps.(npu) <- Hashtbl.find final_recv npu) fwd
+  end
+
+let pipeline b topo ~pattern ~share ~rs_order ~tag =
+  let dims =
+    match Topology.hierarchy topo with
+    | Some dims -> dims
+    | None -> invalid_arg "Hiercoll.pipeline: topology has no recorded hierarchy"
+  in
+  let rank = Array.length dims in
+  let sorted = List.sort compare rs_order in
+  if sorted <> List.init rank Fun.id then
+    invalid_arg "Hiercoll.pipeline: rs_order must be a permutation of the dimensions";
+  (* step_size for dimension i of the order: the share left when that
+     dimension is reduced, divided by the group size. *)
+  let plan =
+    let current = ref share in
+    List.map
+      (fun dim ->
+        let size = dims.(dim).Topology.size in
+        let step_size = !current /. float_of_int size in
+        current := step_size;
+        (dim, step_size))
+      rs_order
+  in
+  let phase_deps = Array.make (Topology.num_npus topo) [] in
+  let run_phase phase_tag (dim, step_size) =
+    let bidirectional =
+      match dims.(dim).Topology.kind with
+      | Topology.Ring_dim | Topology.Mesh_dim | Topology.Fully_connected_dim -> true
+      | Topology.Switch_dim _ -> false
+    in
+    List.iter
+      (fun members ->
+        ring_phase b
+          ~tag:(Printf.sprintf "%s-%s-d%d" tag phase_tag dim)
+          ~members ~step_size ~bidirectional ~phase_deps)
+      (groups_of_dim topo dim)
+  in
+  match pattern with
+  | Pattern.All_gather -> List.iter (run_phase "ag") (List.rev plan)
+  | Pattern.Reduce_scatter -> List.iter (run_phase "rs") plan
+  | Pattern.All_reduce ->
+    List.iter (run_phase "rs") plan;
+    List.iter (run_phase "ag") (List.rev plan)
+  | Pattern.Broadcast _ | Pattern.Reduce _ | Pattern.Gather _ | Pattern.Scatter _
+  | Pattern.All_to_all ->
+    invalid_arg "Hiercoll.pipeline: unsupported pattern"

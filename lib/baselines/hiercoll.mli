@@ -1,0 +1,29 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(** Shared machinery for hierarchical (multi-dimensional) collectives:
+    BlueConnect [25] and Themis [18].
+
+    Both algorithms run a ring Reduce-Scatter dimension by dimension and then
+    the ring All-Gathers in reverse order, with each dimension's rings
+    executing in parallel across the orthogonal groups. They differ only in
+    which dimension order each piece of data takes: BlueConnect sends
+    everything in the canonical order, Themis spreads chunks over rotated
+    orders to balance load. *)
+
+val pipeline :
+  Program.builder ->
+  Topology.t ->
+  pattern:Pattern.t ->
+  share:float ->
+  rs_order:int list ->
+  tag:string ->
+  unit
+(** Append one pipeline instance carrying [share] bytes per NPU through the
+    recorded hierarchy of [topo], visiting dimensions in [rs_order] for the
+    Reduce-Scatter phase (All-Gather reverses it). Supported patterns:
+    All-Gather, Reduce-Scatter, All-Reduce. Raises [Invalid_argument] if the
+    topology has no hierarchy or [rs_order] is not a permutation of its
+    dimensions. *)

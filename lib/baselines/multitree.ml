@@ -1,0 +1,34 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+let program topo (spec : Spec.t) =
+  let n = spec.npus in
+  let size = Spec.chunk_size spec in
+  let usage = Array.make (Topology.num_links topo) 0 in
+  let trees = Array.init n (fun root -> Trees.bfs ~link_usage:usage topo ~root) in
+  let b = Program.builder () in
+  for root = 0 to n - 1 do
+    let tree = trees.(root) in
+    (* No chunk overlap: slot s+1 of this tree starts only when slot s is
+       fully done (the limitation §VII-C describes). *)
+    let gate = ref [] in
+    for slot = 0 to spec.chunks_per_npu - 1 do
+      let tag phase = Printf.sprintf "mt-%s-r%d-s%d" phase root slot in
+      match spec.pattern with
+      | Pattern.All_gather ->
+        gate := Treeops.broadcast b ~tag:(tag "ag") tree ~size ~gate:!gate
+      | Pattern.Reduce_scatter ->
+        let ids, _ = Treeops.reduce b ~tag:(tag "rs") tree ~size ~gate:!gate in
+        gate := ids
+      | Pattern.All_reduce ->
+        let rs_ids, at_root = Treeops.reduce b ~tag:(tag "rs") tree ~size ~gate:!gate in
+        let ag_ids = Treeops.broadcast b ~tag:(tag "ag") tree ~size ~gate:at_root in
+        gate := rs_ids @ ag_ids
+      | Pattern.Broadcast _ | Pattern.Reduce _ | Pattern.Gather _ | Pattern.Scatter _
+      | Pattern.All_to_all ->
+        invalid_arg "Multitree.program: unsupported pattern"
+    done
+  done;
+  Program.build b

@@ -1,0 +1,17 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(** MultiTree-like synthesizer [29]: one height-balanced BFS spanning tree
+    per NPU (link-usage tie-breaking spreads the n trees over the fabric),
+    broadcasting each NPU's data down its tree (All-Gather) or reducing up
+    it (Reduce-Scatter); All-Reduce chains both.
+
+    Faithful limitation (§VII-C): MultiTree does not overlap concurrent
+    chunks — with [chunks_per_npu > 1] the slots of a given tree run
+    strictly one after another, which is why it saturates beyond ~1 MB in
+    Fig. 17(a) while Themis/TACOS keep pipelining. *)
+
+val program : Topology.t -> Spec.t -> Program.t
+(** Supported patterns: All-Gather, Reduce-Scatter, All-Reduce. *)

@@ -1,0 +1,47 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let program topo (spec : Spec.t) =
+  ignore (Topology.num_npus topo);
+  let n = spec.npus in
+  if not (is_power_of_two n) then
+    invalid_arg "Rhd.program: NPU count must be a power of two";
+  if spec.pattern <> Pattern.All_reduce then
+    invalid_arg "Rhd.program: All-Reduce only";
+  let log2n =
+    let rec go k acc = if k = 1 then acc else go (k / 2) (acc + 1) in
+    go n 0
+  in
+  let b = Program.builder () in
+  (* prev.(i): NPU i's send in the previous step; a step's exchange waits on
+     both partners' previous exchanges (blocking pairwise sendrecv). *)
+  let prev = Array.make n (-1) in
+  let exchange ~tag step mask size =
+    let current = Array.make n (-1) in
+    for i = 0 to n - 1 do
+      let partner = i lxor mask in
+      let deps =
+        List.filter (fun d -> d >= 0) [ prev.(i); prev.(partner) ]
+      in
+      current.(i) <-
+        Program.add b
+          ~tag:(Printf.sprintf "%s-step%d" tag step)
+          ~deps ~src:i ~dst:partner ~size ()
+    done;
+    Array.blit current 0 prev 0 n
+  in
+  for step = 0 to log2n - 1 do
+    let mask = n lsr (step + 1) in
+    let size = spec.buffer_size /. float_of_int (1 lsl (step + 1)) in
+    exchange ~tag:"halving" step mask size
+  done;
+  for step = 0 to log2n - 1 do
+    let mask = 1 lsl step in
+    let size = spec.buffer_size *. float_of_int (1 lsl step) /. float_of_int n in
+    exchange ~tag:"doubling" step mask size
+  done;
+  Program.build b

@@ -1,0 +1,14 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(** Recursive Halving-Doubling All-Reduce [23] (MPICH): log2(n) halving
+    exchanges at distances n/2, n/4, ..., 1 (message sizes B/2, B/4, ...)
+    followed by log2(n) doubling exchanges in the mirror order. Requires a
+    power-of-two NPU count; suited to switch fabrics where any pair is one
+    hop apart. *)
+
+val program : Topology.t -> Spec.t -> Program.t
+(** All-Reduce only. Raises [Invalid_argument] on a non-power-of-two NPU
+    count or another pattern. *)

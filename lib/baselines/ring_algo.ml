@@ -1,0 +1,71 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+let reversed ring = Array.init (Array.length ring) (fun i -> ring.(Array.length ring - 1 - i))
+
+(* One logical ring carrying [share] bytes: the standard n-position ring
+   algorithm, n-1 reduce-scatter steps and/or n-1 all-gather steps, each
+   step moving share/n bytes per position. Returns nothing; transfers are
+   appended to [b]. *)
+let one_ring b pattern order share =
+  let n = Array.length order in
+  if n > 1 then begin
+    let step_size = share /. float_of_int n in
+    let pred p = (p - 1 + n) mod n in
+    let run_phase ~tag ~first_deps prev =
+      (* prev.(p): the send made by position p in the previous step. *)
+      let current = Array.make n (-1) in
+      for step = 0 to n - 2 do
+        for p = 0 to n - 1 do
+          let deps =
+            if step = 0 then first_deps p
+            else [ prev.(pred p) ]
+          in
+          current.(p) <-
+            Program.add b
+              ~tag:(Printf.sprintf "%s-step%d" tag step)
+              ~deps ~src:order.(p)
+              ~dst:order.((p + 1) mod n)
+              ~size:step_size ()
+        done;
+        Array.blit current 0 prev 0 n
+      done;
+      prev
+    in
+    let no_deps _ = [] in
+    match pattern with
+    | Pattern.All_gather -> ignore (run_phase ~tag:"ag" ~first_deps:no_deps (Array.make n (-1)))
+    | Pattern.Reduce_scatter ->
+      ignore (run_phase ~tag:"rs" ~first_deps:no_deps (Array.make n (-1)))
+    | Pattern.All_reduce ->
+      let rs_last = run_phase ~tag:"rs" ~first_deps:no_deps (Array.make n (-1)) in
+      (* Position p starts the all-gather with the chunk it finished reducing,
+         which arrived from its predecessor in the last reduce-scatter step. *)
+      let first_deps p = [ rs_last.(pred p) ] in
+      ignore (run_phase ~tag:"ag" ~first_deps (Array.make n (-1)))
+    | Pattern.Broadcast _ | Pattern.Reduce _ | Pattern.Gather _ | Pattern.Scatter _
+    | Pattern.All_to_all ->
+      invalid_arg "Ring.program: unsupported pattern"
+  end
+
+let program ?(bidirectional = true) ?rings topo (spec : Spec.t) =
+  let n = spec.npus in
+  let logical_rings =
+    match rings with
+    | Some rs -> rs
+    | None -> (
+      match Topology.rings topo with
+      | Some rs when bidirectional ->
+        (* Recorded embeddings are single orientations; run each both ways. *)
+        rs @ List.map reversed rs
+      | Some rs -> rs
+      | None ->
+        let identity = Array.init n Fun.id in
+        if bidirectional then [ identity; reversed identity ] else [ identity ])
+  in
+  let b = Program.builder () in
+  let share = spec.buffer_size /. float_of_int (List.length logical_rings) in
+  List.iter (fun order -> one_ring b spec.pattern order share) logical_rings;
+  Program.build b

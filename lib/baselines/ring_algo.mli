@@ -1,0 +1,23 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(** The Ring collective algorithm [21] — the default of most CCLs.
+
+    The collective runs over one or more *logical* rings laid head-to-tail
+    over the NPUs; the collective data is split equally across the rings.
+    When the physical topology is itself a ring the logical hops map to
+    physical links; on any other topology the simulator routes each hop,
+    which is precisely where the over/undersubscription of Fig. 1 comes
+    from.
+
+    If the topology records ring embeddings ({!Tacos_topology.Topology.rings}
+    — e.g. DGX-1's three NCCL rings), those are used; each is run in both
+    directions when [bidirectional] (the paper's default, footnote 3).
+    Otherwise a single logical ring through NPUs [0..n-1] is used. *)
+
+val program :
+  ?bidirectional:bool -> ?rings:int array list -> Topology.t -> Spec.t -> Program.t
+(** Supported patterns: All-Gather, Reduce-Scatter, All-Reduce. Raises
+    [Invalid_argument] otherwise. *)

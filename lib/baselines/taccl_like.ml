@@ -1,0 +1,29 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_collective
+open Tacos_sim
+
+let program topo (spec : Spec.t) =
+  let n = spec.npus in
+  let size = Spec.chunk_size spec in
+  let trees = Array.init n (fun root -> Trees.shortest_path_tree topo ~root ~size) in
+  let b = Program.builder () in
+  for root = 0 to n - 1 do
+    let tree = trees.(root) in
+    for slot = 0 to spec.chunks_per_npu - 1 do
+      let tag phase = Printf.sprintf "taccl-%s-r%d-s%d" phase root slot in
+      (* Chunks are routed independently and overlap freely — congestion is
+         invisible to the formulation. *)
+      match spec.pattern with
+      | Pattern.All_gather ->
+        ignore (Treeops.broadcast b ~tag:(tag "ag") tree ~size ~gate:[])
+      | Pattern.Reduce_scatter ->
+        ignore (Treeops.reduce b ~tag:(tag "rs") tree ~size ~gate:[])
+      | Pattern.All_reduce ->
+        let _, at_root = Treeops.reduce b ~tag:(tag "rs") tree ~size ~gate:[] in
+        ignore (Treeops.broadcast b ~tag:(tag "ag") tree ~size ~gate:at_root)
+      | Pattern.Broadcast _ | Pattern.Reduce _ | Pattern.Gather _ | Pattern.Scatter _
+      | Pattern.All_to_all ->
+        invalid_arg "Taccl_like.program: unsupported pattern"
+    done
+  done;
+  Program.build b

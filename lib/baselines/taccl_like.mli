@@ -1,0 +1,20 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(** TACCL-like baseline (§V-A, footnote 7).
+
+    TACCL [19] is not runnable here (its MILP needs a commercial solver and
+    its topology menu is narrow), so — exactly as the paper did — we stand in
+    a TACCL-like synthesizer over our own network representation. Its
+    defining property relative to TACOS (§VII-C) is kept: the ILP objective
+    routes every chunk on good (earliest-arrival) paths but *cannot encode
+    congestion*, so concurrent chunks freely pile onto the same link at
+    synthesis time. Concretely, each chunk follows the min-α-β-cost
+    shortest-path tree from its owner, all chunks simultaneously, and the
+    congestion-aware simulator then charges the contention the formulation
+    ignored. *)
+
+val program : Topology.t -> Spec.t -> Program.t
+(** Supported patterns: All-Gather, Reduce-Scatter, All-Reduce. *)

@@ -1,0 +1,25 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+let rotate order by =
+  let n = List.length order in
+  List.init n (fun i -> List.nth order ((i + by) mod n))
+
+let program ?(chunks = 64) topo (spec : Spec.t) =
+  if chunks <= 0 then invalid_arg "Themis.program: chunks must be positive";
+  let rank =
+    match Topology.hierarchy topo with
+    | Some dims -> Array.length dims
+    | None -> invalid_arg "Themis.program: topology has no recorded hierarchy"
+  in
+  let b = Program.builder () in
+  let share = spec.buffer_size /. float_of_int chunks in
+  let canonical = List.init rank Fun.id in
+  for c = 0 to chunks - 1 do
+    Hiercoll.pipeline b topo ~pattern:spec.pattern ~share
+      ~rs_order:(rotate canonical (c mod rank))
+      ~tag:(Printf.sprintf "themis-c%d" c)
+  done;
+  Program.build b

@@ -1,0 +1,14 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+open Tacos_sim
+
+(** Themis [18]: BlueConnect with load-balanced chunk scheduling — the
+    buffer is split into [chunks] pieces and chunk [c] traverses the
+    dimensions in the canonical order rotated by [c], spreading traffic over
+    all dimensions concurrently. The paper evaluates Themis with 64 chunks
+    (bandwidth-optimal, latency-heavy) and 4 chunks (§VI-B.3). *)
+
+val program : ?chunks:int -> Topology.t -> Spec.t -> Program.t
+(** Supported patterns: All-Gather, Reduce-Scatter, All-Reduce. Requires a
+    recorded hierarchy. [chunks] defaults to 64. *)

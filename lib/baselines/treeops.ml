@@ -1,0 +1,29 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_sim
+
+let broadcast b ~tag tree ~size ~gate =
+  let received = Array.make (Array.length tree.Trees.parent) gate in
+  List.map
+    (fun (parent, child) ->
+      let id =
+        Program.add b ~tag ~deps:received.(parent) ~src:parent ~dst:child ~size ()
+      in
+      received.(child) <- [ id ];
+      id)
+    (Trees.edges_down tree)
+
+let reduce b ~tag tree ~size ~gate =
+  let n = Array.length tree.Trees.parent in
+  let child_sends = Array.make n [] in
+  let ids =
+    List.map
+      (fun (child, parent) ->
+        let id =
+          Program.add b ~tag ~deps:(gate @ child_sends.(child)) ~src:child
+            ~dst:parent ~size ()
+        in
+        child_sends.(parent) <- id :: child_sends.(parent);
+        id)
+      (Trees.edges_up tree)
+  in
+  (ids, child_sends.(tree.Trees.root))

@@ -1,0 +1,16 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_sim
+
+(** Broadcast / reduce passes over a spanning tree, shared by the tree-based
+    baselines (MultiTree, TACCL-like, C-Cube). *)
+
+val broadcast :
+  Program.builder -> tag:string -> Trees.t -> size:float -> gate:int list -> int list
+(** Send [size] bytes from the tree root down every edge; each hop waits for
+    the parent's receive and for [gate]. Returns all transfer ids. *)
+
+val reduce :
+  Program.builder -> tag:string -> Trees.t -> size:float -> gate:int list -> int list * int list
+(** Combine up the tree: a node sends to its parent once all its children
+    delivered (and [gate] passed). Returns (all ids, the ids arriving at the
+    root). *)

@@ -1,0 +1,106 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+
+type t = {
+  root : int;
+  parent : int array;
+  children : int list array;
+  depth : int array;
+}
+
+let finalize topo root parent depth =
+  let n = Topology.num_npus topo in
+  let children = Array.make n [] in
+  for v = n - 1 downto 0 do
+    if v <> root then begin
+      if parent.(v) < 0 then
+        failwith (Printf.sprintf "Trees: NPU %d unreachable from root %d" v root);
+      children.(parent.(v)) <- v :: children.(parent.(v))
+    end
+  done;
+  { root; parent; children; depth }
+
+let bfs ?link_usage topo ~root =
+  let n = Topology.num_npus topo in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n max_int in
+  depth.(root) <- 0;
+  let frontier = Queue.create () in
+  Queue.push root frontier;
+  while not (Queue.is_empty frontier) do
+    let v = Queue.pop frontier in
+    (* Visit out-links least-used first so concurrent trees spread load. *)
+    let outs =
+      let outs = Topology.out_edges topo v in
+      match link_usage with
+      | None -> outs
+      | Some usage ->
+        List.stable_sort
+          (fun (a : Topology.edge) (b : Topology.edge) ->
+            compare usage.(a.id) usage.(b.id))
+          outs
+    in
+    List.iter
+      (fun (e : Topology.edge) ->
+        if depth.(e.dst) = max_int then begin
+          depth.(e.dst) <- depth.(v) + 1;
+          parent.(e.dst) <- v;
+          (match link_usage with
+          | Some usage -> usage.(e.id) <- usage.(e.id) + 1
+          | None -> ());
+          Queue.push e.dst frontier
+        end)
+      outs
+  done;
+  finalize topo root parent depth
+
+let shortest_path_tree topo ~root ~size =
+  let n = Topology.num_npus topo in
+  let parent = Array.make n (-1) in
+  let dist = Array.make n infinity in
+  dist.(root) <- 0.;
+  let module P = Set.Make (struct
+    type t = float * int
+
+    let compare = compare
+  end) in
+  let pq = ref (P.singleton (0., root)) in
+  while not (P.is_empty !pq) do
+    let ((d, v) as elt) = P.min_elt !pq in
+    pq := P.remove elt !pq;
+    if d <= dist.(v) then
+      List.iter
+        (fun (e : Topology.edge) ->
+          let nd = d +. Link.cost e.link size in
+          if nd < dist.(e.dst) then begin
+            dist.(e.dst) <- nd;
+            parent.(e.dst) <- v;
+            pq := P.add (nd, e.dst) !pq
+          end)
+        (Topology.out_edges topo v)
+  done;
+  let depth = Array.make n 0 in
+  let rec compute_depth v =
+    if v <> root && depth.(v) = 0 then begin
+      if parent.(v) < 0 then
+        failwith (Printf.sprintf "Trees: NPU %d unreachable from root %d" v root);
+      compute_depth parent.(v);
+      depth.(v) <- depth.(parent.(v)) + 1
+    end
+  in
+  for v = 0 to n - 1 do
+    compute_depth v
+  done;
+  finalize topo root parent depth
+
+let edges_down t =
+  let pairs = ref [] in
+  Array.iteri
+    (fun v p -> if p >= 0 then pairs := (p, v, t.depth.(v)) :: !pairs)
+    t.parent;
+  List.map
+    (fun (p, v, _) -> (p, v))
+    (List.sort (fun (_, _, d1) (_, _, d2) -> compare d1 d2) !pairs)
+
+let edges_up t =
+  List.rev_map (fun (p, v) -> (v, p)) (edges_down t)

@@ -1,0 +1,32 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+
+(** Spanning-tree construction shared by the tree-based baselines
+    (MultiTree, C-Cube, TACCL-like shortest-path trees). *)
+
+type t = {
+  root : int;
+  parent : int array;  (** [parent.(root) = -1] *)
+  children : int list array;
+  depth : int array;
+}
+
+val bfs :
+  ?link_usage:int array -> Topology.t -> root:int -> t
+(** Height-balanced (BFS) spanning tree following physical links away from
+    [root]. When [link_usage] is given, ties between candidate parents are
+    broken towards the parent whose connecting link has been used least, and
+    the chosen links' counters are incremented — this is how MultiTree
+    balances n simultaneous trees over the fabric (§VII-C). Raises [Failure]
+    if some NPU is unreachable. *)
+
+val shortest_path_tree : Topology.t -> root:int -> size:float -> t
+(** Min-α-β-cost paths from [root] to everyone (a Dijkstra tree at message
+    size [size]) — the congestion-unaware routing a TACCL-style synthesizer
+    picks. *)
+
+val edges_down : t -> (int * int) list
+(** (parent, child) pairs in BFS order (parents before their children). *)
+
+val edges_up : t -> (int * int) list
+(** (child, parent) pairs, deepest first — the reduce order. *)

@@ -1,0 +1,26 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+
+let phase_time ~phases topo ~size =
+  let n = float_of_int (Topology.num_npus topo) in
+  (* Per-NPU bound: everyone ingests (n-1)/n of the vector per phase. *)
+  let per_npu = size *. (n -. 1.) /. n /. Topology.min_ingress_bandwidth topo in
+  (* Cut bounds: a subset S must ingest the (n-|S|)/n share of the vector
+     that originates outside it through its boundary links at least once. *)
+  let per_cut =
+    List.fold_left
+      (fun acc subset ->
+        let s = float_of_int (List.length subset) in
+        let bw = Topology.ingress_bandwidth_of topo subset in
+        if bw <= 0. then acc
+        else Float.max acc (size *. (n -. s) /. n /. bw))
+      0.
+      (Topology.cut_hints topo)
+  in
+  (phases *. Float.max per_npu per_cut) +. Topology.diameter_latency topo
+
+let all_reduce_time topo ~size = phase_time ~phases:2. topo ~size
+let all_gather_time topo ~size = phase_time ~phases:1. topo ~size
+let reduce_scatter_time topo ~size = phase_time ~phases:1. topo ~size
+let bandwidth ~size ~time = size /. time
+let efficiency ~ideal ~measured = ideal /. measured

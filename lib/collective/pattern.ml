@@ -1,0 +1,33 @@
+type t =
+  | All_gather
+  | Reduce_scatter
+  | All_reduce
+  | Broadcast of int
+  | Reduce of int
+  | Gather of int
+  | Scatter of int
+  | All_to_all
+
+let name = function
+  | All_gather -> "All-Gather"
+  | Reduce_scatter -> "Reduce-Scatter"
+  | All_reduce -> "All-Reduce"
+  | Broadcast r -> Printf.sprintf "Broadcast(root=%d)" r
+  | Reduce r -> Printf.sprintf "Reduce(root=%d)" r
+  | Gather r -> Printf.sprintf "Gather(root=%d)" r
+  | Scatter r -> Printf.sprintf "Scatter(root=%d)" r
+  | All_to_all -> "All-to-All"
+
+let is_combining = function
+  | Reduce_scatter | Reduce _ -> true
+  | All_gather | All_reduce | Broadcast _ | Gather _ | Scatter _ | All_to_all -> false
+
+let counterpart = function
+  | Reduce_scatter -> Some All_gather
+  | All_gather -> Some Reduce_scatter
+  | Reduce r -> Some (Broadcast r)
+  | Broadcast r -> Some (Reduce r)
+  | Scatter r -> Some (Gather r)
+  | Gather r -> Some (Scatter r)
+  | All_reduce -> None
+  | All_to_all -> None

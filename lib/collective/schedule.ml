@@ -1,0 +1,244 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+
+type send = {
+  chunk : int;
+  edge : int;
+  src : int;
+  dst : int;
+  start : float;
+  finish : float;
+}
+
+type t = { sends : send list; makespan : float }
+
+(* Relative tolerance for floating-point time comparisons. *)
+let eps_for makespan = 1e-9 +. (1e-9 *. Float.abs makespan)
+
+let make sends =
+  List.iter
+    (fun s ->
+      if s.start < 0. || s.finish < s.start then
+        invalid_arg "Schedule.make: bad send interval")
+    sends;
+  let sends = List.stable_sort (fun a b -> compare (a.start, a.finish) (b.start, b.finish)) sends in
+  let makespan = List.fold_left (fun acc s -> Float.max acc s.finish) 0. sends in
+  { sends; makespan }
+
+let empty = { sends = []; makespan = 0. }
+let num_sends t = List.length t.sends
+
+let shift t dt =
+  make
+    (List.map (fun s -> { s with start = s.start +. dt; finish = s.finish +. dt }) t.sends)
+
+let reverse t =
+  let m = t.makespan in
+  make
+    (List.map
+       (fun s ->
+         {
+           s with
+           src = s.dst;
+           dst = s.src;
+           start = m -. s.finish;
+           finish = m -. s.start;
+         })
+       t.sends)
+
+let concat a b =
+  let b = shift b a.makespan in
+  make (a.sends @ b.sends)
+
+(* --- validation ------------------------------------------------------- *)
+
+let validate_noncombining topo spec t =
+  let eps = eps_for t.makespan in
+  let npus = Topology.num_npus topo in
+  let chunks = Spec.num_chunks spec in
+  let chunk_size = Spec.chunk_size spec in
+  let exception Bad of string in
+  try
+    (* arrival.(d).(c): earliest time chunk c is known to be at NPU d. *)
+    let arrival = Array.make_matrix npus chunks infinity in
+    List.iter (fun (d, c) -> arrival.(d).(c) <- 0.) (Spec.precondition spec);
+    let last_free = Hashtbl.create 64 in
+    List.iter
+      (fun s ->
+        if s.chunk < 0 || s.chunk >= chunks then
+          raise (Bad (Printf.sprintf "send of unknown chunk %d" s.chunk));
+        let e =
+          try Topology.edge topo s.edge
+          with Invalid_argument _ ->
+            raise (Bad (Printf.sprintf "send over unknown link %d" s.edge))
+        in
+        if e.Topology.src <> s.src || e.Topology.dst <> s.dst then
+          raise
+            (Bad
+               (Printf.sprintf "send %d->%d does not match link %d (%d->%d)" s.src
+                  s.dst s.edge e.Topology.src e.Topology.dst));
+        let cost = Link.cost e.Topology.link chunk_size in
+        if s.finish -. s.start < cost -. eps then
+          raise
+            (Bad
+               (Printf.sprintf "send of chunk %d on link %d shorter than its α-β cost"
+                  s.chunk s.edge));
+        (match Hashtbl.find_opt last_free s.edge with
+        | Some free when s.start < free -. eps ->
+          raise (Bad (Printf.sprintf "link %d carries two chunks at once" s.edge))
+        | _ -> ());
+        Hashtbl.replace last_free s.edge s.finish;
+        if arrival.(s.src).(s.chunk) > s.start +. eps then
+          raise
+            (Bad
+               (Printf.sprintf "NPU %d sends chunk %d at %g before holding it" s.src
+                  s.chunk s.start));
+        arrival.(s.dst).(s.chunk) <- Float.min arrival.(s.dst).(s.chunk) s.finish)
+      t.sends;
+    List.iter
+      (fun (d, c) ->
+        if arrival.(d).(c) = infinity then
+          raise (Bad (Printf.sprintf "postcondition unmet: NPU %d never gets chunk %d" d c)))
+      (Spec.postcondition spec);
+    Ok ()
+  with Bad msg -> Error msg
+
+let validate topo spec t =
+  if Pattern.is_combining spec.Spec.pattern then
+    validate_noncombining (Topology.reverse topo) (Spec.reverse spec) (reverse t)
+  else
+    match spec.Spec.pattern with
+    | Pattern.All_reduce ->
+      Error "Schedule.validate: use validate_all_reduce for All-Reduce"
+    | _ -> validate_noncombining topo spec t
+
+let validate_all_reduce topo spec ~reduce_scatter ~all_gather =
+  match spec.Spec.pattern with
+  | Pattern.All_reduce -> (
+    let phase pattern = Spec.with_pattern spec pattern in
+    match validate topo (phase Pattern.Reduce_scatter) reduce_scatter with
+    | Error e -> Error ("reduce-scatter phase: " ^ e)
+    | Ok () -> (
+      let eps = eps_for reduce_scatter.makespan in
+      let ag_start =
+        List.fold_left (fun acc s -> Float.min acc s.start) infinity all_gather.sends
+      in
+      if all_gather.sends <> [] && ag_start < reduce_scatter.makespan -. eps then
+        Error "all-gather phase starts before reduce-scatter completes"
+      else
+        match
+          validate topo (phase Pattern.All_gather)
+            (shift all_gather (-.reduce_scatter.makespan))
+        with
+        | Error e -> Error ("all-gather phase: " ^ e)
+        | Ok () -> Ok ()))
+  | _ -> Error "Schedule.validate_all_reduce: spec is not All-Reduce"
+
+(* --- analyses ---------------------------------------------------------- *)
+
+let link_bytes topo ~chunk_size t =
+  let bytes = Array.make (Topology.num_links topo) 0. in
+  List.iter (fun s -> bytes.(s.edge) <- bytes.(s.edge) +. chunk_size) t.sends;
+  bytes
+
+let link_busy_seconds topo t =
+  let busy = Array.make (Topology.num_links topo) 0. in
+  List.iter (fun s -> busy.(s.edge) <- busy.(s.edge) +. (s.finish -. s.start)) t.sends;
+  busy
+
+let utilization_timeline topo ~bins t =
+  if bins <= 0 then invalid_arg "Schedule.utilization_timeline: bins must be positive";
+  let nlinks = float_of_int (Topology.num_links topo) in
+  if t.makespan <= 0. then []
+  else begin
+    let width = t.makespan /. float_of_int bins in
+    let busy = Array.make bins 0. in
+    List.iter
+      (fun s ->
+        (* Spread the send's busy interval over the bins it intersects. *)
+        let lo = int_of_float (s.start /. width) in
+        let hi = min (bins - 1) (int_of_float (s.finish /. width)) in
+        for b = max 0 lo to hi do
+          let bin_start = float_of_int b *. width in
+          let bin_end = bin_start +. width in
+          let overlap = Float.min s.finish bin_end -. Float.max s.start bin_start in
+          if overlap > 0. then busy.(b) <- busy.(b) +. overlap
+        done)
+      t.sends;
+    List.init bins (fun b ->
+        (float_of_int (b + 1) *. width, busy.(b) /. (nlinks *. width)))
+  end
+
+let average_utilization topo t =
+  if t.makespan <= 0. then 0.
+  else begin
+    let busy = link_busy_seconds topo t in
+    let total = Array.fold_left ( +. ) 0. busy in
+    total /. (float_of_int (Topology.num_links topo) *. t.makespan)
+  end
+
+let chunk_path t c = List.filter (fun s -> s.chunk = c) t.sends
+
+let of_json text =
+  let module Json = Tacos_util.Json in
+  match Json.parse text with
+  | Error e -> Error ("Schedule.of_json: " ^ e)
+  | Ok doc -> (
+    match Option.bind (Json.member "sends" doc) Json.to_list with
+    | None -> Error "Schedule.of_json: missing \"sends\" array"
+    | Some entries -> (
+      let parse_send entry =
+        let int key = Option.bind (Json.member key entry) Json.to_int in
+        let num key = Option.bind (Json.member key entry) Json.to_float in
+        match (int "chunk", int "src", int "dst", int "link", num "start", num "finish") with
+        | Some chunk, Some src, Some dst, Some edge, Some start, Some finish ->
+          Some { chunk; src; dst; edge; start; finish }
+        | _ -> None
+      in
+      match
+        List.fold_left
+          (fun acc entry ->
+            match (acc, parse_send entry) with
+            | Some sends, Some send -> Some (send :: sends)
+            | _ -> None)
+          (Some []) entries
+      with
+      | Some sends -> (
+        match make sends with
+        | sched -> Ok sched
+        | exception Invalid_argument e -> Error ("Schedule.of_json: " ^ e))
+      | None -> Error "Schedule.of_json: malformed send entry"))
+
+let to_json ?spec t =
+  let buf = Buffer.create (256 + (96 * List.length t.sends)) in
+  Buffer.add_string buf "{\n";
+  (match spec with
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"collective\": \"%s\",\n  \"npus\": %d,\n  \"chunks\": %d,\n  \"chunk_size_bytes\": %.17g,\n"
+         (Pattern.name s.Spec.pattern) s.Spec.npus (Spec.num_chunks s)
+         (Spec.chunk_size s))
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf "  \"makespan_seconds\": %.17g,\n" t.makespan);
+  Buffer.add_string buf "  \"sends\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"chunk\": %d, \"src\": %d, \"dst\": %d, \"link\": %d, \
+            \"start\": %.17g, \"finish\": %.17g}%s\n"
+           s.chunk s.src s.dst s.edge s.start s.finish
+           (if i = List.length t.sends - 1 then "" else ",")))
+    t.sends;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let pp_events ?(chunk_names = string_of_int) ppf t =
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "[%10s - %10s] chunk %-6s  NPU %d -> NPU %d (link %d)@."
+        (Tacos_util.Units.time_pp s.start)
+        (Tacos_util.Units.time_pp s.finish)
+        (chunk_names s.chunk) s.src s.dst s.edge)
+    t.sends

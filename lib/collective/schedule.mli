@@ -1,0 +1,91 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+
+(** Collective-algorithm intermediate representation: a set of timed,
+    link-assigned chunk transfers.
+
+    This is the common output format of the TACOS synthesizer and the input
+    the validator and analyses work on. A schedule is exactly the "static
+    path of each chunk" the paper defines a collective algorithm to be
+    (§II-B), with the TEN timing made explicit: each send occupies one
+    physical link for one interval, and a link carries at most one chunk at a
+    time (the congestion-freedom invariant of §IV-B). *)
+
+type send = {
+  chunk : int;
+  edge : int;  (** physical link id in the topology *)
+  src : int;
+  dst : int;
+  start : float;
+  finish : float;
+}
+
+type t = private { sends : send list; makespan : float }
+(** [sends] are sorted by start time; [makespan] is the largest finish time
+    (0 for the empty schedule). *)
+
+val make : send list -> t
+val empty : t
+val num_sends : t -> int
+
+val shift : t -> float -> t
+(** Translate every send in time. *)
+
+val reverse : t -> t
+(** Time-mirror the schedule and swap each send's direction, keeping the
+    link id — the §IV-E reversal that turns an All-Gather on the reversed
+    topology into a Reduce-Scatter on the original one (Fig. 11). *)
+
+val concat : t -> t -> t
+(** [concat a b] runs [b] after [a] ([b] shifted by [a.makespan]) — how
+    All-Reduce is assembled from Reduce-Scatter and All-Gather. *)
+
+val validate : Topology.t -> Spec.t -> t -> (unit, string) result
+(** Check physical legality and semantic correctness:
+    - every send's link exists and matches its endpoints;
+    - a send's duration covers the α-β cost of one chunk;
+    - no two sends overlap on the same link;
+    - the chunk is present at the source when a send starts (causality from
+      the precondition plus earlier receives);
+    - the postcondition holds at the end.
+    Combining patterns are checked by validating the reversed schedule against
+    the reversed spec on the reversed topology. For the composite
+    [All_reduce] use {!validate_all_reduce}. *)
+
+val validate_all_reduce :
+  Topology.t -> Spec.t -> reduce_scatter:t -> all_gather:t -> (unit, string) result
+(** Validate an All-Reduce assembled as a Reduce-Scatter phase followed by an
+    All-Gather phase (the All-Gather is expected to start after the
+    Reduce-Scatter's makespan, as produced by {!concat}). *)
+
+(** {1 Analyses} *)
+
+val link_bytes : Topology.t -> chunk_size:float -> t -> float array
+(** Total bytes carried per link id (Fig. 1 heat maps). *)
+
+val link_busy_seconds : Topology.t -> t -> float array
+
+val utilization_timeline : Topology.t -> bins:int -> t -> (float * float) list
+(** [(bin_end_time, fraction_of_links_busy)] averaged per bin over the
+    schedule's makespan (Figs. 16b, 18). *)
+
+val average_utilization : Topology.t -> t -> float
+(** Mean fraction of links busy over the makespan. *)
+
+val chunk_path : t -> int -> send list
+(** The sends that move one chunk, in time order — its static route. *)
+
+val pp_events : ?chunk_names:(int -> string) -> Format.formatter -> t -> unit
+(** Human-readable event listing, one line per send. *)
+
+val of_json : string -> (t, string) result
+(** Load a schedule previously written by {!to_json} (or hand-authored in
+    the same shape) — the import path a CCL-facing deployment would use.
+    The collective metadata, if present, is ignored; only the send list is
+    read. *)
+
+val to_json : ?spec:Spec.t -> t -> string
+(** Serialize the schedule for consumption by an external CCL runtime (in
+    the spirit of MSCCL-style algorithm files): a JSON object with the
+    collective metadata (when [spec] is given) and the flat send list
+    [{chunk, src, dst, link, start, finish}]. Times are seconds. *)

@@ -1,0 +1,92 @@
+type t = {
+  pattern : Pattern.t;
+  npus : int;
+  chunks_per_npu : int;
+  buffer_size : float;
+}
+
+let check_root npus = function
+  | Pattern.Broadcast r | Pattern.Reduce r | Pattern.Gather r | Pattern.Scatter r ->
+    if r < 0 || r >= npus then invalid_arg "Spec.make: root out of range"
+  | Pattern.All_gather | Pattern.Reduce_scatter | Pattern.All_reduce
+  | Pattern.All_to_all ->
+    ()
+
+let make ?(chunks_per_npu = 1) ?(buffer_size = 1.0) ~pattern ~npus () =
+  if npus <= 0 then invalid_arg "Spec.make: npus must be positive";
+  if chunks_per_npu <= 0 then invalid_arg "Spec.make: chunks_per_npu must be positive";
+  if buffer_size <= 0. then invalid_arg "Spec.make: buffer_size must be positive";
+  check_root npus pattern;
+  { pattern; npus; chunks_per_npu; buffer_size }
+
+let rooted t =
+  match t.pattern with
+  | Pattern.Broadcast r | Pattern.Reduce r -> Some r
+  | Pattern.Gather _ | Pattern.Scatter _ | Pattern.All_gather | Pattern.Reduce_scatter
+  | Pattern.All_reduce | Pattern.All_to_all ->
+    None
+
+let num_chunks t =
+  match t.pattern with
+  | Pattern.Broadcast _ | Pattern.Reduce _ -> t.chunks_per_npu
+  | Pattern.All_gather | Pattern.Reduce_scatter | Pattern.All_reduce | Pattern.Gather _
+  | Pattern.Scatter _ ->
+    t.npus * t.chunks_per_npu
+  | Pattern.All_to_all ->
+    (* One chunk group per ordered (src, dst) pair, diagonal included so the
+       indexing stays rectangular (diagonal chunks are trivially satisfied). *)
+    t.npus * t.npus * t.chunks_per_npu
+
+let chunk_size t = t.buffer_size /. float_of_int (num_chunks t)
+
+let owner t c =
+  if c < 0 || c >= num_chunks t then invalid_arg "Spec.owner: chunk out of range";
+  match rooted t with
+  | Some r -> r
+  | None -> (
+    match t.pattern with
+    | Pattern.All_to_all -> c / t.chunks_per_npu / t.npus
+    | _ -> c / t.chunks_per_npu)
+
+(* All-to-All chunk (src, dst, slot) <-> id helpers. *)
+let a2a_chunk t ~src ~dst slot = (((src * t.npus) + dst) * t.chunks_per_npu) + slot
+let a2a_dest t c = c / t.chunks_per_npu mod t.npus
+
+let all_npus t = List.init t.npus Fun.id
+let all_chunks t = List.init (num_chunks t) Fun.id
+
+let anchored t = List.map (fun c -> (owner t c, c)) (all_chunks t)
+
+let everywhere t =
+  List.concat_map (fun d -> List.map (fun c -> (d, c)) (all_chunks t)) (all_npus t)
+
+let at_root t r = List.map (fun c -> (r, c)) (all_chunks t)
+
+let precondition t =
+  match t.pattern with
+  | Pattern.All_gather | Pattern.Gather _ -> anchored t
+  | Pattern.Reduce_scatter | Pattern.Reduce _ | Pattern.All_reduce -> everywhere t
+  | Pattern.Broadcast r -> at_root t r
+  | Pattern.Scatter r -> at_root t r
+  | Pattern.All_to_all -> anchored t
+
+let postcondition t =
+  match t.pattern with
+  | Pattern.All_gather | Pattern.Broadcast _ | Pattern.All_reduce -> everywhere t
+  | Pattern.Reduce_scatter | Pattern.Scatter _ -> anchored t
+  | Pattern.Reduce r | Pattern.Gather r -> at_root t r
+  | Pattern.All_to_all -> List.map (fun c -> (a2a_dest t c, c)) (all_chunks t)
+
+let with_pattern t pattern =
+  check_root t.npus pattern;
+  { t with pattern }
+
+let reverse t =
+  match Pattern.counterpart t.pattern with
+  | Some p -> { t with pattern = p }
+  | None -> invalid_arg "Spec.reverse: All-Reduce is composite; reverse its phases"
+
+let pp ppf t =
+  Format.fprintf ppf "%s over %d NPUs, %d chunk(s)/NPU, %s"
+    (Pattern.name t.pattern) t.npus t.chunks_per_npu
+    (Tacos_util.Units.bytes_pp t.buffer_size)

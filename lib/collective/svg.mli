@@ -1,0 +1,10 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+
+(** SVG rendering of a schedule as a link-time Gantt chart: one row per
+    physical link, one rectangle per send, colored by chunk. The visual
+    counterpart of the paper's TEN figures, for schedules too large for the
+    ASCII grid. *)
+
+val render : Topology.t -> Schedule.t -> string
+(** A standalone SVG document. Empty schedules render an empty chart. *)

@@ -1,0 +1,7 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_collective
+
+let synthesize ?seed topo (spec : Spec.t) =
+  if spec.pattern <> Pattern.All_to_all then
+    invalid_arg "Alltoall.synthesize: spec pattern must be All_to_all";
+  Router.synthesize ?seed topo spec

@@ -1,0 +1,24 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+
+(** All-to-All synthesis — an extension beyond the paper.
+
+    TACOS' matching loop (Alg. 1) is pull-based: a chunk moves because the
+    receiving NPU's own postcondition demands it, which is what makes
+    intermediate NPUs relay chunks in All-Gather-style patterns. All-to-All
+    demands are pairwise — an intermediate NPU never wants the chunk it must
+    relay — so the matching cannot route it. This module synthesizes
+    All-to-All schedules with the same TEN discipline (each physical link
+    carries one chunk at a time) using greedy time-space routing instead:
+    chunks are routed one by one, each on its earliest-arrival path through
+    the partially reserved time-expanded network, reserving the link
+    intervals it uses.
+
+    The output is an ordinary {!Tacos_collective.Schedule.t}: validated by
+    the same checker, replayable by the same simulator, exportable to the
+    same JSON. *)
+
+val synthesize : ?seed:int -> Topology.t -> Spec.t -> Synthesizer.result
+(** Raises [Invalid_argument] if the spec's pattern is not [All_to_all], and
+    {!Synthesizer.Stuck} if the topology is not strongly connected. *)

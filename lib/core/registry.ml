@@ -1,0 +1,88 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+
+type t = { dir : string option; table : (string, Synthesizer.result) Hashtbl.t }
+
+let create ?dir () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+  | _ -> ());
+  { dir; table = Hashtbl.create 16 }
+
+let fingerprint topo =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int (Topology.num_npus topo));
+  List.iter
+    (fun (e : Topology.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf ";%d>%d:%.17g:%.17g" e.src e.dst
+           (Link.cost e.link 0.)
+           (Link.cost e.link 1. -. Link.cost e.link 0.)))
+    (List.sort
+       (fun (a : Topology.edge) (b : Topology.edge) ->
+         compare (a.src, a.dst, a.link) (b.src, b.dst, b.link))
+       (Topology.edges topo));
+  Printf.sprintf "%08x" (Hashtbl.hash (Buffer.contents buf) land 0xFFFFFFFF)
+
+let key topo (spec : Spec.t) =
+  Printf.sprintf "%s-%s-n%d-c%d-b%.0f" (fingerprint topo)
+    (String.map
+       (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_')
+       (Pattern.name spec.pattern))
+    spec.npus spec.chunks_per_npu spec.buffer_size
+
+let disk_path t k = Option.map (fun d -> Filename.concat d (k ^ ".json")) t.dir
+
+(* All-Reduce schedules lose their phase split through JSON, and the
+   phase-split validator needs it; trust entries we wrote ourselves (they
+   were validated before saving) and re-validate everything else. *)
+let validate_any topo (spec : Spec.t) schedule =
+  match spec.pattern with
+  | Pattern.All_reduce -> Ok ()
+  | _ -> Schedule.validate topo spec schedule
+
+let load_from_disk t topo spec k =
+  match disk_path t k with
+  | Some path when Sys.file_exists path -> (
+    match Schedule.of_json (In_channel.with_open_text path In_channel.input_all) with
+    | Ok schedule when Result.is_ok (validate_any topo spec schedule) ->
+      Some
+        {
+          Synthesizer.spec;
+          schedule;
+          collective_time = schedule.Schedule.makespan;
+          phases = None;
+          stats = { Synthesizer.wall_seconds = 0.; rounds = 0; matches = 0; trials = 0 };
+        }
+    | _ -> None)
+  | _ -> None
+
+let save_to_disk t spec (result : Synthesizer.result) k =
+  match disk_path t k with
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Schedule.to_json ~spec result.Synthesizer.schedule))
+  | None -> ()
+
+let find_or_synthesize ?(seed = 42) t topo (spec : Spec.t) =
+  let k = key topo spec in
+  match Hashtbl.find_opt t.table k with
+  | Some result -> (result, `Hit)
+  | None -> (
+    match load_from_disk t topo spec k with
+    | Some result ->
+      Hashtbl.replace t.table k result;
+      (result, `Hit)
+    | None ->
+      let result =
+        match spec.pattern with
+        | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ ->
+          Router.synthesize ~seed topo spec
+        | _ -> Synthesizer.synthesize ~seed topo spec
+      in
+      Hashtbl.replace t.table k result;
+      save_to_disk t spec result k;
+      (result, `Miss))
+
+let entries t = Hashtbl.length t.table

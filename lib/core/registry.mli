@@ -1,0 +1,33 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+
+(** Synthesized-algorithm cache.
+
+    Synthesis runs once per (topology, collective) pair; a CCL deployment
+    then reuses the schedule for every matching collective call. This
+    registry keys schedules by a structural topology fingerprint plus the
+    collective spec, holds them in memory, and optionally persists them as
+    the JSON algorithm files of {!Tacos_collective.Schedule.to_json}. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** An empty registry. With [dir], cache entries are also written to (and
+    on miss, looked up from) [dir] as one JSON file per entry; the directory
+    is created if needed. *)
+
+val fingerprint : Topology.t -> string
+(** Structural hash of a topology: NPU count plus every link's endpoints and
+    α-β parameters (link ids and names excluded). Two topologies with equal
+    fingerprints accept each other's schedules. *)
+
+val find_or_synthesize :
+  ?seed:int -> t -> Topology.t -> Spec.t -> Synthesizer.result * [ `Hit | `Miss ]
+(** Return the cached schedule for this (topology, spec) or synthesize,
+    cache, and return it. Routed patterns (All-to-All, Gather, Scatter) go
+    through {!Router}, everything else through {!Synthesizer}. The result of
+    a disk hit carries zero synthesis time in its stats and no phase split. *)
+
+val entries : t -> int
+(** Number of in-memory entries. *)

@@ -1,0 +1,24 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+
+(** Greedy time-space routing over the TEN — the synthesis engine for
+    patterns whose demands the matching loop cannot pull (see
+    {!Alltoall}): chunks with explicit (source, destination) pairs are
+    routed one at a time on earliest-arrival paths through the partially
+    reserved network, each physical link carrying at most one chunk at a
+    time. *)
+
+type job = { chunk : int; src : int; dst : int }
+
+val route_jobs :
+  ?seed:int -> Topology.t -> chunk_size:float -> job list -> Schedule.t
+(** Route every job (shuffled by [seed]); returns the combined schedule.
+    Raises {!Synthesizer.Stuck} when some destination is unreachable. *)
+
+val synthesize : ?seed:int -> Topology.t -> Spec.t -> Synthesizer.result
+(** Synthesis by routing, for the point-to-point demand patterns:
+    [All_to_all], [Gather] (every NPU's chunks to the root) and [Scatter]
+    (the root's chunks out to their owners). Raises [Invalid_argument] for
+    other patterns — the matching loop ({!Synthesizer.synthesize}) covers
+    those. *)

@@ -1,0 +1,293 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+module Rng = Tacos_util.Rng
+module Fheap = Tacos_util.Fheap
+module Ivec = Tacos_util.Ivec
+
+type stats = { wall_seconds : float; rounds : int; matches : int; trials : int }
+
+type result = {
+  spec : Spec.t;
+  schedule : Schedule.t;
+  collective_time : float;
+  phases : (Schedule.t * Schedule.t) option;
+  stats : stats;
+}
+
+exception Unsupported of string
+exception Stuck of string
+
+(* One synthesis trial of a pull-based (non-combining) pattern: All-Gather or
+   Broadcast. This is Alg. 2 with Alg. 1 run at every event time.
+
+   The matching loop decomposes exactly per destination: every link has a
+   single destination NPU, so matches competing for a link always serve the
+   same destination, and a chunk may legally leave one source over several
+   links at once. We therefore iterate over idle links (cheapest first, random
+   tie-break) and pick a random chunk from [holds(src) ∩ wants(dst)] — the
+   same greedy maximal matching as iterating shuffled postconditions, found
+   by scanning whichever of the two sets is smaller. *)
+let synthesize_pull ~prefer_cheap_links rng topo spec =
+  let n = Topology.num_npus topo in
+  let num_chunks = Spec.num_chunks spec in
+  let chunk_size = Spec.chunk_size spec in
+  let m = Topology.num_links topo in
+  if m = 0 then raise (Stuck "topology has no links");
+  (* Per-link constants. *)
+  let src = Array.make m 0 and dst = Array.make m 0 and cost = Array.make m 0. in
+  List.iter
+    (fun (e : Topology.edge) ->
+      src.(e.id) <- e.src;
+      dst.(e.id) <- e.dst;
+      cost.(e.id) <- Link.cost e.link chunk_size)
+    (Topology.edges topo);
+  (* Chunk placement state. *)
+  let arrival = Array.make_matrix n num_chunks infinity in
+  let holds = Array.init n (fun _ -> Ivec.create ()) in
+  (* wants.(d) lists the chunks of d's still-unsatisfied postconditions;
+     wants_pos.(d).(c) is c's index inside it (-1 when absent). *)
+  let wants = Array.init n (fun _ -> Ivec.create ()) in
+  let wants_pos = Array.make_matrix n num_chunks (-1) in
+  List.iter
+    (fun (d, c) ->
+      arrival.(d).(c) <- 0.;
+      Ivec.push holds.(d) c)
+    (Spec.precondition spec);
+  let unsatisfied = ref 0 in
+  List.iter
+    (fun (d, c) ->
+      if arrival.(d).(c) = infinity && wants_pos.(d).(c) < 0 then begin
+        wants_pos.(d).(c) <- Ivec.length wants.(d);
+        Ivec.push wants.(d) c;
+        incr unsatisfied
+      end)
+    (Spec.postcondition spec);
+  let link_free = Array.make m 0. in
+  let events = Fheap.create () in
+  let sends = ref [] in
+  let rounds = ref 0 and matches = ref 0 in
+  let idle = Array.make m 0 in
+  let now = ref 0. in
+  (* Failed-scan memoization: a link that found no matchable chunk needs no
+     rescan until its source gains a chunk or its destination's wants
+     change. This keeps the per-round work proportional to state changes,
+     preserving the O(n^2)-in-search-space scaling of §VI-C. *)
+  let has_version = Array.make n 0 in
+  let wants_version = Array.make n 0 in
+  let scanned_has = Array.make m (-1) in
+  let scanned_wants = Array.make m (-1) in
+  (* Pick a chunk that [s] holds (arrived by [now]) and [d] still wants, by
+     scanning the smaller of the two sets from a random offset. [saw_pending]
+     is set when a candidate was rejected only because it is still in flight
+     towards [s] — such a failure must not be memoized, since it resolves
+     without any version bump. *)
+  let saw_pending = ref false in
+  let pick_chunk s d =
+    let t = !now in
+    saw_pending := false;
+    if Ivec.length holds.(s) <= Ivec.length wants.(d) then begin
+      let len = Ivec.length holds.(s) in
+      if len = 0 then -1
+      else begin
+        let i =
+          Ivec.exists_from holds.(s) ~start:(Rng.int rng len) (fun c ->
+              wants_pos.(d).(c) >= 0
+              &&
+              if arrival.(s).(c) <= t then true
+              else begin
+                saw_pending := true;
+                false
+              end)
+        in
+        if i < 0 then -1 else Ivec.get holds.(s) i
+      end
+    end
+    else begin
+      let len = Ivec.length wants.(d) in
+      if len = 0 then -1
+      else begin
+        let i =
+          Ivec.exists_from wants.(d) ~start:(Rng.int rng len) (fun c ->
+              if arrival.(s).(c) <= t then true
+              else begin
+                if arrival.(s).(c) < infinity then saw_pending := true;
+                false
+              end)
+        in
+        if i < 0 then -1 else Ivec.get wants.(d) i
+      end
+    end
+  in
+  let remove_want d c =
+    let i = wants_pos.(d).(c) in
+    let moved = Ivec.swap_remove wants.(d) i in
+    wants_pos.(d).(c) <- -1;
+    if moved >= 0 then wants_pos.(d).(moved) <- i
+  in
+  while !unsatisfied > 0 do
+    incr rounds;
+    let t = !now in
+    (* Gather the idle links, shuffle, then order cheapest-first (§IV-F). *)
+    let idle_count = ref 0 in
+    for e = 0 to m - 1 do
+      if link_free.(e) <= t && Ivec.length wants.(dst.(e)) > 0 then begin
+        idle.(!idle_count) <- e;
+        incr idle_count
+      end
+    done;
+    let idle_links = Array.sub idle 0 !idle_count in
+    Rng.shuffle_in_place rng idle_links;
+    if prefer_cheap_links then
+      Array.stable_sort (fun a b -> compare cost.(a) cost.(b)) idle_links;
+    Array.iter
+      (fun e ->
+        let d = dst.(e) and s = src.(e) in
+        if
+          Ivec.length wants.(d) > 0
+          && not
+               (scanned_has.(e) = has_version.(s)
+               && scanned_wants.(e) = wants_version.(d))
+        then begin
+          let c = pick_chunk s d in
+          if c >= 0 then begin
+            let finish = t +. cost.(e) in
+            sends :=
+              { Schedule.chunk = c; edge = e; src = s; dst = d; start = t; finish }
+              :: !sends;
+            arrival.(d).(c) <- finish;
+            Ivec.push holds.(d) c;
+            has_version.(d) <- has_version.(d) + 1;
+            remove_want d c;
+            wants_version.(d) <- wants_version.(d) + 1;
+            link_free.(e) <- finish;
+            Fheap.push events finish;
+            decr unsatisfied;
+            incr matches
+          end
+          else if not !saw_pending then begin
+            scanned_has.(e) <- has_version.(s);
+            scanned_wants.(e) <- wants_version.(d)
+          end
+        end)
+      idle_links;
+    if !unsatisfied > 0 then
+      match Fheap.pop_above events t with
+      | Some t' -> now := t'
+      | None ->
+        raise
+          (Stuck
+             (Printf.sprintf
+                "no progress possible with %d postconditions unsatisfied — is \
+                 the topology strongly connected?"
+                !unsatisfied))
+  done;
+  (Schedule.make !sends, !rounds, !matches)
+
+let synthesize_simple ~prefer_cheap_links rng topo (spec : Spec.t) =
+  match spec.pattern with
+  | Pattern.All_gather | Pattern.Broadcast _ ->
+    synthesize_pull ~prefer_cheap_links rng topo spec
+  | Pattern.Reduce_scatter | Pattern.Reduce _ ->
+    (* §IV-E: synthesize the non-combining counterpart on the reversed
+       topology, then mirror the schedule in time and direction. *)
+    let sched, rounds, matches =
+      synthesize_pull ~prefer_cheap_links rng (Topology.reverse topo) (Spec.reverse spec)
+    in
+    (Schedule.reverse sched, rounds, matches)
+  | Pattern.All_reduce -> assert false (* handled by the caller *)
+  | Pattern.Gather _ | Pattern.Scatter _ ->
+    raise
+      (Unsupported
+         (Pattern.name spec.pattern
+         ^ ": rooted gather/scatter have no pulling intermediate \
+            postconditions; use the time-space router (Tacos.Router)"))
+  | Pattern.All_to_all ->
+    raise
+      (Unsupported
+         "All-to-All has pairwise demands the matching loop cannot pull; \
+          use Tacos.Router (or Tacos.Alltoall)")
+
+(* One full trial, returning (schedule, phases, rounds, matches). *)
+let trial ~prefer_cheap_links rng topo (spec : Spec.t) =
+  match spec.pattern with
+  | Pattern.All_reduce ->
+    let rs, r1, m1 =
+      synthesize_simple ~prefer_cheap_links rng topo
+        (Spec.with_pattern spec Pattern.Reduce_scatter)
+    in
+    let ag, r2, m2 =
+      synthesize_simple ~prefer_cheap_links rng topo
+        (Spec.with_pattern spec Pattern.All_gather)
+    in
+    let ag_shifted = Schedule.shift ag rs.Schedule.makespan in
+    (Schedule.concat rs ag, Some (rs, ag_shifted), r1 + r2, m1 + m2)
+  | _ ->
+    let sched, rounds, matches = synthesize_simple ~prefer_cheap_links rng topo spec in
+    (sched, None, rounds, matches)
+
+let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = true)
+    topo spec =
+  if trials <= 0 then invalid_arg "Synthesizer.synthesize: trials must be positive";
+  if domains <= 0 then invalid_arg "Synthesizer.synthesize: domains must be positive";
+  if Topology.num_npus topo <> spec.Spec.npus then
+    invalid_arg "Synthesizer.synthesize: spec NPU count does not match topology";
+  let t0 = Unix.gettimeofday () in
+  (* Per-trial seeds drawn up front so the outcome is independent of how the
+     trials are spread over domains. *)
+  let master = Rng.create seed in
+  let seeds = Array.init trials (fun _ -> Int64.to_int (Rng.bits64 master)) in
+  (* Force the topology's lazy caches before sharing it across domains. *)
+  ignore (Topology.edges topo);
+  let run_trial i = trial ~prefer_cheap_links (Rng.create seeds.(i)) topo spec in
+  let results =
+    if domains = 1 || trials = 1 then Array.init trials run_trial
+    else begin
+      let workers = min domains trials in
+      let spawned =
+        Array.init workers (fun w ->
+            Domain.spawn (fun () ->
+                (* Worker w takes trials w, w+workers, w+2*workers, ... *)
+                let rec collect i acc =
+                  if i >= trials then List.rev acc
+                  else collect (i + workers) ((i, run_trial i) :: acc)
+                in
+                collect w []))
+      in
+      let all = Array.make trials None in
+      Array.iter
+        (fun d -> List.iter (fun (i, r) -> all.(i) <- Some r) (Domain.join d))
+        spawned;
+      Array.map Option.get all
+    end
+  in
+  let rounds = ref 0 and matches = ref 0 in
+  Array.iter
+    (fun (_, _, r, m) ->
+      rounds := !rounds + r;
+      matches := !matches + m)
+    results;
+  let best = ref 0 in
+  Array.iteri
+    (fun i (sched, _, _, _) ->
+      let (best_sched, _, _, _) = results.(!best) in
+      if sched.Schedule.makespan < best_sched.Schedule.makespan then best := i)
+    results;
+  let schedule, phases, _, _ = results.(!best) in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  {
+    spec;
+    schedule;
+    collective_time = schedule.Schedule.makespan;
+    phases;
+    stats = { wall_seconds; rounds = !rounds; matches = !matches; trials };
+  }
+
+let verify topo result =
+  match result.spec.Spec.pattern with
+  | Pattern.All_reduce -> (
+    match result.phases with
+    | Some (rs, ag) ->
+      Schedule.validate_all_reduce topo result.spec ~reduce_scatter:rs ~all_gather:ag
+    | None -> Error "All-Reduce result carries no phase split")
+  | _ -> Schedule.validate topo result.spec result.schedule

@@ -1,0 +1,80 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+
+(** The TACOS synthesizer (§IV, Algorithms 1 and 2).
+
+    Given a network topology and a collective spec, TACOS synthesizes a
+    topology-aware collective algorithm by repeatedly maximizing the number
+    of link-chunk matches over an implicitly expanded time-expanded network:
+
+    - the clock advances through event times (a link becoming free, a chunk
+      arriving);
+    - at each event time the idle links are matched against the unsatisfied
+      postconditions — a link [(s → d)] can carry chunk [c] if [s] already
+      holds [c] and [d] still wants it;
+    - lower-cost links are matched first (§IV-F) and remaining choices are
+      randomized;
+    - each physical link carries at most one chunk at a time, so the
+      resulting algorithm is congestion-free, and since only neighbor
+      transfers are scheduled it is deadlock-free (§IV-E).
+
+    Reduction collectives are synthesized on the reversed topology and
+    time-mirrored (§IV-E, Fig. 11); All-Reduce is a Reduce-Scatter phase
+    followed by an All-Gather phase.
+
+    The matching loop is the event-driven generalization of the span-discrete
+    formulation in the paper (which {!Reference} implements literally): on a
+    homogeneous topology every link costs the same, event times collapse onto
+    the span grid, and the two coincide. *)
+
+type stats = {
+  wall_seconds : float;  (** synthesis wall-clock time *)
+  rounds : int;  (** distinct event times processed (TEN spans when homogeneous) *)
+  matches : int;  (** link-chunk matches made *)
+  trials : int;  (** randomized restarts evaluated *)
+}
+
+type result = {
+  spec : Spec.t;
+  schedule : Schedule.t;
+  collective_time : float;  (** the schedule's makespan *)
+  phases : (Schedule.t * Schedule.t) option;
+      (** for All-Reduce: the (Reduce-Scatter, All-Gather) phases, with the
+          All-Gather already shifted to start at the Reduce-Scatter's end *)
+  stats : stats;
+}
+
+exception Unsupported of string
+(** Raised for patterns the matching formulation does not cover
+    (Gather/Scatter — the paper targets the patterns of Table III). *)
+
+exception Stuck of string
+(** Raised when postconditions remain but no event can make progress — the
+    topology is not strongly connected. *)
+
+val synthesize :
+  ?seed:int ->
+  ?trials:int ->
+  ?domains:int ->
+  ?prefer_cheap_links:bool ->
+  Topology.t ->
+  Spec.t ->
+  result
+(** [synthesize topo spec] runs [trials] (default 1) randomized syntheses
+    from [seed] (default 42) and keeps the schedule with the smallest
+    makespan. Supported patterns: All-Gather, Broadcast, Reduce-Scatter,
+    Reduce, All-Reduce.
+
+    [domains] (default 1) spreads the trials over that many parallel OCaml
+    domains — the multicore counterpart of the paper's 64-thread synthesis
+    runs; results are deterministic for a given [seed] regardless of
+    [domains].
+
+    [prefer_cheap_links] (default [true]) is the §IV-F heterogeneous-network
+    heuristic: idle links are matched cheapest-first. Turning it off matches
+    links in random order, the ablation of the bench harness. *)
+
+val verify : Topology.t -> result -> (unit, string) Stdlib.result
+(** Re-validate a synthesis result against its spec (physical legality +
+    pre/postconditions), dispatching to the right validator per pattern. *)

@@ -1,0 +1,36 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+
+type choice = {
+  chunks_per_npu : int;
+  result : Synthesizer.result;
+  simulated_time : float;
+}
+
+let simulated_time topo (result : Synthesizer.result) =
+  let chunk_size = Spec.chunk_size result.Synthesizer.spec in
+  let program =
+    Tacos_sim.Program.of_schedule ~chunk_size result.Synthesizer.schedule
+  in
+  (Tacos_sim.Engine.run topo program).Tacos_sim.Engine.finish_time
+
+let tune ?(seed = 42) ?(candidates = [ 1; 2; 4; 8; 16 ]) topo ~pattern ~size =
+  if candidates = [] then invalid_arg "Tuner.tune: no candidates";
+  let npus = Topology.num_npus topo in
+  let evaluate chunks_per_npu =
+    let spec = Spec.make ~chunks_per_npu ~buffer_size:size ~pattern ~npus () in
+    let result =
+      match pattern with
+      | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ ->
+        Router.synthesize ~seed topo spec
+      | _ -> Synthesizer.synthesize ~seed topo spec
+    in
+    { chunks_per_npu; result; simulated_time = simulated_time topo result }
+  in
+  List.fold_left
+    (fun best k ->
+      let candidate = evaluate k in
+      if candidate.simulated_time < best.simulated_time then candidate else best)
+    (evaluate (List.hd candidates))
+    (List.tl candidates)

@@ -1,0 +1,34 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+
+(** Chunk-granularity auto-tuning.
+
+    The chunks-per-NPU decomposition (§II-A) is TACOS' main quality knob:
+    coarse chunks waste scarce links on heterogeneous fabrics, overly fine
+    ones pay per-chunk latency (see the `ablation` bench). This tuner
+    synthesizes at several candidate granularities, replays each schedule
+    under the congestion-aware simulator, and keeps the fastest — what a
+    deployment would run once per (topology, collective) pair and cache. *)
+
+type choice = {
+  chunks_per_npu : int;
+  result : Synthesizer.result;
+  simulated_time : float;
+}
+
+val tune :
+  ?seed:int ->
+  ?candidates:int list ->
+  Topology.t ->
+  pattern:Pattern.t ->
+  size:float ->
+  choice
+(** [tune topo ~pattern ~size] tries [candidates] (default
+    [[1; 2; 4; 8; 16]]) and returns the best choice by simulated collective
+    time. Patterns routed by {!Router} (All-to-All, Gather, Scatter) are
+    tuned through it transparently. *)
+
+val simulated_time : Topology.t -> Synthesizer.result -> float
+(** Replay a synthesis result under the simulator backend (the paper's
+    measurement model). *)

@@ -1,0 +1,200 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+module Pq = Tacos_util.Pq
+
+type report = {
+  finish_time : float;
+  transfer_finish : float array;
+  link_bytes : float array;
+  link_busy : float array;
+  link_intervals : (float * float) list array;
+}
+
+(* A message in flight: which transfer it belongs to and the nodes still to
+   visit (excluding the node it currently sits at). *)
+type msg = { tid : int; mutable rest : int list }
+
+type event =
+  | Ready of int  (** transfer id became ready *)
+  | Link_free of int  (** link finished serializing; next message may start *)
+  | Hop_arrived of msg  (** message landed at the next node on its path *)
+
+type link_model = Pipelined_alpha | Blocking_alpha
+
+let run ?(model = Pipelined_alpha) ?routing_size topo program =
+  let transfers = Program.transfers program in
+  let nt = Array.length transfers in
+  (match Program.validate_acyclic program with
+  | Ok () -> ()
+  | Error e -> failwith ("Engine.run: " ^ e));
+  let routing_size =
+    match routing_size with
+    | Some s -> s
+    | None ->
+      if nt = 0 then 1.
+      else Float.max 1. (Program.total_bytes program /. float_of_int nt)
+  in
+  let routing = lazy (Routing.build topo ~size:routing_size) in
+  let m = Topology.num_links topo in
+  (* The link model follows the paper's analytical backend: a message holds
+     the link for its serialization delay β·size (one message at a time,
+     FCFS), and lands at the far end a propagation latency α after
+     serialization ends. α does not block the next message — this is what
+     lets latency-bound Direct beat Ring on a physical ring (Fig. 2b) while
+     bandwidth-bound traffic still queues. *)
+  let serialize = Array.make m 0. (* β, seconds per byte *) in
+  let latency = Array.make m 0. (* α, seconds *) in
+  List.iter
+    (fun (e : Topology.edge) ->
+      serialize.(e.id) <- Link.cost e.link 1. -. Link.cost e.link 0.;
+      latency.(e.id) <- Link.cost e.link 0.)
+    (Topology.edges topo);
+  (* Per-link FCFS server state. *)
+  let queue = Array.init m (fun _ -> Queue.create ()) in
+  let serving = Array.make m false in
+  let backlog = Array.make m 0. in
+  (* Stats. *)
+  let link_bytes = Array.make m 0. in
+  let link_busy = Array.make m 0. in
+  let link_intervals = Array.make m [] in
+  let transfer_finish = Array.make nt infinity in
+  (* Dependency bookkeeping. *)
+  let indeg = Array.make nt 0 in
+  let dependents = Array.make nt [] in
+  Array.iter
+    (fun (tr : Program.transfer) ->
+      indeg.(tr.id) <- List.length tr.deps;
+      List.iter (fun d -> dependents.(d) <- tr.id :: dependents.(d)) tr.deps)
+    transfers;
+  let events : event Pq.t = Pq.create () in
+  let start_service link (msg : msg) t =
+    serving.(link) <- true;
+    let size = transfers.(msg.tid).Program.size in
+    let hold =
+      match model with
+      | Pipelined_alpha -> serialize.(link) *. size
+      | Blocking_alpha -> latency.(link) +. (serialize.(link) *. size)
+    in
+    let arrive =
+      match model with
+      | Pipelined_alpha -> t +. hold +. latency.(link)
+      | Blocking_alpha -> t +. hold
+    in
+    link_bytes.(link) <- link_bytes.(link) +. size;
+    link_busy.(link) <- link_busy.(link) +. hold;
+    link_intervals.(link) <- (t, t +. hold) :: link_intervals.(link);
+    Pq.push events (t +. hold) (Link_free link);
+    Pq.push events arrive (Hop_arrived msg)
+  in
+  (* Hand a message to the least-backlogged parallel link towards its next
+     hop and start service if that link is idle. *)
+  let enqueue_hop (msg : msg) current t =
+    let next = match msg.rest with [] -> assert false | n :: _ -> n in
+    let candidates = Topology.find_links topo ~src:current ~dst:next in
+    let link =
+      match candidates with
+      | [] ->
+        failwith
+          (Printf.sprintf "Engine.run: route uses missing link %d->%d" current next)
+      | first :: rest ->
+        List.fold_left
+          (fun best (e : Topology.edge) ->
+            if backlog.(e.id) < backlog.(best) then e.id else best)
+          first.Topology.id rest
+    in
+    let hold = serialize.(link) *. transfers.(msg.tid).Program.size in
+    backlog.(link) <- Float.max backlog.(link) t +. hold;
+    if serving.(link) then Queue.push msg queue.(link) else start_service link msg t
+  in
+  let complete tid t =
+    transfer_finish.(tid) <- t;
+    List.iter
+      (fun d ->
+        indeg.(d) <- indeg.(d) - 1;
+        if indeg.(d) = 0 then Pq.push events t (Ready d))
+      dependents.(tid)
+  in
+  let launch tid t =
+    let tr = transfers.(tid) in
+    if tr.Program.src = tr.Program.dst then complete tid t
+    else begin
+      let path = Routing.path (Lazy.force routing) ~src:tr.Program.src ~dst:tr.Program.dst in
+      match path with
+      | [] | [ _ ] -> complete tid t
+      | _ :: rest ->
+        let msg = { tid; rest } in
+        enqueue_hop msg tr.Program.src t
+    end
+  in
+  Array.iter
+    (fun (tr : Program.transfer) ->
+      if indeg.(tr.id) = 0 then Pq.push events 0. (Ready tr.id))
+    transfers;
+  let finish_time = ref 0. in
+  let rec loop () =
+    match Pq.pop events with
+    | None -> ()
+    | Some (t, ev) ->
+      finish_time := Float.max !finish_time t;
+      (match ev with
+      | Ready tid -> launch tid t
+      | Link_free link -> (
+        serving.(link) <- false;
+        match Queue.take_opt queue.(link) with
+        | Some next_msg -> start_service link next_msg t
+        | None -> ())
+      | Hop_arrived msg -> (
+        match msg.rest with
+        | [] -> assert false
+        | [ _last ] -> complete msg.tid t
+        | arrived :: rest ->
+          msg.rest <- rest;
+          enqueue_hop msg arrived t));
+      loop ()
+  in
+  loop ();
+  Array.iteri
+    (fun tid f ->
+      if f = infinity then
+        failwith
+          (Printf.sprintf
+             "Engine.run: transfer %d (%s) never completed — cyclic dependencies?"
+             tid transfers.(tid).Program.tag))
+    transfer_finish;
+  {
+    finish_time = !finish_time;
+    transfer_finish;
+    link_bytes;
+    link_busy;
+    link_intervals = Array.map List.rev link_intervals;
+  }
+
+let utilization_timeline topo report ~bins =
+  if bins <= 0 then invalid_arg "Engine.utilization_timeline: bins must be positive";
+  let nlinks = float_of_int (Topology.num_links topo) in
+  let span = report.finish_time in
+  if span <= 0. then []
+  else begin
+    let width = span /. float_of_int bins in
+    let busy = Array.make bins 0. in
+    Array.iter
+      (List.iter (fun (s, f) ->
+           let lo = max 0 (int_of_float (s /. width)) in
+           let hi = min (bins - 1) (int_of_float (f /. width)) in
+           for b = lo to hi do
+             let bin_start = float_of_int b *. width in
+             let bin_end = bin_start +. width in
+             let overlap = Float.min f bin_end -. Float.max s bin_start in
+             if overlap > 0. then busy.(b) <- busy.(b) +. overlap
+           done))
+      report.link_intervals;
+    List.init bins (fun b ->
+        (float_of_int (b + 1) *. width, busy.(b) /. (nlinks *. width)))
+  end
+
+let average_utilization topo report =
+  if report.finish_time <= 0. then 0.
+  else begin
+    let total = Array.fold_left ( +. ) 0. report.link_busy in
+    total /. (float_of_int (Topology.num_links topo) *. report.finish_time)
+  end

@@ -1,0 +1,52 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+
+(** Congestion-aware analytical network simulator (§V-C).
+
+    The paper's evaluation backend models a message transfer "by simulating
+    the send and receive operations at the link granularity. Each link is
+    equipped with message queues and can process only one message at a time;
+    if two messages contend for the same link, only one is sent out in a
+    first-come, first-served order." This module is a from-scratch
+    discrete-event implementation of exactly that model:
+
+    - every physical link is a FCFS server with service time [α + β·size];
+    - a transfer between non-adjacent NPUs follows its static min-cost route,
+      store-and-forward at message granularity;
+    - parallel links between the same NPU pair are independent servers and a
+      hop picks the one with the least backlog;
+    - a transfer starts once all its dependencies completed.
+
+    Determinism: ties in the event queue resolve in insertion order, so runs
+    are exactly reproducible. *)
+
+type report = {
+  finish_time : float;
+  transfer_finish : float array;  (** completion time per transfer id *)
+  link_bytes : float array;  (** bytes carried per link id (Fig. 1) *)
+  link_busy : float array;  (** busy seconds per link id *)
+  link_intervals : (float * float) list array;
+      (** per link, the service intervals in time order (Figs. 16b / 18) *)
+}
+
+type link_model =
+  | Pipelined_alpha
+      (** β·size occupies the link, α is propagation latency overlapping the
+          next message's serialization — the default, required for the
+          latency-bound crossovers of Fig. 2(b) *)
+  | Blocking_alpha
+      (** the link is held for the full α + β·size — the naive reading of
+          the α-β model, kept for sensitivity analysis *)
+
+val run :
+  ?model:link_model -> ?routing_size:float -> Topology.t -> Program.t -> report
+(** Execute a program to completion. [routing_size] is the message size used
+    to cost routes (default: the program's mean transfer size), capturing
+    that latency- vs bandwidth-bound traffic may prefer different paths.
+    Raises [Failure] if the topology cannot route a required pair or the
+    program is cyclic. *)
+
+val utilization_timeline : Topology.t -> report -> bins:int -> (float * float) list
+(** Fraction of links busy per time bin, as in {!Tacos_collective.Schedule}. *)
+
+val average_utilization : Topology.t -> report -> float

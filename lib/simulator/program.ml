@@ -1,0 +1,69 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_collective
+
+type transfer = {
+  id : int;
+  tag : string;
+  src : int;
+  dst : int;
+  size : float;
+  deps : int list;
+}
+
+type t = { transfers : transfer array }
+type builder = { mutable rev : transfer list; mutable count : int }
+
+let builder () = { rev = []; count = 0 }
+
+let add b ?(tag = "") ?(deps = []) ~src ~dst ~size () =
+  if size < 0. then invalid_arg "Program.add: negative size";
+  List.iter
+    (fun d ->
+      if d < 0 || d >= b.count then invalid_arg "Program.add: dangling dependency")
+    deps;
+  let id = b.count in
+  b.rev <- { id; tag; src; dst; size; deps } :: b.rev;
+  b.count <- b.count + 1;
+  id
+
+let barrier b deps npu = [ add b ~tag:"barrier" ~deps ~src:npu ~dst:npu ~size:0. () ]
+let build b = { transfers = Array.of_list (List.rev b.rev) }
+let transfers t = t.transfers
+let num_transfers t = Array.length t.transfers
+
+let total_bytes t =
+  Array.fold_left (fun acc tr -> acc +. tr.size) 0. t.transfers
+
+let validate_acyclic t =
+  (* deps always point backwards by construction of [add], so the graph is
+     acyclic unless someone forged a transfer; still, verify explicitly. *)
+  let ok = ref true in
+  Array.iter
+    (fun tr -> List.iter (fun d -> if d >= tr.id then ok := false) tr.deps)
+    t.transfers;
+  if !ok then Ok () else Error "dependency does not point to an earlier transfer"
+
+let of_schedule ~chunk_size (sched : Schedule.t) =
+  let b = builder () in
+  (* Sends are already sorted by start time, so every delivery of a chunk to
+     a node appears before any send that forwards it. A send depends on all
+     earlier arrivals of its chunk at its source: one arrival for gather-side
+     phases, several for the time-mirrored reduction phases (where partial
+     contributions converge before the combined value moves on). *)
+  let delivered = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Schedule.send) ->
+      let deps =
+        Option.value ~default:[] (Hashtbl.find_opt delivered (s.src, s.chunk))
+      in
+      let id =
+        add b
+          ~tag:(Printf.sprintf "chunk%d" s.chunk)
+          ~deps ~src:s.src ~dst:s.dst ~size:chunk_size ()
+      in
+      let at_dst =
+        Option.value ~default:[] (Hashtbl.find_opt delivered (s.dst, s.chunk))
+      in
+      Hashtbl.replace delivered (s.dst, s.chunk) (id :: at_dst))
+    sched.Schedule.sends;
+  build b

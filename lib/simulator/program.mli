@@ -1,0 +1,61 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_collective
+
+(** Logical collective programs: what a CCL would hand to the network.
+
+    A program is a dependency graph of point-to-point transfers. Unlike a
+    {!Tacos_collective.Schedule.t} — which pins every send to a physical link
+    and an exact time — a program only fixes *what* is sent between which NPU
+    pair and *after* which other transfers; the congestion-aware simulator
+    decides the actual timing (and, for non-neighbor pairs, the multi-hop
+    route). This is the natural representation for the topology-unaware
+    baseline algorithms of §V-A, whose over/undersubscription the paper
+    measures. *)
+
+type transfer = private {
+  id : int;
+  tag : string;  (** free-form label for diagnostics *)
+  src : int;
+  dst : int;
+  size : float;  (** bytes *)
+  deps : int list;  (** transfers that must complete before this one starts *)
+}
+
+type t
+
+(** {1 Building} *)
+
+type builder
+
+val builder : unit -> builder
+
+val add :
+  builder -> ?tag:string -> ?deps:int list -> src:int -> dst:int -> size:float -> unit -> int
+(** Append a transfer; returns its id (ids are dense, starting at 0). [deps]
+    must reference already-added transfers. [src = dst] is allowed and
+    completes instantly once its deps do (a local reduction step). Raises
+    [Invalid_argument] on negative size or dangling deps. *)
+
+val barrier : builder -> int list -> int -> int list
+(** [barrier b deps npu] is a convenience no-op transfer on [npu] depending
+    on [deps]; returns a single-element dep list for subsequent phases. *)
+
+val build : builder -> t
+
+(** {1 Inspection} *)
+
+val transfers : t -> transfer array
+val num_transfers : t -> int
+val total_bytes : t -> float
+
+val validate_acyclic : t -> (unit, string) result
+(** Check the dependency graph has no cycles (a cyclic program would
+    deadlock the simulator). *)
+
+val of_schedule : chunk_size:float -> Schedule.t -> t
+(** Re-express a synthesized schedule as a program: each send becomes a
+    single-hop transfer of [chunk_size] bytes depending on every earlier
+    send that delivered its chunk to the source (all of them, so the
+    converge-then-forward structure of time-mirrored reduction phases is
+    preserved). This is how synthesized algorithms are evaluated under the
+    same simulator backend as the baselines (§V-C). *)

@@ -1,0 +1,257 @@
+open Topology
+
+let ring ?(link = Link.default) ?(bidirectional = true) n =
+  let t = create ~name:(Printf.sprintf "Ring-%d%s" n (if bidirectional then "" else "-uni")) n in
+  if n = 2 && bidirectional then add_bidir t 0 1 link
+  else
+    for i = 0 to n - 1 do
+      let j = (i + 1) mod n in
+      if n > 1 then begin
+        ignore (add_link t ~src:i ~dst:j link);
+        if bidirectional then ignore (add_link t ~src:j ~dst:i link)
+      end
+    done;
+  set_hierarchy t [| { kind = Ring_dim; size = n; link } |];
+  (* Record the forward embedding only; the Ring baseline derives the
+     reverse orientation itself when running bidirectionally. *)
+  set_rings t [ Array.init n Fun.id ];
+  t
+
+let fully_connected ?(link = Link.default) n =
+  let t = create ~name:(Printf.sprintf "FullyConnected-%d" n) n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then ignore (add_link t ~src:i ~dst:j link)
+    done
+  done;
+  set_hierarchy t [| { kind = Fully_connected_dim; size = n; link } |];
+  t
+
+let connect_group t kind link members =
+  let m = Array.of_list members in
+  let s = Array.length m in
+  if s > 1 then
+    match kind with
+    | Ring_dim ->
+      if s = 2 then add_bidir t m.(0) m.(1) link
+      else
+        for k = 0 to s - 1 do
+          add_bidir t m.(k) m.((k + 1) mod s) link
+        done
+    | Mesh_dim ->
+      for k = 0 to s - 2 do
+        add_bidir t m.(k) m.(k + 1) link
+      done
+    | Fully_connected_dim ->
+      for a = 0 to s - 1 do
+        for b = 0 to s - 1 do
+          if a <> b then ignore (add_link t ~src:m.(a) ~dst:m.(b) link)
+        done
+      done
+    | Switch_dim d ->
+      if d < 1 || d > s - 1 then invalid_arg "Builders: switch degree out of range";
+      let unwound = Link.scale_beta link (float_of_int d) in
+      for a = 0 to s - 1 do
+        for k = 1 to d do
+          ignore (add_link t ~src:m.(a) ~dst:m.((a + k) mod s) unwound)
+        done
+      done
+
+let hierarchical ?name dims =
+  let n = Array.fold_left (fun acc d -> acc * d.size) 1 dims in
+  let name =
+    match name with
+    | Some s -> s
+    | None ->
+      let dim_name d =
+        let kind =
+          match d.kind with
+          | Ring_dim -> "R"
+          | Mesh_dim -> "M"
+          | Fully_connected_dim -> "F"
+          | Switch_dim deg -> Printf.sprintf "S%d" deg
+        in
+        Printf.sprintf "%s%d" kind d.size
+      in
+      "Hier-" ^ String.concat "x" (Array.to_list (Array.map dim_name dims))
+  in
+  let t = create ~name n in
+  set_hierarchy t dims;
+  (* For each dimension, enumerate the groups of nodes that differ only in
+     that coordinate and wire them up. *)
+  Array.iteri
+    (fun dim_idx dim ->
+      let seen = Array.make n false in
+      for v = 0 to n - 1 do
+        if not seen.(v) then begin
+          let group = dim_group t ~dim:dim_idx v in
+          List.iter (fun u -> seen.(u) <- true) group;
+          connect_group t dim.kind dim.link group
+        end
+      done)
+    dims;
+  (* Cut hints for the ideal bound: one coordinate-slab per dimension value
+     — the subsets whose ingress can bottleneck a collective when the
+     dimensions have unequal bandwidths. *)
+  let slabs =
+    List.concat
+      (List.init (Array.length dims) (fun dim_idx ->
+           if dims.(dim_idx).size < 2 || dims.(dim_idx).size = n then []
+           else
+             List.init dims.(dim_idx).size (fun k ->
+                 List.filter (fun v -> (coords t v).(dim_idx) = k) (List.init n Fun.id))))
+  in
+  set_cut_hints t slabs;
+  t
+
+let mesh ?(link = Link.default) sizes =
+  let dims = Array.map (fun size -> { kind = Mesh_dim; size; link }) sizes in
+  let name =
+    Printf.sprintf "%dD-Mesh-%s" (Array.length sizes)
+      (String.concat "x" (Array.to_list (Array.map string_of_int sizes)))
+  in
+  hierarchical ~name dims
+
+let torus ?(link = Link.default) sizes =
+  let dims = Array.map (fun size -> { kind = Ring_dim; size; link }) sizes in
+  let name =
+    Printf.sprintf "%dD-Torus-%s" (Array.length sizes)
+      (String.concat "x" (Array.to_list (Array.map string_of_int sizes)))
+  in
+  hierarchical ~name dims
+
+let hypercube ?(link = Link.default) k =
+  if k < 1 then invalid_arg "Builders.hypercube: need k >= 1";
+  let dims = Array.init k (fun _ -> { kind = Ring_dim; size = 2; link }) in
+  hierarchical ~name:(Printf.sprintf "Hypercube-%d" k) dims
+
+let switch ?(link = Link.default) ~degree n =
+  hierarchical
+    ~name:(Printf.sprintf "Switch-%d-d%d" n degree)
+    [| { kind = Switch_dim degree; size = n; link } |]
+
+let two_level_switch ?(alpha = 0.5e-6) ~bw:(bw0, bw1) (s0, s1) =
+  hierarchical
+    ~name:(Printf.sprintf "2D-Switch-%dx%d" s0 s1)
+    [|
+      { kind = Switch_dim 1; size = s0; link = Link.of_bandwidth ~alpha bw0 };
+      { kind = Switch_dim 1; size = s1; link = Link.of_bandwidth ~alpha bw1 };
+    |]
+
+let rfs3d ?(alpha = 0.5e-6) ~bw:(bw0, bw1, bw2) (r, f, s) =
+  hierarchical
+    ~name:(Printf.sprintf "3D-RFS-%dx%dx%d" r f s)
+    [|
+      { kind = Ring_dim; size = r; link = Link.of_bandwidth ~alpha bw0 };
+      { kind = Fully_connected_dim; size = f; link = Link.of_bandwidth ~alpha bw1 };
+      { kind = Switch_dim 1; size = s; link = Link.of_bandwidth ~alpha bw2 };
+    |]
+
+let dragonfly ?(alpha = 0.5e-6) ?(groups = 4) ?(group_size = 5) ~bw:(bw_local, bw_global) () =
+  if groups - 1 > group_size then
+    invalid_arg "Builders.dragonfly: not enough members to host global links";
+  let n = groups * group_size in
+  let t = create ~name:(Printf.sprintf "DragonFly-%dx%d" groups group_size) n in
+  let node g m = (g * group_size) + m in
+  let local = Link.of_bandwidth ~alpha bw_local in
+  let global = Link.of_bandwidth ~alpha bw_global in
+  for g = 0 to groups - 1 do
+    for a = 0 to group_size - 1 do
+      for b = 0 to group_size - 1 do
+        if a <> b then ignore (add_link t ~src:(node g a) ~dst:(node g b) local)
+      done
+    done
+  done;
+  (* One global link per group pair, hosted on distinct members: group [g]'s
+     link towards group [h] sits on local member [h] (skipping g itself), so
+     the last members of each group carry no global traffic — the topology is
+     asymmetric as well as heterogeneous. *)
+  let host g h = if h < g then h else h - 1 in
+  for g = 0 to groups - 1 do
+    for h = g + 1 to groups - 1 do
+      add_bidir t (node g (host g h)) (node h (host h g)) global
+    done
+  done;
+  (* The sparse global links make whole groups the bottleneck subsets. *)
+  set_cut_hints t
+    (List.init groups (fun g -> List.init group_size (fun m -> node g m)));
+  t
+
+let flattened_butterfly ?(link = Link.default) sizes =
+  let dims = Array.map (fun size -> { kind = Fully_connected_dim; size; link }) sizes in
+  let name =
+    Printf.sprintf "FlattenedButterfly-%s"
+      (String.concat "x" (Array.to_list (Array.map string_of_int sizes)))
+  in
+  hierarchical ~name dims
+
+let slimfly ?(link = Link.default) () =
+  (* McKay–Miller–Širáň graph for q = 5 (δ = 1): vertices (side, x, y) with
+     side ∈ {0,1} and x, y ∈ F_5. Quadratic residues X = {1,4} connect rows
+     within side 0, non-residues X' = {2,3} within side 1, and (0,x,y) ~
+     (1,m,c) iff y = m·x + c. 50 NPUs, degree 7, diameter 2. *)
+  let q = 5 in
+  let residues = [ 1; 4 ] and non_residues = [ 2; 3 ] in
+  let t = create ~name:"SlimFly-MMS-q5" (2 * q * q) in
+  let node side x y = (side * q * q) + (x * q) + y in
+  for x = 0 to q - 1 do
+    for y = 0 to q - 1 do
+      for y' = 0 to q - 1 do
+        (* Add each undirected pair once: difference in the generator set
+           and y < y' (the sets are symmetric: g in X iff -g in X). *)
+        if y < y' then begin
+          if List.mem ((y' - y + q) mod q) residues then
+            add_bidir t (node 0 x y) (node 0 x y') link;
+          if List.mem ((y' - y + q) mod q) non_residues then
+            add_bidir t (node 1 x y) (node 1 x y') link
+        end
+      done
+    done
+  done;
+  for x = 0 to q - 1 do
+    for y = 0 to q - 1 do
+      for m = 0 to q - 1 do
+        let c = ((y - (m * x)) mod q + q) mod q in
+        add_bidir t (node 0 x y) (node 1 m c) link
+      done
+    done
+  done;
+  t
+
+let tofu ?(link = Link.default) (x, y, z) =
+  let name = Printf.sprintf "Tofu-%dx%dx%dx2x3x2" x y z in
+  hierarchical ~name
+    (Array.map
+       (fun size -> { kind = Ring_dim; size; link })
+       [| x; y; z; 2; 3; 2 |])
+
+let dgx1 ?(link = Link.of_bandwidth ~alpha:0.7e-6 25e9) () =
+  let t = create ~name:"DGX-1" 8 in
+  (* Hybrid cube-mesh NVLink multiset of the DGX-1V: 6 links per GPU,
+     doubled links represented as parallel edges. *)
+  let nvlinks =
+    [
+      (0, 1, 1); (0, 2, 1); (0, 3, 2); (0, 4, 2);
+      (1, 2, 2); (1, 3, 1); (1, 5, 2);
+      (2, 3, 2); (2, 6, 1);
+      (3, 7, 1);
+      (4, 5, 1); (4, 6, 1); (4, 7, 2);
+      (5, 6, 2); (5, 7, 1);
+      (6, 7, 2);
+    ]
+  in
+  List.iter
+    (fun (a, b, mult) ->
+      for _ = 1 to mult do
+        add_bidir t a b link
+      done)
+    nvlinks;
+  (* Three edge-disjoint bidirectional Hamiltonian rings covering all 24
+     NVLinks — the decomposition an NCCL-style multi-ring All-Reduce uses. *)
+  set_rings t
+    [
+      [| 0; 1; 2; 3; 7; 6; 5; 4 |];
+      [| 0; 3; 2; 1; 5; 6; 7; 4 |];
+      [| 0; 2; 6; 4; 7; 5; 1; 3 |];
+    ];
+  t

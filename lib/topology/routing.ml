@@ -1,0 +1,74 @@
+type table = {
+  n : int;
+  next : int array array; (* next.(dst).(src) = neighbor towards dst *)
+  dist : float array array; (* dist.(dst).(src) = min cost src->dst *)
+}
+
+module Pq = Set.Make (struct
+  type t = float * int
+
+  let compare = compare
+end)
+
+(* Dijkstra towards [dst] over reversed edges: settles the cost of every
+   node's best path to [dst] and the first hop on that path. *)
+let dijkstra_to topo size dst =
+  let n = Topology.num_npus topo in
+  let dist = Array.make n infinity in
+  let next = Array.make n (-1) in
+  dist.(dst) <- 0.;
+  let pq = ref (Pq.singleton (0., dst)) in
+  while not (Pq.is_empty !pq) do
+    let ((d, v) as elt) = Pq.min_elt !pq in
+    pq := Pq.remove elt !pq;
+    if d <= dist.(v) then
+      List.iter
+        (fun e ->
+          let u = e.Topology.src in
+          let nd = d +. Link.cost e.Topology.link size in
+          if nd < dist.(u) then begin
+            dist.(u) <- nd;
+            next.(u) <- v;
+            pq := Pq.add (nd, u) !pq
+          end)
+        (Topology.in_edges topo v)
+  done;
+  Array.iteri
+    (fun v d ->
+      if d = infinity then
+        failwith
+          (Printf.sprintf "Routing.build: NPU %d cannot reach NPU %d" v dst))
+    dist;
+  (dist, next)
+
+let build topo ~size =
+  let n = Topology.num_npus topo in
+  let dist = Array.make n [||] and next = Array.make n [||] in
+  for d = 0 to n - 1 do
+    let dd, nn = dijkstra_to topo size d in
+    dist.(d) <- dd;
+    next.(d) <- nn
+  done;
+  { n; next; dist }
+
+let check t src dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Routing: NPU out of range"
+
+let next_hop t ~src ~dst =
+  check t src dst;
+  if src = dst then invalid_arg "Routing.next_hop: src = dst";
+  t.next.(dst).(src)
+
+let path t ~src ~dst =
+  check t src dst;
+  let rec go v acc =
+    if v = dst then List.rev (v :: acc) else go t.next.(dst).(v) (v :: acc)
+  in
+  go src []
+
+let path_cost t ~src ~dst =
+  check t src dst;
+  t.dist.(dst).(src)
+
+let hop_count t ~src ~dst = List.length (path t ~src ~dst) - 1

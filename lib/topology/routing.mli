@@ -1,0 +1,29 @@
+(** Static shortest-path routing over a topology.
+
+    Topology-unaware baselines (Direct, RHD, DBT, a logical ring mapped onto
+    an arbitrary physical network, ...) schedule transfers between NPU pairs
+    that may not share a physical link; the simulator routes each such
+    transfer over the static min-cost path, hop by hop (store-and-forward),
+    which is what exposes the over/undersubscription the paper measures
+    (Fig. 1, Fig. 2a).
+
+    Path costs use the α-β link model at a given message size, so latency- vs
+    bandwidth-dominated routing regimes are both represented. *)
+
+type table
+
+val build : Topology.t -> size:float -> table
+(** All-pairs next-hop table via one Dijkstra per destination. Raises
+    [Failure] if the topology is not strongly connected. *)
+
+val next_hop : table -> src:int -> dst:int -> int
+(** The neighbor [src] forwards to on the way to [dst]. Meaningless (raises
+    [Invalid_argument]) when [src = dst]. *)
+
+val path : table -> src:int -> dst:int -> int list
+(** Node sequence from [src] to [dst], inclusive; [[src]] when equal. *)
+
+val path_cost : table -> src:int -> dst:int -> float
+(** Total min-path cost at the table's message size. *)
+
+val hop_count : table -> src:int -> dst:int -> int

@@ -1,0 +1,55 @@
+type t = { mutable data : float array; mutable size : int }
+
+let create () = { data = Array.make 16 0.; size = 0 }
+let is_empty t = t.size = 0
+let size t = t.size
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let push t x =
+  if t.size = Array.length t.data then begin
+    let bigger = Array.make (2 * t.size) 0. in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  let i = ref (t.size - 1) in
+  while !i > 0 && t.data.((!i - 1) / 2) > t.data.(!i) do
+    swap t ((!i - 1) / 2) !i;
+    i := (!i - 1) / 2
+  done
+
+let peek t =
+  if t.size = 0 then invalid_arg "Fheap.peek: empty";
+  t.data.(0)
+
+let pop t =
+  if t.size = 0 then invalid_arg "Fheap.pop: empty";
+  let root = t.data.(0) in
+  t.size <- t.size - 1;
+  t.data.(0) <- t.data.(t.size);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && t.data.(l) < t.data.(!smallest) then smallest := l;
+    if r < t.size && t.data.(r) < t.data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      swap t !i !smallest;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  root
+
+let rec pop_above t x =
+  if is_empty t then None
+  else begin
+    let v = pop t in
+    if v > x then Some v else pop_above t x
+  end

@@ -1,0 +1,20 @@
+(** Minimal binary min-heap over floats, used as the event queue of the
+    synthesizer and the network simulator. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val size : t -> int
+val push : t -> float -> unit
+
+val pop : t -> float
+(** Remove and return the smallest element. Raises [Invalid_argument] when
+    empty. *)
+
+val peek : t -> float
+
+val pop_above : t -> float -> float option
+(** [pop_above t x] discards every element [<= x] and pops the first element
+    strictly greater, if any — the "advance to the next distinct event time"
+    step. *)

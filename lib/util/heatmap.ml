@@ -1,0 +1,55 @@
+let ramp = " .:-=+*%@"
+
+let ramp_char v =
+  let v = Float.max 0. (Float.min 1. v) in
+  let idx = int_of_float (v *. float_of_int (String.length ramp - 1) +. 0.5) in
+  ramp.[idx]
+
+let render ?labels m =
+  let rows = Array.length m in
+  let cols = if rows = 0 then 0 else Array.length m.(0) in
+  let maxv =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc -> function Some v -> Float.max acc v | None -> acc)
+          acc row)
+      0. m
+  in
+  let label i =
+    match labels with
+    | Some l when i < Array.length l -> l.(i)
+    | _ -> string_of_int i
+  in
+  let width =
+    let w = ref 0 in
+    for i = 0 to rows - 1 do
+      w := max !w (String.length (label i))
+    done;
+    !w
+  in
+  let buf = Buffer.create ((rows + 2) * (cols + width + 4)) in
+  Buffer.add_string buf (String.make (width + 2) ' ');
+  for j = 0 to cols - 1 do
+    Buffer.add_char buf (if j mod 10 = 0 then Char.chr (Char.code '0' + j / 10 mod 10) else ' ')
+  done;
+  Buffer.add_char buf '\n';
+  for i = 0 to rows - 1 do
+    let l = label i in
+    Buffer.add_string buf l;
+    Buffer.add_string buf (String.make (width - String.length l + 1) ' ');
+    Buffer.add_char buf '|';
+    for j = 0 to cols - 1 do
+      let c =
+        match m.(i).(j) with
+        | None -> '#'
+        | Some v -> if maxv <= 0. then ' ' else ramp_char (v /. maxv)
+      in
+      Buffer.add_char buf c
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "scale: ' '(0) .. '@'(max=%s/link), '#'=no link\n"
+       (Units.bytes_pp maxv));
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 8) () = { data = Array.make (max 1 capacity) 0; len = 0 }
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ivec.get: index out of range";
+  t.data.(i)
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let swap_remove t i =
+  if i < 0 || i >= t.len then invalid_arg "Ivec.swap_remove: index out of range";
+  t.len <- t.len - 1;
+  if i = t.len then -1
+  else begin
+    t.data.(i) <- t.data.(t.len);
+    t.data.(i)
+  end
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let exists_from t ~start p =
+  if t.len = 0 then -1
+  else begin
+    let start = ((start mod t.len) + t.len) mod t.len in
+    let rec go i remaining =
+      if remaining = 0 then -1
+      else if p t.data.(i) then i
+      else go (if i + 1 = t.len then 0 else i + 1) (remaining - 1)
+    in
+    go start t.len
+  end

@@ -1,0 +1,59 @@
+type 'a entry = { key : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let size t = t.size
+
+let less a b = if a.key = b.key then a.seq < b.seq else a.key < b.key
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let push t key payload =
+  let entry = { key; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.data = 0 then t.data <- Array.make 16 entry
+  else if t.size = Array.length t.data then begin
+    let bigger = Array.make (2 * t.size) entry in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  let i = ref (t.size - 1) in
+  while !i > 0 && less t.data.(!i) t.data.((!i - 1) / 2) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let root = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+      if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        swap t !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some (root.key, root.payload)
+  end
+
+let peek_key t = if t.size = 0 then None else Some t.data.(0).key

@@ -1,0 +1,12 @@
+(** Binary min-heap keyed by float with an arbitrary payload — the event
+    queue of the discrete-event network simulator. Ties are popped in
+    insertion order, which gives the simulator deterministic FCFS behavior. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+val peek_key : 'a t -> float option

@@ -1,0 +1,63 @@
+let check_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | _ -> ()
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  check_nonempty "Stats.geomean" xs;
+  List.iter (fun x -> if x <= 0. then invalid_arg "Stats.geomean: nonpositive") xs;
+  exp (mean (List.map log xs))
+
+let stddev xs =
+  check_nonempty "Stats.stddev" xs;
+  let m = mean xs in
+  sqrt (mean (List.map (fun x -> (x -. m) ** 2.) xs))
+
+let minimum xs =
+  check_nonempty "Stats.minimum" xs;
+  List.fold_left min infinity xs
+
+let maximum xs =
+  check_nonempty "Stats.maximum" xs;
+  List.fold_left max neg_infinity xs
+
+let percentile p xs =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+  end
+
+let linear_fit points =
+  check_nonempty "Stats.linear_fit" points;
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0. points in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0. points in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0. points in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0. points in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x";
+  let b = ((n *. sxy) -. (sx *. sy)) /. denom in
+  let a = (sy -. (b *. sx)) /. n in
+  (a, b)
+
+let loglog_exponent points =
+  let logged =
+    List.map
+      (fun (x, y) ->
+        if x <= 0. || y <= 0. then invalid_arg "Stats.loglog_exponent: nonpositive";
+        (log x, log y))
+      points
+  in
+  snd (linear_fit logged)

@@ -1,0 +1,94 @@
+type layer = {
+  name : string;
+  fwd_flops : float;
+  bwd_flops : float;
+  weight_grad_bytes : float;
+  input_grad_bytes : float;
+}
+
+type t = { name : string; layers : layer list }
+
+(* Gradients travel in fp16 (2 bytes/parameter), the common mixed-precision
+   setup of the cited systems. *)
+let grad_bytes params = 2. *. params
+
+(* The backward pass costs roughly twice the forward pass (weight and input
+   gradient GEMMs). *)
+let layer ?(input_grad_bytes = 0.) name ~fwd_flops ~params =
+  {
+    name;
+    fwd_flops;
+    bwd_flops = 2. *. fwd_flops;
+    weight_grad_bytes = grad_bytes params;
+    input_grad_bytes;
+  }
+
+let repeat prefix count make = List.init count (fun i -> make (Printf.sprintf "%s%d" prefix i))
+
+let gnmt =
+  (* 8 encoder + 8 decoder LSTM layers of ~1024 hidden, ~24 M parameters
+     each at the embedding-heavy ends; per-NPU batch 64, sequence 50:
+     2 * params * tokens FLOPs per layer forward. *)
+  let tokens = 64. *. 50. in
+  let lstm name params =
+    layer name ~fwd_flops:(2. *. params *. tokens) ~params
+  in
+  {
+    name = "GNMT";
+    layers =
+      (lstm "embed-src" 33e6 :: repeat "enc" 8 (fun n -> lstm n 17e6))
+      @ repeat "dec" 8 (fun n -> lstm n 17e6)
+      @ [ lstm "embed-dst+softmax" 41e6 ];
+  }
+
+let resnet50 =
+  (* 25.6 M parameters, 4.1 GFLOP forward per image, batch 32. The four
+     stages carry most of the weight; activations shrink as channels grow. *)
+  let batch = 32. in
+  let conv name ~params ~flops_per_image ~acts =
+    layer name
+      ~fwd_flops:(flops_per_image *. batch)
+      ~params ~input_grad_bytes:(acts *. batch)
+  in
+  {
+    name = "ResNet-50";
+    layers =
+      [
+        conv "stem" ~params:0.1e6 ~flops_per_image:0.24e9 ~acts:3.2e6;
+        conv "stage1" ~params:0.9e6 ~flops_per_image:0.86e9 ~acts:2.4e6;
+        conv "stage2" ~params:3.5e6 ~flops_per_image:1.0e9 ~acts:1.2e6;
+        conv "stage3" ~params:10.6e6 ~flops_per_image:1.3e9 ~acts:0.6e6;
+        conv "stage4" ~params:10.5e6 ~flops_per_image:0.7e9 ~acts:0.3e6;
+      ];
+  }
+
+(* Transformer stacks: per-layer parameters 12 h^2; forward FLOPs per token
+   ~ 2 * params. Gradients are sharded across the model-parallel group
+   ([shards]), which is what the data-parallel All-Reduce then moves; the
+   tensor-parallel activation traffic surfaces as input-gradient bytes. *)
+let transformer ~name ~hidden ~num_layers ~tokens ~shards ~seq_bytes =
+  let params_per_layer = 12. *. hidden *. hidden in
+  let block n =
+    {
+      name = n;
+      fwd_flops = 2. *. params_per_layer *. tokens /. shards;
+      bwd_flops = 4. *. params_per_layer *. tokens /. shards;
+      weight_grad_bytes = grad_bytes (params_per_layer /. shards);
+      input_grad_bytes = seq_bytes;
+    }
+  in
+  { name; layers = repeat "block" num_layers block }
+
+let turing_nlg =
+  transformer ~name:"Turing-NLG" ~hidden:4256. ~num_layers:78 ~tokens:1024.
+    ~shards:16. ~seq_bytes:(2. *. 1024. *. 4256.)
+
+let msft_1t =
+  transformer ~name:"MSFT-1T" ~hidden:25600. ~num_layers:128 ~tokens:1024.
+    ~shards:512. ~seq_bytes:(2. *. 1024. *. 25600.)
+
+let sum f t = List.fold_left (fun acc l -> acc +. f l) 0. t.layers
+let total_fwd_flops = sum (fun l -> l.fwd_flops)
+let total_bwd_flops = sum (fun l -> l.bwd_flops)
+let total_weight_grad_bytes = sum (fun l -> l.weight_grad_bytes)
+let total_input_grad_bytes = sum (fun l -> l.input_grad_bytes)

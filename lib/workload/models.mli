@@ -1,0 +1,41 @@
+(** Layer-granularity descriptions of the DNN workloads of §VI-D.
+
+    Each layer carries forward/backward FLOP counts for one training
+    iteration at the stated per-NPU batch, plus the gradient traffic it
+    contributes: [weight_grad_bytes] is all-reduced across the data-parallel
+    group at the end of the backward pass, [input_grad_bytes] is the
+    activation-gradient traffic exposed by the hybrid (tensor/pipeline)
+    parallelization of the larger models. Parameter counts follow the cited
+    model papers; FLOPs are standard per-iteration estimates. Absolute
+    numbers only set the compute:communication ratio — the experiments
+    report times normalized to TACOS, exactly like Figs. 20-21. *)
+
+type layer = {
+  name : string;
+  fwd_flops : float;
+  bwd_flops : float;
+  weight_grad_bytes : float;
+  input_grad_bytes : float;
+}
+
+type t = { name : string; layers : layer list }
+
+val gnmt : t
+(** GNMT [60]: 8-layer seq2seq LSTM stack, ~210 M parameters, per-NPU batch
+    of 64 sentences. *)
+
+val resnet50 : t
+(** ResNet-50 [61]: 25.6 M parameters, per-NPU batch of 32 images. *)
+
+val turing_nlg : t
+(** Turing-NLG [62]: 17 B parameters, 78 transformer layers; gradients
+    sharded over a model-parallel group of 16, per-NPU batch of 1 sequence. *)
+
+val msft_1t : t
+(** MSFT-1T [6]: 1 T parameters, 128 transformer layers; gradients sharded
+    over a model-parallel group of 512. *)
+
+val total_fwd_flops : t -> float
+val total_bwd_flops : t -> float
+val total_weight_grad_bytes : t -> float
+val total_input_grad_bytes : t -> float

@@ -1,0 +1,50 @@
+type t = {
+  fwd_compute : float;
+  bwd_compute : float;
+  comm_busy : float;
+  exposed_comm : float;
+  iteration_time : float;
+  buckets : int;
+}
+
+let iteration ?npu ?(bucket_bytes = infinity) model (backend : Training.backend) =
+  if bucket_bytes <= 0. then invalid_arg "Overlap.iteration: bucket_bytes must be positive";
+  let fwd_compute, bwd_compute = Training.compute_time ?npu model in
+  let total_bwd_flops = Models.total_bwd_flops model in
+  (* Walk the layers in reverse; clock advances with backward compute. *)
+  let clock = ref fwd_compute in
+  let network_free = ref !clock in
+  let comm_busy = ref 0. in
+  let buckets = ref 0 in
+  let pending = ref 0. in
+  let flush () =
+    if !pending > 0. then begin
+      let service = Training.all_reduce backend !pending in
+      let start = Float.max !clock !network_free in
+      network_free := start +. service;
+      comm_busy := !comm_busy +. service;
+      incr buckets;
+      pending := 0.
+    end
+  in
+  List.iter
+    (fun (layer : Models.layer) ->
+      (* This layer's slice of the backward pass completes... *)
+      clock := !clock +. (bwd_compute *. layer.Models.bwd_flops /. total_bwd_flops);
+      (* ...making its gradients available for bucketing. *)
+      pending := !pending +. layer.Models.weight_grad_bytes;
+      if !pending >= bucket_bytes then flush ())
+    (List.rev model.Models.layers);
+  flush ();
+  (* Input-gradient traffic (hybrid parallelism) is not overlappable here. *)
+  let input_grads = Models.total_input_grad_bytes model in
+  let input_comm = if input_grads > 0. then Training.all_reduce backend input_grads else 0. in
+  let iteration_time = Float.max !clock !network_free +. input_comm in
+  {
+    fwd_compute;
+    bwd_compute;
+    comm_busy = !comm_busy +. input_comm;
+    exposed_comm = iteration_time -. fwd_compute -. bwd_compute;
+    iteration_time;
+    buckets = !buckets;
+  }

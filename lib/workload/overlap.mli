@@ -1,0 +1,36 @@
+(** Gradient-bucketed communication/computation overlap.
+
+    Figs. 20-21 charge the full gradient All-Reduce as *exposed* time, the
+    data-parallel worst case ("communication becomes exposed at the end of
+    each training iteration", §VI-D). Real frameworks overlap it: as the
+    backward pass produces gradients layer by layer, they accumulate into
+    buckets, and each full bucket's All-Reduce is issued while the remaining
+    backward compute proceeds. This module models that timeline:
+
+    - backward runs through the model's layers in reverse, each taking its
+      share of backward compute time;
+    - a finished layer adds its weight gradients to the current bucket; when
+      the bucket reaches [bucket_bytes] (or the pass ends) an All-Reduce of
+      the bucket is issued;
+    - the network serves All-Reduces one at a time, FIFO (collectives over
+      the same fabric serialize);
+    - the iteration ends when both the backward pass and the last
+      All-Reduce finish.
+
+    Smaller buckets expose less communication — until per-collective latency
+    overhead dominates, the classic bucket-size tradeoff. *)
+
+type t = {
+  fwd_compute : float;
+  bwd_compute : float;
+  comm_busy : float;  (** total network time across bucket All-Reduces *)
+  exposed_comm : float;  (** iteration time beyond pure compute *)
+  iteration_time : float;
+  buckets : int;
+}
+
+val iteration :
+  ?npu:Training.npu -> ?bucket_bytes:float -> Models.t -> Training.backend -> t
+(** [bucket_bytes] defaults to [infinity] — a single unbucketed All-Reduce,
+    which reduces to {!Training.iteration}'s fully exposed model (plus any
+    input-gradient traffic, which stays unoverlapped). *)

@@ -1,0 +1,96 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_collective
+
+type t = Data_parallel | Tensor_parallel | Fsdp | Zero | Hybrid
+
+let name = function
+  | Data_parallel -> "Data parallelism"
+  | Tensor_parallel -> "Tensor parallelism"
+  | Fsdp -> "FSDP"
+  | Zero -> "ZeRO"
+  | Hybrid -> "Hybrid"
+
+let all = [ Data_parallel; Tensor_parallel; Fsdp; Zero; Hybrid ]
+
+type op = { label : string; pattern : Pattern.t; bytes : float }
+
+let plan_tensor_part activations =
+  [
+    { label = "fwd activation AR"; pattern = Pattern.All_reduce; bytes = activations };
+    { label = "bwd activation AR"; pattern = Pattern.All_reduce; bytes = activations };
+  ]
+
+let plan_sharded_part weights =
+  [
+    { label = "grad RS"; pattern = Pattern.Reduce_scatter; bytes = weights };
+    { label = "param AG"; pattern = Pattern.All_gather; bytes = weights };
+  ]
+
+let plan strategy model =
+  let weights = Models.total_weight_grad_bytes model in
+  let activations = Models.total_input_grad_bytes model in
+  let op label pattern bytes = { label; pattern; bytes } in
+  let if_nonzero ops = List.filter (fun o -> o.bytes > 0.) ops in
+  match strategy with
+  | Data_parallel ->
+    if_nonzero
+      [
+        op "input-grad AR" Pattern.All_reduce activations;
+        op "weight-grad AR" Pattern.All_reduce weights;
+      ]
+  | Tensor_parallel ->
+    (* Partial activations are combined in the forward pass and their
+       gradients in the backward pass. *)
+    if_nonzero
+      [
+        op "fwd activation AR" Pattern.All_reduce activations;
+        op "bwd activation AR" Pattern.All_reduce activations;
+      ]
+  | Fsdp ->
+    (* Sharded parameters are re-gathered before each pass; gradients are
+       reduce-scattered back to their shard owners. *)
+    if_nonzero
+      [
+        op "fwd weight AG" Pattern.All_gather weights;
+        op "bwd weight AG" Pattern.All_gather weights;
+        op "grad RS" Pattern.Reduce_scatter weights;
+      ]
+  | Zero ->
+    (* ZeRO-2-style: gradients reduce-scattered to the shard that updates
+       them, updated parameters gathered once. *)
+    if_nonzero
+      [
+        op "grad RS" Pattern.Reduce_scatter weights;
+        op "param AG" Pattern.All_gather weights;
+      ]
+  | Hybrid -> if_nonzero (plan_tensor_part activations @ plan_sharded_part weights)
+
+let patterns strategy =
+  let dedup l =
+    List.fold_left (fun acc p -> if List.mem p acc then acc else acc @ [ p ]) [] l
+  in
+  dedup
+    (List.map
+       (fun o -> o.pattern)
+       (plan strategy
+          (* A probe model with both traffic kinds nonzero. *)
+          Models.msft_1t))
+
+type cost = {
+  strategy : t;
+  fwd_compute : float;
+  bwd_compute : float;
+  comm : (string * float) list;
+}
+
+let total c =
+  c.fwd_compute +. c.bwd_compute +. List.fold_left (fun a (_, t) -> a +. t) 0. c.comm
+
+let comm_total c = List.fold_left (fun a (_, t) -> a +. t) 0. c.comm
+
+let iteration ?npu model strategy (backend : Training.backend) =
+  let fwd_compute, bwd_compute = Training.compute_time ?npu model in
+  let comm =
+    List.map (fun o -> (o.label, backend.Training.collective o.pattern o.bytes)) (plan strategy model)
+  in
+  { strategy; fwd_compute; bwd_compute; comm }

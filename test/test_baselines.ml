@@ -1,0 +1,341 @@
+(* Tests for the baseline collective algorithms of §V-A: analytic timing on
+   their preferred topologies, correct degradation off them, and the
+   paper-documented limitations (MultiTree's missing chunk overlap, C-Cube's
+   idle links, TACCL-like congestion blindness). *)
+
+open Tacos_topology
+open Tacos_collective
+open Tacos_baselines
+
+let feq = Alcotest.float 1e-9
+
+let spec ?(chunks_per_npu = 1) ~size ~npus pattern =
+  Spec.make ~chunks_per_npu ~buffer_size:size ~pattern ~npus ()
+
+let time algo topo s = Algo.collective_time algo topo s
+
+(* --- Ring ------------------------------------------------------------------ *)
+
+let test_ring_matches_closed_form () =
+  (* Bidirectional ring AR on a physical ring: 2(n-1) steps of
+     (alpha + beta * B/(2n)) per direction. *)
+  let n = 8 and b = 64. in
+  let topo = Builders.ring ~link:(Link.make ~alpha:1. ~beta:1.) n in
+  let t = time Algo.ring topo (spec ~size:b ~npus:n Pattern.All_reduce) in
+  let expected = float_of_int (2 * (n - 1)) *. (1. +. (b /. 2. /. float_of_int n)) in
+  Alcotest.check feq "closed form" expected t
+
+let test_ring_is_ideal_on_ring () =
+  (* Large collectives on the ring: Ring tracks the ideal bound closely. *)
+  let n = 16 in
+  let topo = Builders.ring ~link:(Link.of_bandwidth 50e9) n in
+  let s = spec ~size:1e9 ~npus:n Pattern.All_reduce in
+  let t = time Algo.ring topo s in
+  let ideal = Ideal.all_reduce_time topo ~size:1e9 in
+  Alcotest.(check bool) "within 10% of ideal" true (ideal /. t > 0.9)
+
+let test_ring_unidirectional_slower () =
+  let n = 8 in
+  let topo = Builders.ring ~link:(Link.of_bandwidth 50e9) n in
+  let s = spec ~size:1e8 ~npus:n Pattern.All_reduce in
+  let bidi = time Algo.ring topo s in
+  let uni = time (Algo.Ring { bidirectional = false }) topo s in
+  (* One direction idle: roughly half the bandwidth. *)
+  Alcotest.(check bool) "about 2x slower" true (uni > 1.8 *. bidi)
+
+let test_ring_uses_dgx1_embeddings () =
+  (* On DGX-1 the three recorded rings cover all 48 links, so Ring stays
+     near the ideal bound (99.61% in §VI-B.5). *)
+  let topo = Builders.dgx1 () in
+  let s = spec ~size:1e9 ~npus:8 Pattern.All_reduce in
+  let t = time Algo.ring topo s in
+  let ideal = Ideal.all_reduce_time topo ~size:1e9 in
+  Alcotest.(check bool) "over 95% efficiency" true (ideal /. t > 0.95)
+
+let test_ring_all_gather_half_of_all_reduce () =
+  let n = 8 in
+  let topo = Builders.ring ~link:(Link.make ~alpha:0. ~beta:1.) n in
+  let ar = time Algo.ring topo (spec ~size:64. ~npus:n Pattern.All_reduce) in
+  let ag = time Algo.ring topo (spec ~size:64. ~npus:n Pattern.All_gather) in
+  let rs = time Algo.ring topo (spec ~size:64. ~npus:n Pattern.Reduce_scatter) in
+  Alcotest.check feq "AG is half" (ar /. 2.) ag;
+  Alcotest.check feq "RS is half" (ar /. 2.) rs
+
+(* --- Direct ----------------------------------------------------------------- *)
+
+let test_direct_on_fully_connected () =
+  (* On FC every pairwise message has its own link: AR = 2(alpha + beta*B/n). *)
+  let n = 8 and b = 64. in
+  let topo = Builders.fully_connected ~link:(Link.make ~alpha:1. ~beta:1.) n in
+  let t = time Algo.Direct topo (spec ~size:b ~npus:n Pattern.All_reduce) in
+  Alcotest.check feq "two one-shot phases" (2. *. (1. +. (b /. float_of_int n))) t
+
+let test_direct_vs_ring_crossover () =
+  (* Fig. 2(a): Ring >> Direct on a ring; Direct >> Ring on FC. *)
+  let n = 16 in
+  let ring_topo = Builders.ring ~link:(Link.of_bandwidth 50e9) n in
+  let fc_topo = Builders.fully_connected ~link:(Link.of_bandwidth 50e9) n in
+  let s = spec ~size:1e9 ~npus:n Pattern.All_reduce in
+  Alcotest.(check bool) "ring wins at home" true
+    (time Algo.ring ring_topo s < time Algo.Direct ring_topo s);
+  Alcotest.(check bool) "direct wins at home" true
+    (time Algo.Direct fc_topo s < time Algo.ring fc_topo s)
+
+let test_direct_wins_for_tiny_collectives () =
+  (* Fig. 2(b): latency-bound collectives prefer the short-hop Direct even
+     on a ring... once the size is small enough that alpha dominates. *)
+  let n = 16 in
+  let topo = Builders.ring ~link:(Link.of_bandwidth ~alpha:0.5e-6 50e9) n in
+  let tiny = spec ~size:1e3 ~npus:n Pattern.All_reduce in
+  let big = spec ~size:1e9 ~npus:n Pattern.All_reduce in
+  Alcotest.(check bool) "tiny: direct at least competitive" true
+    (time Algo.Direct topo tiny < time Algo.ring topo big);
+  Alcotest.(check bool) "big: ring wins" true
+    (time Algo.ring topo big < time Algo.Direct topo big)
+
+(* --- RHD and DBT -------------------------------------------------------------- *)
+
+let test_rhd_on_fully_connected () =
+  (* RS: sum_k beta*B/2^k for k=1..log(n); AG mirrors it. alpha = 1 per step. *)
+  let n = 4 and b = 16. in
+  let topo = Builders.fully_connected ~link:(Link.make ~alpha:1. ~beta:1.) n in
+  let t = time Algo.Rhd topo (spec ~size:b ~npus:n Pattern.All_reduce) in
+  let expected = 2. *. ((1. +. (b /. 2.)) +. (1. +. (b /. 4.))) in
+  Alcotest.check feq "closed form" expected t
+
+let test_rhd_requires_power_of_two () =
+  let topo = Builders.ring 6 in
+  Alcotest.check_raises "rejects n=6"
+    (Invalid_argument "Rhd.program: NPU count must be a power of two") (fun () ->
+      ignore (Algo.program Algo.Rhd topo (spec ~size:1. ~npus:6 Pattern.All_reduce)))
+
+let test_rhd_beats_ring_on_hypercube_small () =
+  (* Latency-dominated regime: log2(n) steps beat 2(n-1) steps. *)
+  let n = 16 in
+  let topo = Builders.hypercube ~link:(Link.of_bandwidth ~alpha:0.5e-6 50e9) 4 in
+  let s = spec ~size:1e3 ~npus:n Pattern.All_reduce in
+  Alcotest.(check bool) "RHD wins small" true (time Algo.Rhd topo s < time Algo.ring topo s)
+
+let test_dbt_completes_and_scales_log () =
+  let n = 16 in
+  let topo = Builders.fully_connected ~link:(Link.make ~alpha:1. ~beta:0.) n in
+  let t = time Algo.Dbt topo (spec ~size:1. ~npus:n Pattern.All_reduce) in
+  (* Depth of a balanced 16-node tree is 4: reduce + broadcast ~ 2*2*depth
+     alphas worst case; just bound it well below a ring's 30 alphas. *)
+  Alcotest.(check bool) "logarithmic depth" true (t <= 20.);
+  Alcotest.(check bool) "positive" true (t > 0.)
+
+let test_dbt_rejects_non_allreduce () =
+  let topo = Builders.ring 4 in
+  Alcotest.check_raises "AG unsupported" (Invalid_argument "Dbt.program: All-Reduce only")
+    (fun () -> ignore (Algo.program Algo.Dbt topo (spec ~size:1. ~npus:4 Pattern.All_gather)))
+
+(* --- BlueConnect and Themis ----------------------------------------------------- *)
+
+let torus3 () = Builders.torus ~link:(Link.of_bandwidth ~alpha:0.7e-6 25e9) [| 4; 4; 4 |]
+
+let test_blueconnect_efficiency_band () =
+  (* BlueConnect reduces dimensions one after another, so on a 3D torus it
+     is pinned around a third of the ideal ingress bandwidth; Themis exists
+     to fix exactly this. *)
+  let topo = torus3 () in
+  let s = spec ~size:1e9 ~npus:64 Pattern.All_reduce in
+  let t = time (Algo.Blueconnect { chunks = 1 }) topo s in
+  let ideal = Ideal.all_reduce_time topo ~size:1e9 in
+  Alcotest.(check bool) "at least a quarter of ideal" true (ideal /. t > 0.25);
+  Alcotest.(check bool) "not better than ideal" true (t >= ideal *. 0.999)
+
+let test_themis_near_ideal_on_torus () =
+  (* §VI-B.3: Themis with 64 chunks reaches ~95% efficiency on its home
+     symmetric 3D Torus for large collectives. *)
+  let topo = torus3 () in
+  let s = spec ~size:1e9 ~npus:64 Pattern.All_reduce in
+  let t = time (Algo.Themis { chunks = 64 }) topo s in
+  let ideal = Ideal.all_reduce_time topo ~size:1e9 in
+  Alcotest.(check bool) "over 90% efficiency" true (ideal /. t > 0.9)
+
+let test_themis_chunking_helps_on_torus () =
+  (* Chunk rotation keeps all dimensions busy simultaneously. *)
+  let topo = torus3 () in
+  let s = spec ~size:1e9 ~npus:64 Pattern.All_reduce in
+  let bc = time (Algo.Blueconnect { chunks = 1 }) topo s in
+  let themis = time (Algo.Themis { chunks = 64 }) topo s in
+  Alcotest.(check bool) "themis faster" true (themis < bc)
+
+let test_themis_chunk_count_regimes () =
+  (* Chunk count only matters when bandwidth does: for a 1 GB collective 64
+     chunks beat 4 (better dimension overlap), while for a latency-bound
+     4 KB collective the chunk count is immaterial under the pipelined-α
+     link model (the paper's backend additionally charges per-message
+     overhead there, its Themis-64 latency penalty — see EXPERIMENTS.md). *)
+  let topo = torus3 () in
+  let big = spec ~size:1e9 ~npus:64 Pattern.All_reduce in
+  Alcotest.(check bool) "more chunks win when bandwidth-bound" true
+    (time (Algo.Themis { chunks = 64 }) topo big
+    < time (Algo.Themis { chunks = 4 }) topo big);
+  let tiny = spec ~size:4e3 ~npus:64 Pattern.All_reduce in
+  let heavy = time (Algo.Themis { chunks = 64 }) topo tiny in
+  let light = time (Algo.Themis { chunks = 4 }) topo tiny in
+  Alcotest.(check bool) "chunk count immaterial when latency-bound" true
+    (Float.abs (heavy -. light) /. light < 0.05)
+
+let test_blueconnect_requires_hierarchy () =
+  let topo = Builders.dgx1 () in
+  Alcotest.check_raises "no hierarchy"
+    (Invalid_argument "Blueconnect.program: topology has no recorded hierarchy")
+    (fun () ->
+      ignore
+        (Algo.program (Algo.Blueconnect { chunks = 1 }) topo
+           (spec ~size:1. ~npus:8 Pattern.All_reduce)))
+
+(* --- MultiTree, TACCL-like, C-Cube ------------------------------------------------ *)
+
+let test_multitree_no_chunk_overlap () =
+  (* Fig. 17(a)'s mechanism: splitting the buffer into more chunks makes
+     MultiTree *slower* (slots of a tree run strictly one after another, so
+     deep trees drain between slots), while the overlapping TACCL-like
+     router's time is flat in the chunk count. *)
+  let topo = Builders.mesh ~link:(Link.make ~alpha:0. ~beta:1.) [| 6 |] in
+  let sp k = spec ~size:12. ~npus:6 ~chunks_per_npu:k Pattern.All_gather in
+  let mt1 = time Algo.Multitree topo (sp 1) in
+  let taccl1 = time Algo.Taccl_like topo (sp 1) in
+  List.iter
+    (fun k ->
+      let mt = time Algo.Multitree topo (sp k) in
+      let taccl = time Algo.Taccl_like topo (sp k) in
+      Alcotest.(check bool) "multitree pays for chunking" true (mt > mt1 +. 1e-9);
+      Alcotest.check feq "taccl flat in chunk count" taccl1 taccl;
+      Alcotest.(check bool) "taccl beats multitree when chunked" true (taccl < mt))
+    [ 2; 4; 8 ]
+
+let test_multitree_gates_are_structural () =
+  (* The no-overlap sequencing is visible in the dependency graph: some
+     slot-1 transfer depends on a slot-0 transfer of the same tree. *)
+  let topo = Builders.ring 4 in
+  let s = spec ~size:8. ~npus:4 ~chunks_per_npu:2 Pattern.All_gather in
+  let program = Algo.program Algo.Multitree topo s in
+  let transfers = Tacos_sim.Program.transfers program in
+  let tag_of id = transfers.(id).Tacos_sim.Program.tag in
+  let crosses =
+    Array.exists
+      (fun (tr : Tacos_sim.Program.transfer) ->
+        String.length tr.tag >= 2
+        && String.sub tr.tag (String.length tr.tag - 2) 2 = "s1"
+        && List.exists
+             (fun d ->
+               let t = tag_of d in
+               String.length t >= 2 && String.sub t (String.length t - 2) 2 = "s0")
+             tr.deps)
+      transfers
+  in
+  Alcotest.(check bool) "slot-1 gated on slot-0" true crosses
+
+let test_multitree_all_reduce_validates_structure () =
+  let topo = Builders.mesh ~link:(Link.of_bandwidth 16e9) [| 3; 3 |] in
+  let s = spec ~size:1e6 ~npus:9 Pattern.All_reduce in
+  let t = time Algo.Multitree topo s in
+  Alcotest.(check bool) "completes" true (t > 0. && t < infinity)
+
+let test_taccl_like_ignores_congestion () =
+  (* On a ring, every shortest-path tree hammers the same few links; TACOS'
+     congestion-free matching must beat the TACCL-like result. *)
+  let n = 16 in
+  let topo = Builders.ring ~link:(Link.of_bandwidth 50e9) n in
+  let s = spec ~size:1e8 ~npus:n Pattern.All_gather in
+  let taccl = time Algo.Taccl_like topo s in
+  let tacos =
+    (Tacos.Synthesizer.synthesize topo s).Tacos.Synthesizer.collective_time
+  in
+  Alcotest.(check bool) "TACOS no worse" true (tacos <= taccl +. 1e-9)
+
+let test_ccube_uses_only_tree_links () =
+  let topo = Builders.dgx1 () in
+  Alcotest.(check int) "28 of 48 directed links" 28 (Ccube.tree_links_used topo)
+
+let test_ccube_slower_than_ring_on_dgx1 () =
+  (* §VI-B.5: C-Cube leaves a third of the NVLinks idle; the 3-ring Ring
+     baseline uses them all. *)
+  let topo = Builders.dgx1 () in
+  let s = spec ~size:1e9 ~npus:8 Pattern.All_reduce in
+  let ccube = time Algo.Ccube topo s in
+  let ring = time Algo.ring topo s in
+  Alcotest.(check bool) "ring wins" true (ring < ccube)
+
+let test_ccube_rejects_other_topologies () =
+  let topo = Builders.ring 8 in
+  (match Algo.program Algo.Ccube topo (spec ~size:1. ~npus:8 Pattern.All_reduce) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "C-Cube accepted a non-DGX topology")
+
+(* --- Cross-algorithm property ------------------------------------------------------ *)
+
+let prop_baselines_never_beat_ideal =
+  let algos =
+    [ Algo.ring; Algo.Direct; Algo.Blueconnect { chunks = 1 }; Algo.Multitree ]
+  in
+  QCheck.Test.make ~name:"no baseline beats the ideal bound" ~count:20
+    QCheck.(make Gen.(pair (int_range 2 4) (int_range 2 4)))
+    (fun (a, b) ->
+      let topo = Builders.torus ~link:(Link.of_bandwidth 50e9) [| a; b |] in
+      let n = a * b in
+      let s = spec ~size:1e7 ~npus:n Pattern.All_reduce in
+      let ideal = Ideal.all_reduce_time topo ~size:1e7 in
+      List.for_all (fun algo -> time algo topo s >= ideal *. 0.999) algos)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "closed form on ring" `Quick test_ring_matches_closed_form;
+          Alcotest.test_case "near-ideal on ring" `Quick test_ring_is_ideal_on_ring;
+          Alcotest.test_case "unidirectional slower" `Quick test_ring_unidirectional_slower;
+          Alcotest.test_case "DGX-1 multi-ring" `Quick test_ring_uses_dgx1_embeddings;
+          Alcotest.test_case "AG/RS are half of AR" `Quick
+            test_ring_all_gather_half_of_all_reduce;
+        ] );
+      ( "direct",
+        [
+          Alcotest.test_case "closed form on FC" `Quick test_direct_on_fully_connected;
+          Alcotest.test_case "home-field crossover" `Quick test_direct_vs_ring_crossover;
+          Alcotest.test_case "latency-bound crossover" `Quick
+            test_direct_wins_for_tiny_collectives;
+        ] );
+      ( "rhd-dbt",
+        [
+          Alcotest.test_case "RHD closed form" `Quick test_rhd_on_fully_connected;
+          Alcotest.test_case "RHD needs power of two" `Quick test_rhd_requires_power_of_two;
+          Alcotest.test_case "RHD wins latency-bound" `Quick
+            test_rhd_beats_ring_on_hypercube_small;
+          Alcotest.test_case "DBT logarithmic" `Quick test_dbt_completes_and_scales_log;
+          Alcotest.test_case "DBT All-Reduce only" `Quick test_dbt_rejects_non_allreduce;
+        ] );
+      ( "hierarchical",
+        [
+          Alcotest.test_case "BlueConnect efficiency band" `Quick
+            test_blueconnect_efficiency_band;
+          Alcotest.test_case "Themis near ideal on torus" `Quick
+            test_themis_near_ideal_on_torus;
+          Alcotest.test_case "Themis chunking helps" `Quick test_themis_chunking_helps_on_torus;
+          Alcotest.test_case "Themis chunk-count regimes" `Quick
+            test_themis_chunk_count_regimes;
+          Alcotest.test_case "hierarchy required" `Quick test_blueconnect_requires_hierarchy;
+        ] );
+      ( "synth-baselines",
+        [
+          Alcotest.test_case "MultiTree lacks chunk overlap" `Quick
+            test_multitree_no_chunk_overlap;
+          Alcotest.test_case "MultiTree slot gating structural" `Quick
+            test_multitree_gates_are_structural;
+          Alcotest.test_case "MultiTree All-Reduce" `Quick
+            test_multitree_all_reduce_validates_structure;
+          Alcotest.test_case "TACCL-like congestion blindness" `Quick
+            test_taccl_like_ignores_congestion;
+          Alcotest.test_case "C-Cube idle links" `Quick test_ccube_uses_only_tree_links;
+          Alcotest.test_case "C-Cube loses to multi-ring" `Quick
+            test_ccube_slower_than_ring_on_dgx1;
+          Alcotest.test_case "C-Cube DGX-1 only" `Quick test_ccube_rejects_other_topologies;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_baselines_never_beat_ideal ] );
+    ]

@@ -1,0 +1,238 @@
+(* Structural tests of the baseline programs: byte conservation, dependency
+   sanity, per-algorithm shape invariants — complementing the timing tests
+   in test_baselines.ml. *)
+
+open Tacos_topology
+open Tacos_collective
+open Tacos_baselines
+module Program = Tacos_sim.Program
+module Engine = Tacos_sim.Engine
+
+let feq = Alcotest.float 1e-6
+
+let spec ?(chunks_per_npu = 1) ~size ~npus pattern =
+  Spec.make ~chunks_per_npu ~buffer_size:size ~pattern ~npus ()
+
+let logical_bytes program =
+  (* Bytes at the transfer level, before routing multiplies them by hops. *)
+  Program.total_bytes program
+
+let all_acyclic name program =
+  match Program.validate_acyclic program with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s produces a cyclic program: %s" name e
+
+(* --- byte accounting -------------------------------------------------------- *)
+
+let test_ring_moves_minimal_bytes () =
+  (* Ring RS+AG is bandwidth-optimal: 2(n-1)/n * B logical bytes per NPU. *)
+  let n = 8 and b = 64. in
+  let topo = Builders.ring n in
+  let p = Algo.program Algo.ring topo (spec ~size:b ~npus:n Pattern.All_reduce) in
+  Alcotest.check feq "2(n-1)B bytes in total"
+    (2. *. float_of_int (n - 1) *. b)
+    (logical_bytes p)
+
+let test_direct_moves_minimal_bytes () =
+  let n = 8 and b = 64. in
+  let topo = Builders.fully_connected n in
+  let p = Algo.program Algo.Direct topo (spec ~size:b ~npus:n Pattern.All_reduce) in
+  Alcotest.check feq "2(n-1)B bytes in total"
+    (2. *. float_of_int (n - 1) *. b)
+    (logical_bytes p)
+
+let test_rhd_moves_minimal_bytes () =
+  let n = 8 and b = 64. in
+  let topo = Builders.fully_connected n in
+  let p = Algo.program Algo.Rhd topo (spec ~size:b ~npus:n Pattern.All_reduce) in
+  (* RHD: per NPU, sum_k B/2^k for k=1..log n, twice. *)
+  Alcotest.check feq "2 * n * B(1 - 1/n) bytes"
+    (2. *. float_of_int n *. b *. (1. -. (1. /. float_of_int n)))
+    (logical_bytes p)
+
+let test_dbt_moves_minimal_bytes () =
+  let n = 8 and b = 64. in
+  let topo = Builders.fully_connected n in
+  let p = Algo.program Algo.Dbt topo (spec ~size:b ~npus:n Pattern.All_reduce) in
+  (* Two trees x (n-1 reduce sends + n-1 broadcast sends) x B/2, plus the
+     two zero-byte root gates. *)
+  Alcotest.check feq "2(n-1)B bytes"
+    (2. *. float_of_int (n - 1) *. b)
+    (logical_bytes p)
+
+let test_blueconnect_moves_minimal_bytes () =
+  let n = 16 and b = 64. in
+  let topo = Builders.torus [| 4; 4 |] in
+  let p =
+    Algo.program (Algo.Blueconnect { chunks = 1 }) topo
+      (spec ~size:b ~npus:n Pattern.All_reduce)
+  in
+  (* Hierarchical RS+AG also moves 2(n-1)/n * B per NPU in aggregate:
+     dim 0: 2 * 3/4 * B per NPU; dim 1 on the residual share: 2 * 3/16 * B. *)
+  Alcotest.check feq "2(n-1)B bytes"
+    (2. *. float_of_int (n - 1) *. b)
+    (logical_bytes p)
+
+let test_multitree_bytes_scale_with_trees () =
+  let n = 9 and b = 18. in
+  let topo = Builders.mesh [| 3; 3 |] in
+  let p = Algo.program Algo.Multitree topo (spec ~size:b ~npus:n Pattern.All_gather) in
+  (* n trees x (n-1) edges x chunk size B/n. *)
+  Alcotest.check feq "(n-1)B bytes" (float_of_int (n - 1) *. b) (logical_bytes p)
+
+(* --- dependency structure ------------------------------------------------------ *)
+
+let all_algos_for n =
+  [ ("Ring", Algo.ring); ("Direct", Algo.Direct); ("MultiTree", Algo.Multitree);
+    ("TACCL-like", Algo.Taccl_like) ]
+  @ (if n land (n - 1) = 0 then [ ("RHD", Algo.Rhd); ("DBT", Algo.Dbt) ] else [])
+
+let test_programs_acyclic () =
+  let n = 16 in
+  let topo = Builders.torus [| 4; 4 |] in
+  List.iter
+    (fun (name, algo) ->
+      all_acyclic name (Algo.program algo topo (spec ~size:1e6 ~npus:n Pattern.All_reduce)))
+    (all_algos_for n);
+  all_acyclic "BlueConnect"
+    (Algo.program (Algo.Blueconnect { chunks = 4 }) topo
+       (spec ~size:1e6 ~npus:n Pattern.All_reduce));
+  all_acyclic "Themis"
+    (Algo.program (Algo.Themis { chunks = 8 }) topo
+       (spec ~size:1e6 ~npus:n Pattern.All_reduce))
+
+let test_themis_uses_all_dim_orders () =
+  (* With D dims and >= D chunks, rotation must start pipelines in every
+     dimension — visible as first-phase transfers tagged with each dim. *)
+  let topo = Builders.torus [| 2; 2; 2 |] in
+  let p =
+    Algo.program (Algo.Themis { chunks = 3 }) topo
+      (spec ~size:24. ~npus:8 Pattern.All_reduce)
+  in
+  let first_dims = Hashtbl.create 4 in
+  Array.iter
+    (fun (tr : Program.transfer) ->
+      (* Tags look like "themis-c<N>-rs-d<D>-..."; record the dim of each
+         chunk's first RS phase. *)
+      if tr.Program.deps = [] && tr.Program.size > 0. then
+        Scanf.sscanf tr.Program.tag "themis-c%d-rs-d%d" (fun _ d ->
+            Hashtbl.replace first_dims d ()))
+    (Program.transfers p);
+  Alcotest.(check int) "three distinct leading dimensions" 3 (Hashtbl.length first_dims)
+
+let test_blueconnect_single_dim_order () =
+  let topo = Builders.torus [| 2; 2; 2 |] in
+  let p =
+    Algo.program (Algo.Blueconnect { chunks = 3 }) topo
+      (spec ~size:24. ~npus:8 Pattern.All_reduce)
+  in
+  let first_dims = Hashtbl.create 4 in
+  Array.iter
+    (fun (tr : Program.transfer) ->
+      if tr.Program.deps = [] && tr.Program.size > 0. then
+        Scanf.sscanf tr.Program.tag "bc-c%d-rs-d%d" (fun _ d ->
+            Hashtbl.replace first_dims d ()))
+    (Program.transfers p);
+  Alcotest.(check int) "single leading dimension" 1 (Hashtbl.length first_dims)
+
+let test_ring_respects_explicit_rings () =
+  (* An explicit ring order constrains which NPU pairs exchange. *)
+  let topo = Builders.fully_connected 4 in
+  let order = [| 0; 2; 1; 3 |] in
+  let p =
+    Ring_algo.program ~rings:[ order ] topo (spec ~size:8. ~npus:4 Pattern.All_gather)
+  in
+  Array.iter
+    (fun (tr : Program.transfer) ->
+      let pos v = Option.get (Array.find_index (fun x -> x = v) order) in
+      Alcotest.(check int) "consecutive on the logical ring"
+        ((pos tr.Program.src + 1) mod 4)
+        (pos tr.Program.dst))
+    (Program.transfers p)
+
+let test_rs_only_patterns () =
+  (* Reduce-Scatter programs are half the All-Reduce ones. *)
+  let n = 8 in
+  let topo = Builders.ring n in
+  let ar = Algo.program Algo.ring topo (spec ~size:16. ~npus:n Pattern.All_reduce) in
+  let rs = Algo.program Algo.ring topo (spec ~size:16. ~npus:n Pattern.Reduce_scatter) in
+  Alcotest.(check int) "half the transfers"
+    (Program.num_transfers ar / 2)
+    (Program.num_transfers rs)
+
+(* --- simulator-level invariants -------------------------------------------------- *)
+
+let test_simulated_bytes_include_routing () =
+  (* On a sparse topology, routed bytes exceed logical bytes. *)
+  let n = 8 in
+  let topo = Builders.ring ~link:(Link.make ~alpha:0. ~beta:1.) n in
+  let s = spec ~size:64. ~npus:n Pattern.All_reduce in
+  let p = Algo.program Algo.Direct topo s in
+  let r = Engine.run topo p in
+  let carried = Array.fold_left ( +. ) 0. r.Engine.link_bytes in
+  Alcotest.(check bool) "multi-hop inflation" true (carried > logical_bytes p *. 1.5)
+
+let test_transfer_finish_monotone_with_deps () =
+  let n = 9 in
+  let topo = Builders.mesh [| 3; 3 |] in
+  let p = Algo.program Algo.Multitree topo (spec ~size:1e6 ~npus:n Pattern.All_reduce) in
+  let r = Engine.run topo p in
+  Array.iter
+    (fun (tr : Program.transfer) ->
+      List.iter
+        (fun d ->
+          Alcotest.(check bool) "dep finished before dependent" true
+            (r.Engine.transfer_finish.(d) <= r.Engine.transfer_finish.(tr.Program.id) +. 1e-12))
+        tr.Program.deps)
+    (Program.transfers p)
+
+(* --- randomized property ----------------------------------------------------------- *)
+
+let prop_programs_complete_on_random_tori =
+  QCheck.Test.make ~name:"all baselines complete on random tori" ~count:15
+    QCheck.(make Gen.(pair (int_range 2 4) (int_range 2 4)))
+    (fun (a, b) ->
+      let topo = Builders.torus [| a; b |] in
+      let n = a * b in
+      let s = spec ~size:1e6 ~npus:n Pattern.All_reduce in
+      List.for_all
+        (fun (_, algo) ->
+          let r = Algo.simulate algo topo s in
+          r.Engine.finish_time > 0. && r.Engine.finish_time < infinity)
+        (all_algos_for n))
+
+let () =
+  Alcotest.run "baselines-structure"
+    [
+      ( "byte-accounting",
+        [
+          Alcotest.test_case "Ring minimal bytes" `Quick test_ring_moves_minimal_bytes;
+          Alcotest.test_case "Direct minimal bytes" `Quick test_direct_moves_minimal_bytes;
+          Alcotest.test_case "RHD minimal bytes" `Quick test_rhd_moves_minimal_bytes;
+          Alcotest.test_case "DBT minimal bytes" `Quick test_dbt_moves_minimal_bytes;
+          Alcotest.test_case "BlueConnect minimal bytes" `Quick
+            test_blueconnect_moves_minimal_bytes;
+          Alcotest.test_case "MultiTree tree bytes" `Quick
+            test_multitree_bytes_scale_with_trees;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "programs acyclic" `Quick test_programs_acyclic;
+          Alcotest.test_case "Themis rotates dimension orders" `Quick
+            test_themis_uses_all_dim_orders;
+          Alcotest.test_case "BlueConnect fixed dimension order" `Quick
+            test_blueconnect_single_dim_order;
+          Alcotest.test_case "explicit ring embeddings honored" `Quick
+            test_ring_respects_explicit_rings;
+          Alcotest.test_case "RS is half of AR" `Quick test_rs_only_patterns;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "routing inflates carried bytes" `Quick
+            test_simulated_bytes_include_routing;
+          Alcotest.test_case "finish times respect deps" `Quick
+            test_transfer_finish_monotone_with_deps;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_programs_complete_on_random_tori ] );
+    ]

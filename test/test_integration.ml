@@ -1,0 +1,113 @@
+(* End-to-end integration: for every topology of Table IV (plus DGX-1), run
+   the full paper pipeline — synthesize, validate, replay under the
+   congestion-aware simulator — and check the results against true lower
+   bounds and the baseline ordering TACOS is supposed to deliver. *)
+
+open Tacos_topology
+open Tacos_collective
+module Synth = Tacos.Synthesizer
+module Algo = Tacos_baselines.Algo
+module Program = Tacos_sim.Program
+module Engine = Tacos_sim.Engine
+
+let size = 32e6
+
+let zoo () =
+  [
+    ("Ring-16", Builders.ring ~link:(Link.of_bandwidth 50e9) 16);
+    ("FullyConnected-8", Builders.fully_connected ~link:(Link.of_bandwidth 50e9) 8);
+    ("2D-Torus-4x4", Builders.torus ~link:(Link.of_bandwidth 50e9) [| 4; 4 |]);
+    ("3D-Torus-2x2x4", Builders.torus ~link:(Link.of_bandwidth 50e9) [| 2; 2; 4 |]);
+    ("2D-Mesh-4x4", Builders.mesh ~link:(Link.of_bandwidth 50e9) [| 4; 4 |]);
+    ("3D-HC-2x2x2", Builders.mesh ~link:(Link.of_bandwidth 50e9) [| 2; 2; 2 |]);
+    ("2D-Switch-4x4", Builders.two_level_switch ~bw:(300e9, 25e9) (4, 4));
+    ("3D-RFS-2x2x4", Builders.rfs3d ~bw:(200e9, 100e9, 50e9) (2, 2, 4));
+    ("DragonFly-4x4", Builders.dragonfly ~group_size:4 ~bw:(400e9, 200e9) ());
+    ("DGX-1", Builders.dgx1 ());
+  ]
+
+let synthesize_and_validate topo pattern =
+  let spec =
+    Spec.make ~chunks_per_npu:4 ~buffer_size:size ~pattern
+      ~npus:(Topology.num_npus topo) ()
+  in
+  let result = Synth.synthesize ~seed:21 topo spec in
+  (match Synth.verify topo result with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "%s on %s invalid: %s" (Pattern.name pattern) (Topology.name topo) e);
+  (spec, result)
+
+let simulate topo (spec : Spec.t) (result : Synth.result) =
+  let program = Program.of_schedule ~chunk_size:(Spec.chunk_size spec) result.schedule in
+  (Engine.run topo program).Engine.finish_time
+
+(* A true lower bound for any algorithm containing an All-Gather phase:
+   every NPU must ingest the (n-1)/n share it lacks. *)
+let gather_ingress_bound topo =
+  let n = float_of_int (Topology.num_npus topo) in
+  size *. (n -. 1.) /. n /. Topology.min_ingress_bandwidth topo
+
+let test_pipeline (name, topo) =
+  let test () =
+    List.iter
+      (fun pattern ->
+        let spec, result = synthesize_and_validate topo pattern in
+        let t = simulate topo spec result in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: simulated time positive" (Pattern.name pattern))
+          true
+          (t > 0. && t < infinity);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: respects the ingress bound" (Pattern.name pattern))
+          true
+          (t >= gather_ingress_bound topo *. 0.999))
+      [ Pattern.All_gather; Pattern.All_reduce ]
+  in
+  Alcotest.test_case name `Quick test
+
+let test_tacos_vs_default_ring (name, topo) =
+  (* The headline: on every topology, TACOS at sensible chunking is at
+     least as good as the CCL-default Ring algorithm, within 10% on Ring's
+     optimal homes (the physical ring; DGX-1 with its hand-tuned three-ring
+     decomposition, where the paper also reports Ring 99.61% vs TACOS
+     93.26%). *)
+  let test () =
+    let n = Topology.num_npus topo in
+    let spec =
+      Spec.make ~chunks_per_npu:16 ~buffer_size:size ~pattern:Pattern.All_reduce
+        ~npus:n ()
+    in
+    let result = Synth.synthesize ~seed:21 topo spec in
+    let tacos = simulate topo spec result in
+    let ring = Algo.collective_time Algo.ring topo (Spec.make ~buffer_size:size ~pattern:Pattern.All_reduce ~npus:(Topology.num_npus topo) ()) in
+    Alcotest.(check bool) "TACOS within 10% of Ring or better" true
+      (tacos <= ring *. 1.10)
+  in
+  Alcotest.test_case name `Quick test
+
+let test_reduction_symmetry (name, topo) =
+  (* RS and AG are mirror images: same seed gives the same makespan. *)
+  let test () =
+    let n = Topology.num_npus topo in
+    let ag =
+      Synth.synthesize ~seed:9 (Topology.reverse topo)
+        (Spec.make ~buffer_size:size ~pattern:Pattern.All_gather ~npus:n ())
+    in
+    let rs =
+      Synth.synthesize ~seed:9 topo
+        (Spec.make ~buffer_size:size ~pattern:Pattern.Reduce_scatter ~npus:n ())
+    in
+    Alcotest.(check (float 1e-9)) "mirrored makespan" ag.Synth.collective_time
+      rs.Synth.collective_time
+  in
+  Alcotest.test_case name `Quick test
+
+let () =
+  let zoo = zoo () in
+  Alcotest.run "integration"
+    [
+      ("synthesize-validate-simulate", List.map test_pipeline zoo);
+      ("tacos-vs-ring", List.map test_tacos_vs_default_ring zoo);
+      ("reduction-mirror", List.map test_reduction_symmetry zoo);
+    ]

@@ -1,0 +1,432 @@
+(* Tests for the TACOS synthesizer: structural optimality on the classic
+   topologies, validation of every supported pattern, agreement with the
+   paper-literal reference implementation, and randomized properties. *)
+
+open Tacos_topology
+open Tacos_collective
+module Synth = Tacos.Synthesizer
+module Reference = Tacos.Reference
+
+let check_valid topo result =
+  match Synth.verify topo result with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid schedule: %s" e
+
+let time = Alcotest.float 1e-9
+
+let spec ?(chunks_per_npu = 1) ?(buffer_size = 1.) pattern npus =
+  Spec.make ~chunks_per_npu ~buffer_size ~pattern ~npus ()
+
+let link_1s = Link.make ~alpha:1.0 ~beta:0.
+
+(* All links cost exactly 1 second: makespans count TEN spans directly. *)
+let unit_ring ?(bidirectional = true) n = Builders.ring ~link:link_1s ~bidirectional n
+let unit_fc n = Builders.fully_connected ~link:link_1s n
+let unit_mesh sizes = Builders.mesh ~link:link_1s sizes
+
+let test_ag_unidirectional_ring () =
+  (* Fig. 7: a unidirectional ring needs exactly n-1 spans for All-Gather. *)
+  let n = 6 in
+  let topo = unit_ring ~bidirectional:false n in
+  let r = Synth.synthesize topo (spec Pattern.All_gather n) in
+  check_valid topo r;
+  Alcotest.check time "n-1 spans" (float_of_int (n - 1)) r.collective_time;
+  Alcotest.(check int) "all links busy every span" (n * (n - 1)) (Schedule.num_sends r.schedule)
+
+let test_ag_fully_connected_one_shot () =
+  (* Fig. 10(a): FullyConnected satisfies All-Gather in a single span,
+     recovering the Direct algorithm. *)
+  let n = 5 in
+  let topo = unit_fc n in
+  let r = Synth.synthesize topo (spec Pattern.All_gather n) in
+  check_valid topo r;
+  Alcotest.check time "one span" 1.0 r.collective_time
+
+let test_ag_bidirectional_ring () =
+  (* A bidirectional ring halves the All-Gather span count to ceil((n-1)/2)
+     in the best case; TACOS must find that optimum on small rings. *)
+  let n = 8 in
+  let topo = unit_ring n in
+  let r = Synth.synthesize ~trials:4 topo (spec Pattern.All_gather n) in
+  check_valid topo r;
+  Alcotest.check time "ceil((n-1)/2) spans" 4.0 r.collective_time
+
+let test_broadcast_ring () =
+  (* Broadcast of a single chunk travels at most the eccentricity of the
+     root: n/2 hops on an even bidirectional ring. *)
+  let n = 10 in
+  let topo = unit_ring n in
+  let r = Synth.synthesize topo (spec (Pattern.Broadcast 0) n) in
+  check_valid topo r;
+  Alcotest.check time "eccentricity" 5.0 r.collective_time
+
+let test_reduce_is_mirrored_broadcast () =
+  let n = 7 in
+  let topo = unit_ring n in
+  let b = Synth.synthesize ~seed:7 topo (spec (Pattern.Broadcast 3) n) in
+  let red = Synth.synthesize ~seed:7 topo (spec (Pattern.Reduce 3) n) in
+  check_valid topo red;
+  Alcotest.check time "same makespan as broadcast" b.collective_time red.collective_time
+
+let test_reduce_scatter_validates () =
+  let n = 6 in
+  let topo = unit_mesh [| 3; 2 |] in
+  let r = Synth.synthesize topo (spec Pattern.Reduce_scatter n) in
+  check_valid topo r
+
+let test_all_reduce_is_rs_plus_ag () =
+  let n = 6 in
+  let topo = unit_ring n in
+  let r = Synth.synthesize ~seed:3 topo (spec Pattern.All_reduce n) in
+  check_valid topo r;
+  (match r.phases with
+  | None -> Alcotest.fail "All-Reduce must expose its phases"
+  | Some (rs, ag) ->
+    Alcotest.check time "phases abut" rs.Schedule.makespan
+      (List.fold_left
+         (fun acc (s : Schedule.send) -> Float.min acc s.start)
+         infinity ag.Schedule.sends);
+    Alcotest.check time "total = rs + ag" r.collective_time ag.Schedule.makespan)
+
+let test_all_reduce_ring_time () =
+  (* k=1 chunk per NPU on a unidirectional unit ring: RS and AG each take
+     n-1 spans. *)
+  let n = 5 in
+  let topo = unit_ring ~bidirectional:false n in
+  let r = Synth.synthesize topo (spec Pattern.All_reduce n) in
+  check_valid topo r;
+  Alcotest.check time "2(n-1) spans" (float_of_int (2 * (n - 1))) r.collective_time
+
+let test_chunks_per_npu () =
+  let n = 4 in
+  let topo = unit_ring ~bidirectional:false n in
+  let s = spec ~chunks_per_npu:3 Pattern.All_gather n in
+  let r = Synth.synthesize topo s in
+  check_valid topo r;
+  (* 12 chunks, each reaching 3 other NPUs = 36 sends. *)
+  Alcotest.(check int) "sends" 36 (Schedule.num_sends r.schedule)
+
+let test_heterogeneous_prefers_fast_links () =
+  (* Two parallel paths 0->1: a fast link and a slow one. The single wanted
+     chunk must ride the fast link. *)
+  let topo = Topology.create 2 in
+  let fast = Topology.add_link topo ~src:0 ~dst:1 (Link.make ~alpha:1. ~beta:0.) in
+  let _slow = Topology.add_link topo ~src:0 ~dst:1 (Link.make ~alpha:10. ~beta:0.) in
+  ignore (Topology.add_link topo ~src:1 ~dst:0 (Link.make ~alpha:1. ~beta:0.));
+  let r = Synth.synthesize topo (spec (Pattern.Broadcast 0) 2) in
+  check_valid topo r;
+  Alcotest.check time "fast path" 1.0 r.collective_time;
+  match r.schedule.Schedule.sends with
+  | [ s ] -> Alcotest.(check int) "fast link id" fast s.Schedule.edge
+  | _ -> Alcotest.fail "expected exactly one send"
+
+let test_heterogeneous_ring_makespan () =
+  (* Unidirectional 3-ring with α-only links 1s, 2s, 3s. The 3s link 2->0
+     must serialize two chunks (its own neighbor's and the one relayed
+     around), so the optimum is 3s + 3s = 6s; TACOS must reach it. *)
+  let topo = Topology.create 3 in
+  let add s d a = ignore (Topology.add_link topo ~src:s ~dst:d (Link.make ~alpha:a ~beta:0.)) in
+  add 0 1 1.;
+  add 1 2 2.;
+  add 2 0 3.;
+  let r = Synth.synthesize topo (spec Pattern.All_gather 3) in
+  check_valid topo r;
+  Alcotest.check time "bottleneck-link serialization" 6.0 r.collective_time
+
+let test_domains_deterministic () =
+  (* Spreading trials over domains must not change the chosen schedule. *)
+  let topo = unit_mesh [| 3; 3 |] in
+  let s = spec Pattern.All_reduce 9 in
+  let serial = Synth.synthesize ~seed:5 ~trials:4 ~domains:1 topo s in
+  let parallel = Synth.synthesize ~seed:5 ~trials:4 ~domains:3 topo s in
+  Alcotest.check time "same best makespan" serial.collective_time
+    parallel.collective_time;
+  Alcotest.(check int) "same send count"
+    (Schedule.num_sends serial.schedule)
+    (Schedule.num_sends parallel.schedule)
+
+let test_random_link_order_still_valid () =
+  (* The §IV-F priority is a quality heuristic, never a correctness one. *)
+  let topo = unit_mesh [| 3; 2 |] in
+  let r =
+    Synth.synthesize ~prefer_cheap_links:false topo (spec Pattern.All_reduce 6)
+  in
+  check_valid topo r
+
+let test_tuner_picks_best_candidate () =
+  (* On the heterogeneous 3D-RFS, finer chunks win (the ablation's finding);
+     the tuner must not return a strictly dominated candidate. *)
+  let topo = Builders.rfs3d ~bw:(200e9, 100e9, 50e9) (2, 2, 2) in
+  let choice =
+    Tacos.Tuner.tune ~candidates:[ 1; 8 ] topo ~pattern:Pattern.All_reduce ~size:64e6
+  in
+  let time_of k =
+    let spec = Spec.make ~chunks_per_npu:k ~buffer_size:64e6 ~pattern:Pattern.All_reduce ~npus:8 () in
+    Tacos.Tuner.simulated_time topo (Synth.synthesize topo spec)
+  in
+  Alcotest.(check bool) "no worse than either candidate" true
+    (choice.Tacos.Tuner.simulated_time <= Float.min (time_of 1) (time_of 8) +. 1e-9)
+
+let test_tuner_routes_router_patterns () =
+  let topo = unit_mesh [| 2; 3 |] in
+  let choice =
+    Tacos.Tuner.tune ~candidates:[ 1; 2 ] topo ~pattern:Pattern.All_to_all ~size:36.
+  in
+  Alcotest.(check bool) "positive time" true (choice.Tacos.Tuner.simulated_time > 0.)
+
+let test_trials_never_worse () =
+  let topo = unit_mesh [| 3; 3 |] in
+  let s = spec Pattern.All_gather 9 in
+  let one = Synth.synthesize ~seed:1 ~trials:1 topo s in
+  let many = Synth.synthesize ~seed:1 ~trials:8 topo s in
+  Alcotest.(check bool) "more trials cannot hurt" true
+    (many.collective_time <= one.collective_time +. 1e-9)
+
+let test_reference_agrees_on_ring () =
+  let n = 6 in
+  let topo = unit_ring ~bidirectional:false n in
+  let s = spec Pattern.All_gather n in
+  let ten = Reference.synthesize topo s in
+  let sched = Reference.schedule ten in
+  (match Schedule.validate topo s sched with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reference schedule invalid: %s" e);
+  let event = Synth.synthesize topo s in
+  Alcotest.check time "same makespan" event.collective_time sched.Schedule.makespan
+
+let test_reference_agrees_on_fc () =
+  let n = 5 in
+  let topo = unit_fc n in
+  let s = spec Pattern.All_gather n in
+  let ten = Reference.synthesize topo s in
+  Alcotest.(check int) "one span" 1 (Tacos_ten.Ten.spans ten);
+  let event = Synth.synthesize topo s in
+  Alcotest.check time "event-driven matches" 1.0 event.collective_time
+
+let test_stuck_on_disconnected () =
+  let topo = Topology.create 4 in
+  Topology.add_bidir topo 0 1 link_1s;
+  Topology.add_bidir topo 2 3 link_1s;
+  Alcotest.check_raises "stuck"
+    (Synth.Stuck
+       "no progress possible with 8 postconditions unsatisfied — is the \
+        topology strongly connected?")
+    (fun () -> ignore (Synth.synthesize topo (spec Pattern.All_gather 4)))
+
+let test_unsupported_patterns () =
+  let topo = unit_ring 4 in
+  List.iter
+    (fun pattern ->
+      match Synth.synthesize topo (spec pattern 4) with
+      | exception Synth.Unsupported _ -> ()
+      | _ -> Alcotest.failf "%s should be unsupported" (Pattern.name pattern))
+    [ Pattern.Gather 0; Pattern.Scatter 0 ]
+
+let test_spec_mismatch_rejected () =
+  let topo = unit_ring 4 in
+  Alcotest.check_raises "npu mismatch"
+    (Invalid_argument "Synthesizer.synthesize: spec NPU count does not match topology")
+    (fun () -> ignore (Synth.synthesize topo (spec Pattern.All_gather 5)))
+
+(* --- registry and failure injection -------------------------------------- *)
+
+let test_registry_memory_cache () =
+  let reg = Tacos.Registry.create () in
+  let topo = unit_mesh [| 3; 3 |] in
+  let s = spec Pattern.All_gather 9 in
+  let first, status1 = Tacos.Registry.find_or_synthesize reg topo s in
+  let second, status2 = Tacos.Registry.find_or_synthesize reg topo s in
+  Alcotest.(check bool) "miss then hit" true (status1 = `Miss && status2 = `Hit);
+  Alcotest.check time "identical schedule" first.collective_time second.collective_time;
+  Alcotest.(check int) "one entry" 1 (Tacos.Registry.entries reg)
+
+let test_registry_disk_roundtrip () =
+  let dir = Filename.temp_file "tacos-reg" "" in
+  Sys.remove dir;
+  let topo = unit_ring 6 in
+  let s = spec Pattern.All_gather 6 in
+  let reg1 = Tacos.Registry.create ~dir () in
+  let first, m = Tacos.Registry.find_or_synthesize reg1 topo s in
+  Alcotest.(check bool) "first is a miss" true (m = `Miss);
+  (* A fresh registry over the same directory finds it on disk. *)
+  let reg2 = Tacos.Registry.create ~dir () in
+  let second, h = Tacos.Registry.find_or_synthesize reg2 topo s in
+  Alcotest.(check bool) "disk hit" true (h = `Hit);
+  Alcotest.check time "same makespan" first.collective_time second.collective_time;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_registry_fingerprint_distinguishes () =
+  let a = unit_ring 6 in
+  let b = unit_ring ~bidirectional:false 6 in
+  let c = unit_ring 6 in
+  Alcotest.(check bool) "different structures differ" true
+    (Tacos.Registry.fingerprint a <> Tacos.Registry.fingerprint b);
+  Alcotest.(check string) "same structure matches" (Tacos.Registry.fingerprint a)
+    (Tacos.Registry.fingerprint c)
+
+let test_resynthesis_after_link_failure () =
+  (* Failure injection: kill a link, re-synthesize, still valid — and the
+     degraded fabric is slower. *)
+  let topo = unit_ring ~bidirectional:false 6 in
+  let healthy = Synth.synthesize topo (spec Pattern.All_gather 6) in
+  (* Removing any unidirectional ring link disconnects it; use the
+     bidirectional ring and drop one direction of one link instead. *)
+  let topo2 = unit_ring 6 in
+  let victim = (List.hd (Topology.find_links topo2 ~src:0 ~dst:1)).Topology.id in
+  let degraded = Topology.without_links topo2 [ victim ] in
+  Alcotest.(check int) "one link fewer" 11 (Topology.num_links degraded);
+  let r = Synth.synthesize degraded (spec Pattern.All_gather 6) in
+  check_valid degraded r;
+  let healthy2 = Synth.synthesize topo2 (spec Pattern.All_gather 6) in
+  Alcotest.(check bool) "degradation costs time" true
+    (r.collective_time >= healthy2.collective_time);
+  ignore healthy
+
+let test_without_links_rejects_bad_id () =
+  let topo = unit_ring 4 in
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Topology.without_links: unknown link id") (fun () ->
+      ignore (Topology.without_links topo [ 99 ]))
+
+(* --- randomized properties --------------------------------------------- *)
+
+(* Random strongly-connected topology: a random ring through all nodes plus
+   random extra links. *)
+let random_topology_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 10 in
+    let* extra = int_range 0 (n * 2) in
+    let* seed = int_range 0 10000 in
+    return (n, extra, seed))
+
+let build_random (n, extra, seed) =
+  let rng = Tacos_util.Rng.create seed in
+  let topo = Topology.create n in
+  let perm = Array.init n Fun.id in
+  Tacos_util.Rng.shuffle_in_place rng perm;
+  for i = 0 to n - 1 do
+    ignore
+      (Topology.add_link topo ~src:perm.(i) ~dst:perm.((i + 1) mod n) link_1s)
+  done;
+  let added = ref 0 and attempts = ref 0 in
+  while !added < extra && !attempts < extra * 10 do
+    incr attempts;
+    let s = Tacos_util.Rng.int rng n and d = Tacos_util.Rng.int rng n in
+    if s <> d then begin
+      ignore (Topology.add_link topo ~src:s ~dst:d link_1s);
+      incr added
+    end
+  done;
+  topo
+
+let prop_ag_always_valid =
+  QCheck.Test.make ~name:"synthesized All-Gather always validates" ~count:60
+    (QCheck.make random_topology_gen) (fun params ->
+      let topo = build_random params in
+      let n = Topology.num_npus topo in
+      let s = spec Pattern.All_gather n in
+      let r = Synth.synthesize ~seed:(Hashtbl.hash params) topo s in
+      match Synth.verify topo r with Ok () -> true | Error _ -> false)
+
+let prop_ar_always_valid =
+  QCheck.Test.make ~name:"synthesized All-Reduce always validates" ~count:40
+    (QCheck.make random_topology_gen) (fun params ->
+      let topo = build_random params in
+      let n = Topology.num_npus topo in
+      let s = spec Pattern.All_reduce n in
+      let r = Synth.synthesize ~seed:(Hashtbl.hash params) topo s in
+      match Synth.verify topo r with Ok () -> true | Error _ -> false)
+
+let prop_makespan_bounded =
+  (* On a unit-cost strongly-connected digraph, All-Gather needs at most
+     n * diameter <= n * (n-1) spans; TACOS must never exceed that. *)
+  QCheck.Test.make ~name:"All-Gather makespan bounded by n*(n-1) unit spans"
+    ~count:40 (QCheck.make random_topology_gen) (fun params ->
+      let topo = build_random params in
+      let n = Topology.num_npus topo in
+      let r = Synth.synthesize topo (spec Pattern.All_gather n) in
+      r.collective_time <= float_of_int (n * (n - 1)) +. 1e-9)
+
+let prop_reduction_reversal_preserves_makespan =
+  QCheck.Test.make ~name:"Reduce-Scatter mirrors All-Gather makespan" ~count:40
+    (QCheck.make random_topology_gen) (fun params ->
+      let topo = build_random params in
+      let n = Topology.num_npus topo in
+      let seed = Hashtbl.hash params in
+      let ag =
+        Synth.synthesize ~seed (Topology.reverse topo) (spec Pattern.All_gather n)
+      in
+      let rs = Synth.synthesize ~seed topo (spec Pattern.Reduce_scatter n) in
+      Float.abs (ag.collective_time -. rs.collective_time) < 1e-9)
+
+let () =
+  Alcotest.run "synthesizer"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "All-Gather on unidirectional ring" `Quick
+            test_ag_unidirectional_ring;
+          Alcotest.test_case "All-Gather on FullyConnected is one-shot" `Quick
+            test_ag_fully_connected_one_shot;
+          Alcotest.test_case "All-Gather on bidirectional ring" `Quick
+            test_ag_bidirectional_ring;
+          Alcotest.test_case "Broadcast travels the eccentricity" `Quick
+            test_broadcast_ring;
+          Alcotest.test_case "Reduce mirrors Broadcast" `Quick
+            test_reduce_is_mirrored_broadcast;
+          Alcotest.test_case "Reduce-Scatter validates" `Quick
+            test_reduce_scatter_validates;
+          Alcotest.test_case "All-Reduce = RS then AG" `Quick
+            test_all_reduce_is_rs_plus_ag;
+          Alcotest.test_case "All-Reduce ring time" `Quick test_all_reduce_ring_time;
+          Alcotest.test_case "multiple chunks per NPU" `Quick test_chunks_per_npu;
+        ] );
+      ( "heterogeneous",
+        [
+          Alcotest.test_case "prefers lower-cost links" `Quick
+            test_heterogeneous_prefers_fast_links;
+          Alcotest.test_case "heterogeneous ring makespan" `Quick
+            test_heterogeneous_ring_makespan;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "more trials never worse" `Quick test_trials_never_worse;
+          Alcotest.test_case "tuner picks the best candidate" `Quick
+            test_tuner_picks_best_candidate;
+          Alcotest.test_case "tuner covers routed patterns" `Quick
+            test_tuner_routes_router_patterns;
+          Alcotest.test_case "domains deterministic" `Quick test_domains_deterministic;
+          Alcotest.test_case "random link order still valid" `Quick
+            test_random_link_order_still_valid;
+          Alcotest.test_case "reference agrees on ring" `Quick
+            test_reference_agrees_on_ring;
+          Alcotest.test_case "reference agrees on FC" `Quick test_reference_agrees_on_fc;
+        ] );
+      ( "registry-and-failures",
+        [
+          Alcotest.test_case "in-memory cache" `Quick test_registry_memory_cache;
+          Alcotest.test_case "disk round trip" `Quick test_registry_disk_roundtrip;
+          Alcotest.test_case "fingerprints" `Quick test_registry_fingerprint_distinguishes;
+          Alcotest.test_case "re-synthesis after link failure" `Quick
+            test_resynthesis_after_link_failure;
+          Alcotest.test_case "without_links bad id" `Quick
+            test_without_links_rejects_bad_id;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "stuck on disconnected topology" `Quick
+            test_stuck_on_disconnected;
+          Alcotest.test_case "gather/scatter unsupported" `Quick
+            test_unsupported_patterns;
+          Alcotest.test_case "spec/topology mismatch" `Quick test_spec_mismatch_rejected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_ag_always_valid;
+            prop_ar_always_valid;
+            prop_makespan_bounded;
+            prop_reduction_reversal_preserves_makespan;
+          ] );
+    ]

@@ -1,0 +1,306 @@
+(* Tests for the utility substrate: RNG determinism and uniformity, heaps,
+   growable vectors, statistics, and text rendering. *)
+
+module Rng = Tacos_util.Rng
+module Fheap = Tacos_util.Fheap
+module Ivec = Tacos_util.Ivec
+module Stats = Tacos_util.Stats
+module Units = Tacos_util.Units
+module Table = Tacos_util.Table
+module Heatmap = Tacos_util.Heatmap
+
+let feq = Alcotest.float 1e-9
+
+(* --- Rng ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  Alcotest.(check bool) "split differs from parent" true
+    (Rng.bits64 child <> Rng.bits64 parent)
+
+let test_rng_copy () =
+  let a = Rng.create 99 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies continue identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_roughly_uniform () =
+  let rng = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  let samples = 100_000 in
+  for _ = 1 to samples do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun count ->
+      let f = float_of_int count /. float_of_int samples in
+      Alcotest.(check bool) "bucket near 10%" true (f > 0.08 && f < 0.12))
+    buckets
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_shuffle_is_permutation () =
+  let rng = Rng.create 17 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_pick () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 100 do
+    let v = Rng.pick rng [ 1; 2; 3 ] in
+    Alcotest.(check bool) "member" true (List.mem v [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty") (fun () ->
+      ignore (Rng.pick rng []))
+
+(* --- Fheap -------------------------------------------------------------- *)
+
+let test_fheap_sorts () =
+  let h = Fheap.create () in
+  let rng = Rng.create 31 in
+  let values = List.init 200 (fun _ -> Rng.float rng 100.) in
+  List.iter (Fheap.push h) values;
+  Alcotest.(check int) "size" 200 (Fheap.size h);
+  let drained = List.init 200 (fun _ -> Fheap.pop h) in
+  Alcotest.(check (list (float 1e-12)))
+    "ascending" (List.sort compare values) drained;
+  Alcotest.(check bool) "empty after drain" true (Fheap.is_empty h)
+
+let test_fheap_pop_above () =
+  let h = Fheap.create () in
+  List.iter (Fheap.push h) [ 1.; 1.; 2.; 2.; 3. ];
+  Alcotest.(check (option (float 0.))) "skips duplicates" (Some 2.)
+    (Fheap.pop_above h 1.);
+  Alcotest.(check (option (float 0.))) "next distinct" (Some 3.) (Fheap.pop_above h 2.);
+  Alcotest.(check (option (float 0.))) "exhausted" None (Fheap.pop_above h 3.)
+
+let test_fheap_pop_empty () =
+  let h = Fheap.create () in
+  Alcotest.check_raises "empty pop" (Invalid_argument "Fheap.pop: empty") (fun () ->
+      ignore (Fheap.pop h))
+
+(* --- Ivec --------------------------------------------------------------- *)
+
+let test_ivec_push_get () =
+  let v = Ivec.create () in
+  for i = 0 to 99 do
+    Ivec.push v (i * 2)
+  done;
+  Alcotest.(check int) "length" 100 (Ivec.length v);
+  Alcotest.(check int) "get" 84 (Ivec.get v 42)
+
+let test_ivec_swap_remove () =
+  let v = Ivec.create () in
+  List.iter (Ivec.push v) [ 10; 20; 30; 40 ];
+  let moved = Ivec.swap_remove v 1 in
+  Alcotest.(check int) "last moved in" 40 moved;
+  Alcotest.(check int) "length" 3 (Ivec.length v);
+  let moved = Ivec.swap_remove v 2 in
+  Alcotest.(check int) "removing the tail moves nothing" (-1) moved
+
+let test_ivec_exists_from () =
+  let v = Ivec.create () in
+  List.iter (Ivec.push v) [ 5; 6; 7; 8 ];
+  Alcotest.(check int) "wraps around" 0 (Ivec.exists_from v ~start:2 (fun x -> x = 5));
+  Alcotest.(check int) "no match" (-1) (Ivec.exists_from v ~start:0 (fun x -> x > 100))
+
+(* --- Stats -------------------------------------------------------------- *)
+
+let test_stats_basics () =
+  Alcotest.check feq "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  Alcotest.check feq "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ]);
+  Alcotest.check feq "min" 1. (Stats.minimum [ 3.; 1.; 2. ]);
+  Alcotest.check feq "max" 3. (Stats.maximum [ 3.; 1.; 2. ]);
+  Alcotest.check feq "stddev" 0. (Stats.stddev [ 5.; 5.; 5. ])
+
+let test_stats_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.check feq "median" 3. (Stats.percentile 50. xs);
+  Alcotest.check feq "p0" 1. (Stats.percentile 0. xs);
+  Alcotest.check feq "p100" 5. (Stats.percentile 100. xs);
+  Alcotest.check feq "interpolated" 1.5 (Stats.percentile 12.5 xs)
+
+let test_stats_linear_fit () =
+  let a, b = Stats.linear_fit [ (0., 1.); (1., 3.); (2., 5.) ] in
+  Alcotest.check feq "intercept" 1. a;
+  Alcotest.check feq "slope" 2. b
+
+let test_stats_loglog () =
+  (* y = 3 x^2 exactly. *)
+  let pts = List.map (fun x -> (x, 3. *. x *. x)) [ 1.; 2.; 4.; 8.; 16. ] in
+  Alcotest.check (Alcotest.float 1e-6) "exponent 2" 2. (Stats.loglog_exponent pts)
+
+let test_stats_empty_rejected () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty list")
+    (fun () -> ignore (Stats.mean []))
+
+(* --- Units and rendering ------------------------------------------------- *)
+
+let test_units_formatting () =
+  Alcotest.(check string) "GB" "1 GB" (Units.bytes_pp 1e9);
+  Alcotest.(check string) "MB" "64 MB" (Units.bytes_pp 64e6);
+  Alcotest.(check string) "us" "1.08 us" (Units.time_pp 1.08e-6);
+  Alcotest.(check string) "bw" "50 GB/s" (Units.bandwidth_pp 50e9)
+
+let test_units_gbps () =
+  Alcotest.check feq "conversion" 25e9 (Units.gbps 25.)
+
+let test_table_render () =
+  let s =
+    Table.render ~header:[ "topo"; "time" ]
+      [ [ "Ring"; "1.00" ]; [ "Mesh"; "12.25" ] ]
+  in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.sub s 0 4 = "topo");
+  (* Rows are padded to equal width. *)
+  let lines = String.split_on_char '\n' s in
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_cells () =
+  Alcotest.(check string) "ratio" "4.27x" (Table.cell_ratio 4.27);
+  Alcotest.(check string) "percent" "90.84%" (Table.cell_percent 0.9084);
+  Alcotest.(check string) "float" "2.5" (Table.cell_float ~decimals:1 2.52)
+
+let test_heatmap_ramp () =
+  Alcotest.(check char) "cold" ' ' (Heatmap.ramp_char 0.);
+  Alcotest.(check char) "hot" '@' (Heatmap.ramp_char 1.);
+  Alcotest.(check char) "clamped" '@' (Heatmap.ramp_char 2.)
+
+let test_heatmap_render () =
+  let m =
+    [| [| None; Some 1. |]; [| Some 0.5; None |] |]
+  in
+  let s = Heatmap.render m in
+  Alcotest.(check bool) "marks missing links" true (String.contains s '#');
+  Alcotest.(check bool) "marks the maximum" true (String.contains s '@')
+
+(* --- Json ---------------------------------------------------------------- *)
+
+module Json = Tacos_util.Json
+
+let test_json_scalars () =
+  Alcotest.(check bool) "number" true (Json.parse "42.5" = Ok (Json.Number 42.5));
+  Alcotest.(check bool) "negative" true (Json.parse "-3" = Ok (Json.Number (-3.)));
+  Alcotest.(check bool) "string" true (Json.parse "\"hi\"" = Ok (Json.String "hi"));
+  Alcotest.(check bool) "true" true (Json.parse "true" = Ok (Json.Bool true));
+  Alcotest.(check bool) "null" true (Json.parse "null" = Ok Json.Null)
+
+let test_json_structures () =
+  match Json.parse {|{"a": [1, 2, {"b": "x"}], "c": false}|} with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+    (match Option.bind (Json.member "a" doc) Json.to_list with
+    | Some [ one; _; obj ] ->
+      Alcotest.(check (option int)) "first element" (Some 1) (Json.to_int one);
+      Alcotest.(check (option string)) "nested string" (Some "x")
+        (Option.bind (Json.member "b" obj) Json.to_string)
+    | _ -> Alcotest.fail "array shape");
+    Alcotest.(check bool) "bool member" true (Json.member "c" doc = Some (Json.Bool false))
+
+let test_json_escapes () =
+  match Json.parse {|"line\nbreak\t\"q\""|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "unescaped" "line\nbreak\t\"q\"" s
+  | _ -> Alcotest.fail "escape parse"
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "%s should be rejected" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "1 2"; "tru" ]
+
+let test_json_empty_containers () =
+  Alcotest.(check bool) "empty object" true (Json.parse "{}" = Ok (Json.Object []));
+  Alcotest.(check bool) "empty array" true (Json.parse "[ ]" = Ok (Json.Array []))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int rejects nonpositive" `Quick
+            test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "int roughly uniform" `Quick test_rng_int_roughly_uniform;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "shuffle is permutation" `Quick
+            test_rng_shuffle_is_permutation;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+        ] );
+      ( "fheap",
+        [
+          Alcotest.test_case "sorts" `Quick test_fheap_sorts;
+          Alcotest.test_case "pop_above" `Quick test_fheap_pop_above;
+          Alcotest.test_case "pop empty" `Quick test_fheap_pop_empty;
+        ] );
+      ( "ivec",
+        [
+          Alcotest.test_case "push/get" `Quick test_ivec_push_get;
+          Alcotest.test_case "swap_remove" `Quick test_ivec_swap_remove;
+          Alcotest.test_case "exists_from" `Quick test_ivec_exists_from;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "loglog exponent" `Quick test_stats_loglog;
+          Alcotest.test_case "empty rejected" `Quick test_stats_empty_rejected;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "structures" `Quick test_json_structures;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "empty containers" `Quick test_json_empty_containers;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "units" `Quick test_units_formatting;
+          Alcotest.test_case "gbps" `Quick test_units_gbps;
+          Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "table cells" `Quick test_table_cells;
+          Alcotest.test_case "heatmap ramp" `Quick test_heatmap_ramp;
+          Alcotest.test_case "heatmap render" `Quick test_heatmap_render;
+        ] );
+    ]

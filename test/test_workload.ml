@@ -1,0 +1,223 @@
+(* Tests for the workload layer: model bookkeeping and the data-parallel
+   iteration model with pluggable collective backends. *)
+
+open Tacos_topology
+open Tacos_workload
+
+let feq = Alcotest.float 1e-9
+
+let test_model_catalog () =
+  List.iter
+    (fun (m, params_low, params_high) ->
+      let params = Models.total_weight_grad_bytes m /. 2. in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s parameter count plausible" m.Models.name)
+        true
+        (params >= params_low && params <= params_high))
+    [
+      (* (model, min params, max params) — sharded for the LLMs. *)
+      (Models.gnmt, 150e6, 350e6);
+      (Models.resnet50, 20e6, 30e6);
+      (Models.turing_nlg, 0.8e9, 1.6e9);
+      (* 17B over 16 shards *)
+      (Models.msft_1t, 1.5e9, 2.5e9);
+      (* 1T over 512 shards *)
+    ]
+
+let test_backward_costs_double () =
+  List.iter
+    (fun m ->
+      Alcotest.check
+        (Alcotest.float 1e-6)
+        (m.Models.name ^ " bwd/fwd ratio")
+        2.
+        (Models.total_bwd_flops m /. Models.total_fwd_flops m))
+    [ Models.gnmt; Models.resnet50; Models.turing_nlg; Models.msft_1t ]
+
+let test_llms_have_input_grad_traffic () =
+  Alcotest.(check bool) "transformers expose activation gradients" true
+    (Models.total_input_grad_bytes Models.turing_nlg > 0.);
+  Alcotest.check feq "GNMT is pure DP" 0. (Models.total_input_grad_bytes Models.gnmt)
+
+let test_iteration_breakdown_adds_up () =
+  let topo = Builders.ring ~link:(Link.of_bandwidth 50e9) 8 in
+  let b = Training.iteration Models.resnet50 (Training.ring_backend topo) in
+  Alcotest.check feq "total = parts"
+    (b.Training.fwd_compute +. b.Training.bwd_compute +. b.Training.input_grad_comm
+   +. b.Training.weight_grad_comm)
+    (Training.total b);
+  Alcotest.(check bool) "all parts positive" true
+    (b.Training.fwd_compute > 0. && b.Training.bwd_compute > 0.
+    && b.Training.weight_grad_comm > 0.)
+
+let test_compute_independent_of_backend () =
+  let topo = Builders.torus ~link:(Link.of_bandwidth 25e9) [| 2; 2; 2 |] in
+  let ring = Training.iteration Models.resnet50 (Training.ring_backend topo) in
+  let ideal = Training.iteration Models.resnet50 (Training.ideal_backend topo) in
+  Alcotest.check feq "fwd equal" ring.Training.fwd_compute ideal.Training.fwd_compute;
+  Alcotest.check feq "bwd equal" ring.Training.bwd_compute ideal.Training.bwd_compute
+
+let test_backend_ordering () =
+  (* Ideal <= TACOS <= Ring in communication time. *)
+  let topo = Builders.torus ~link:(Link.of_bandwidth ~alpha:0.5e-6 25e9) [| 4; 4 |] in
+  let comm backend = Training.comm (Training.iteration Models.resnet50 backend) in
+  let ring = comm (Training.ring_backend topo) in
+  let tacos = comm (Training.tacos_backend ~chunks_per_npu:4 topo) in
+  let ideal = comm (Training.ideal_backend topo) in
+  Alcotest.(check bool) "ideal <= tacos" true (ideal <= tacos +. 1e-12);
+  Alcotest.(check bool) "tacos <= ring" true (tacos <= ring +. 1e-12)
+
+let test_tacos_backend_improves_training () =
+  (* Fig. 20's headline: TACOS end-to-end time beats Ring. *)
+  let topo =
+    Builders.rfs3d ~bw:(200e9, 100e9, 50e9) (2, 4, 8)
+  in
+  let t backend = Training.total (Training.iteration Models.gnmt backend) in
+  Alcotest.(check bool) "TACOS faster end-to-end" true
+    (t (Training.tacos_backend topo) < t (Training.ring_backend topo))
+
+let test_npu_speed_scales_compute () =
+  let topo = Builders.ring ~link:(Link.of_bandwidth 50e9) 4 in
+  let fast = { Training.peak_flops = 240e12; compute_efficiency = 0.5 } in
+  let slow = { Training.peak_flops = 120e12; compute_efficiency = 0.5 } in
+  let bf = Training.iteration ~npu:fast Models.resnet50 (Training.ideal_backend topo) in
+  let bs = Training.iteration ~npu:slow Models.resnet50 (Training.ideal_backend topo) in
+  Alcotest.check feq "half the compute time"
+    (bs.Training.fwd_compute /. 2.) bf.Training.fwd_compute;
+  Alcotest.check feq "comm unchanged"
+    (Training.comm bs) (Training.comm bf)
+
+(* --- Parallelism strategies (Table III) ----------------------------------- *)
+
+let test_table3_patterns () =
+  let has s p = List.mem p (Parallelism.patterns s) in
+  let open Tacos_collective.Pattern in
+  Alcotest.(check bool) "DP needs AR" true (has Parallelism.Data_parallel All_reduce);
+  Alcotest.(check bool) "DP needs no RS" false
+    (has Parallelism.Data_parallel Reduce_scatter);
+  Alcotest.(check bool) "FSDP needs RS" true (has Parallelism.Fsdp Reduce_scatter);
+  Alcotest.(check bool) "FSDP needs AG" true (has Parallelism.Fsdp All_gather);
+  Alcotest.(check bool) "FSDP needs no AR" false (has Parallelism.Fsdp All_reduce);
+  Alcotest.(check bool) "ZeRO needs RS" true (has Parallelism.Zero Reduce_scatter);
+  Alcotest.(check bool) "Hybrid needs all three" true
+    (has Parallelism.Hybrid Reduce_scatter
+    && has Parallelism.Hybrid All_gather
+    && has Parallelism.Hybrid All_reduce)
+
+let test_plan_sizes () =
+  let model = Models.turing_nlg in
+  let weights = Models.total_weight_grad_bytes model in
+  let plan = Parallelism.plan Parallelism.Fsdp model in
+  Alcotest.(check int) "FSDP: three collectives" 3 (List.length plan);
+  List.iter
+    (fun (op : Parallelism.op) ->
+      Alcotest.check feq "weight-sized" weights op.Parallelism.bytes)
+    plan
+
+let test_gnmt_tensor_parallel_is_free () =
+  (* GNMT has no activation-gradient traffic in our model, so pure TP
+     exposes nothing. *)
+  Alcotest.(check int) "empty plan" 0
+    (List.length (Parallelism.plan Parallelism.Tensor_parallel Models.gnmt))
+
+let test_strategy_iteration_consistency () =
+  let topo = Builders.ring ~link:(Link.of_bandwidth 50e9) 8 in
+  let backend = Training.ring_backend topo in
+  (* DP through Parallelism equals the legacy Training.iteration. *)
+  let legacy = Training.iteration Models.resnet50 backend in
+  let cost = Parallelism.iteration Models.resnet50 Parallelism.Data_parallel backend in
+  Alcotest.check feq "same total" (Training.total legacy) (Parallelism.total cost);
+  Alcotest.check feq "same comm" (Training.comm legacy) (Parallelism.comm_total cost)
+
+let test_sharded_strategies_move_more_bytes () =
+  let model = Models.msft_1t in
+  let bytes s =
+    List.fold_left (fun a (o : Parallelism.op) -> a +. o.Parallelism.bytes) 0.
+      (Parallelism.plan s model)
+  in
+  Alcotest.(check bool) "FSDP > DP weight traffic" true
+    (bytes Parallelism.Fsdp > Models.total_weight_grad_bytes model *. 2.)
+
+(* --- Overlap --------------------------------------------------------------- *)
+
+let overlap_topo () = Builders.torus ~link:(Link.of_bandwidth 25e9) [| 2; 2; 2 |]
+
+let test_overlap_unbucketed_matches_exposed_model () =
+  let topo = overlap_topo () in
+  let backend = Training.ring_backend topo in
+  let exposed = Training.iteration Models.resnet50 backend in
+  let o = Overlap.iteration ~bucket_bytes:infinity Models.resnet50 backend in
+  Alcotest.(check int) "single collective" 1 o.Overlap.buckets;
+  Alcotest.check feq "same iteration time" (Training.total exposed)
+    o.Overlap.iteration_time
+
+let test_overlap_reduces_exposure () =
+  let topo = overlap_topo () in
+  let backend = Training.ring_backend topo in
+  let unbucketed = Overlap.iteration Models.resnet50 backend in
+  let bucketed = Overlap.iteration ~bucket_bytes:5e6 Models.resnet50 backend in
+  Alcotest.(check bool) "more collectives" true (bucketed.Overlap.buckets > 1);
+  Alcotest.(check bool) "less exposed" true
+    (bucketed.Overlap.exposed_comm < unbucketed.Overlap.exposed_comm);
+  Alcotest.(check bool) "never beats pure compute + one latency" true
+    (bucketed.Overlap.iteration_time
+    >= bucketed.Overlap.fwd_compute +. bucketed.Overlap.bwd_compute)
+
+let test_overlap_accounting () =
+  let topo = overlap_topo () in
+  let o = Overlap.iteration ~bucket_bytes:5e6 Models.resnet50 (Training.ideal_backend topo) in
+  Alcotest.check feq "exposed = iteration - compute"
+    (o.Overlap.iteration_time -. o.Overlap.fwd_compute -. o.Overlap.bwd_compute)
+    o.Overlap.exposed_comm;
+  Alcotest.(check bool) "exposure bounded by network busy time" true
+    (o.Overlap.exposed_comm <= o.Overlap.comm_busy +. 1e-12)
+
+let test_overlap_rejects_bad_bucket () =
+  let topo = overlap_topo () in
+  Alcotest.check_raises "nonpositive bucket"
+    (Invalid_argument "Overlap.iteration: bucket_bytes must be positive") (fun () ->
+      ignore
+        (Overlap.iteration ~bucket_bytes:0. Models.resnet50 (Training.ring_backend topo)))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "models",
+        [
+          Alcotest.test_case "catalog plausibility" `Quick test_model_catalog;
+          Alcotest.test_case "backward costs double" `Quick test_backward_costs_double;
+          Alcotest.test_case "LLM input-grad traffic" `Quick
+            test_llms_have_input_grad_traffic;
+        ] );
+      ( "parallelism",
+        [
+          Alcotest.test_case "Table III patterns" `Quick test_table3_patterns;
+          Alcotest.test_case "plan sizes" `Quick test_plan_sizes;
+          Alcotest.test_case "GNMT pure TP exposes nothing" `Quick
+            test_gnmt_tensor_parallel_is_free;
+          Alcotest.test_case "DP consistency with Training" `Quick
+            test_strategy_iteration_consistency;
+          Alcotest.test_case "sharded strategies move more" `Quick
+            test_sharded_strategies_move_more_bytes;
+        ] );
+      ( "overlap",
+        [
+          Alcotest.test_case "unbucketed = exposed model" `Quick
+            test_overlap_unbucketed_matches_exposed_model;
+          Alcotest.test_case "bucketing reduces exposure" `Quick
+            test_overlap_reduces_exposure;
+          Alcotest.test_case "accounting identities" `Quick test_overlap_accounting;
+          Alcotest.test_case "rejects bad bucket" `Quick test_overlap_rejects_bad_bucket;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "breakdown adds up" `Quick test_iteration_breakdown_adds_up;
+          Alcotest.test_case "compute independent of backend" `Quick
+            test_compute_independent_of_backend;
+          Alcotest.test_case "backend ordering" `Quick test_backend_ordering;
+          Alcotest.test_case "TACOS improves training" `Quick
+            test_tacos_backend_improves_training;
+          Alcotest.test_case "NPU speed scales compute only" `Quick
+            test_npu_speed_scales_compute;
+        ] );
+    ]
