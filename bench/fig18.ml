@@ -23,13 +23,30 @@ let run () =
   in
   List.iter
     (fun (name, topo) ->
-      let tacos = tacos_result ~chunks_per_npu:2 topo ~size Pattern.All_reduce in
+      let tacos, synth_obs =
+        with_obs (fun () -> tacos_result ~chunks_per_npu:2 topo ~size Pattern.All_reduce)
+      in
       let tacos_tl =
         List.map snd (Schedule.utilization_timeline topo ~bins:30 tacos.Synth.schedule)
       in
-      let ring = Algo.simulate Algo.ring topo (spec ~size topo Pattern.All_reduce) in
+      let ring, engine_obs =
+        with_obs (fun () ->
+            Algo.simulate Algo.ring topo (spec ~size topo Pattern.All_reduce))
+      in
       let ring_tl = List.map snd (Engine.utilization_timeline topo ring ~bins:30) in
       let ideal = Ideal.all_reduce_time topo ~size in
+      record ~exp:"fig18"
+        [
+          ("topology", Json.String name);
+          ("npus", Json.Number (float_of_int (Topology.num_npus topo)));
+          ("tacos_makespan_seconds", Json.Number tacos.Synth.collective_time);
+          ("ring_makespan_seconds", Json.Number ring.Engine.finish_time);
+          ( "tacos_avg_utilization",
+            Json.Number (Schedule.average_utilization topo tacos.Synth.schedule) );
+          ("ring_avg_utilization", Json.Number (Engine.average_utilization topo ring));
+          ("tacos_obs", synth_obs);
+          ("ring_engine_obs", engine_obs);
+        ];
       Printf.printf "%-16s TACOS |%s| avg %s  eff %s\n" name (sparkline tacos_tl)
         (pct (Schedule.average_utilization topo tacos.Synth.schedule))
         (pct (ideal /. tacos.Synth.collective_time));
@@ -38,4 +55,5 @@ let run () =
         (pct (ideal /. ring.Engine.finish_time)))
     topologies;
   note "paper: TACOS 100%% utilization on the Torus, 98.40%% efficiency avg;";
-  note "asymmetric topologies only idle during ramp-up and drain"
+  note "asymmetric topologies only idle during ramp-up and drain";
+  flush_bench ~exp:"fig18"

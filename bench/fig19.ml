@@ -22,16 +22,26 @@ let cube_sides =
   | Default -> [ 2; 4; 6; 8; 10 ]
   | Large -> [ 2; 4; 6; 8; 10; 13; 16 ]
 
-let measure topo =
+let measure name topo =
   let n = Topology.num_npus topo in
   let sp = Spec.make ~buffer_size:1e9 ~pattern:Pattern.All_reduce ~npus:n () in
   let t0 = Unix.gettimeofday () in
-  let r = Synth.synthesize topo sp in
-  ignore r.Synth.collective_time;
-  (n, Unix.gettimeofday () -. t0)
+  let r, obs = with_obs (fun () -> Synth.synthesize topo sp) in
+  let dt = Unix.gettimeofday () -. t0 in
+  record ~exp:"fig19"
+    [
+      ("topology", Json.String name);
+      ("npus", Json.Number (float_of_int n));
+      ("synthesis_seconds", Json.Number dt);
+      ("makespan_seconds", Json.Number r.Synth.collective_time);
+      ("rounds", Json.Number (float_of_int r.Synth.stats.Synth.rounds));
+      ("matches", Json.Number (float_of_int r.Synth.stats.Synth.matches));
+      ("obs", obs);
+    ];
+  (n, dt)
 
 let sweep name build sides =
-  let samples = List.map (fun s -> measure (build s)) sides in
+  let samples = List.map (fun s -> measure name (build s)) sides in
   let rows =
     List.map
       (fun (n, t) -> [ name; string_of_int n; Units.time_pp t ])
@@ -59,4 +69,5 @@ let run () =
   Table.print ~header:[ "Topology"; "NPUs"; "Synthesis time" ] (mesh_rows @ cube_rows);
   note "fitted complexity exponent: 2D Mesh n^%.2f, 3D HC n^%.2f" mesh_exp cube_exp;
   note "paper: O(n^2) scaling; 40K-NPU 2D Mesh in 2.52 h on 64 threads";
-  note "(we are single-threaded; the shape, not the constant, is the claim)"
+  note "(we are single-threaded; the shape, not the constant, is the claim)";
+  flush_bench ~exp:"fig19"

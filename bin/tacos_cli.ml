@@ -4,6 +4,7 @@
 
      tacos synthesize --topology mesh:3x3 --pattern all-gather --ten
      tacos compare --topology dgx1 --size 1GB
+     tacos profile --topology mesh:4x4 --pattern all-reduce
      tacos info --topology dragonfly:4x5 *)
 
 open Cmdliner
@@ -13,6 +14,8 @@ module Synth = Tacos.Synthesizer
 module Algo = Tacos_baselines.Algo
 module Units = Tacos_util.Units
 module Table = Tacos_util.Table
+module Json = Tacos_util.Json
+module Obs = Tacos_obs.Obs
 
 (* --- common options ------------------------------------------------------ *)
 
@@ -288,6 +291,105 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Sweep chunk granularities and report the fastest")
     term
 
+(* --- profile ---------------------------------------------------------------- *)
+
+let profile_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the JSON profile to $(docv) ('-' for stdout).")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Include the raw structured trace (per-link enqueue events) in the output.")
+  in
+  let run topo_str alpha bw size_str pattern_str chunks seed trials out trace =
+    with_setup topo_str alpha bw (fun topo ->
+        match Parse.parse_size size_str with
+        | Error e -> fail "%s" e
+        | Ok size -> (
+          match Parse.parse_pattern pattern_str (Topology.num_npus topo) with
+          | Error e -> fail "%s" e
+          | Ok pattern -> (
+            let spec =
+              Spec.make ~chunks_per_npu:chunks ~buffer_size:size ~pattern
+                ~npus:(Topology.num_npus topo) ()
+            in
+            (* Everything below runs with the obs registry on: synthesis
+               populates the synth.*/router.* metrics, and replaying the
+               schedule under the congestion-aware simulator populates the
+               engine.* queueing metrics. *)
+            Obs.enable ();
+            Obs.reset ();
+            let synthesize () =
+              if pattern = Pattern.All_to_all then Tacos.Alltoall.synthesize ~seed topo spec
+              else Synth.synthesize ~seed ~trials topo spec
+            in
+            match synthesize () with
+            | exception Synth.Stuck msg -> fail "synthesis stuck: %s" msg
+            | exception Synth.Unsupported msg -> fail "unsupported: %s" msg
+            | result ->
+              let program =
+                Tacos_sim.Program.of_schedule ~chunk_size:(Spec.chunk_size spec)
+                  result.Synth.schedule
+              in
+              let sim = Tacos_sim.Engine.run topo program in
+              let snap = Obs.snapshot () in
+              let memo_hits = Obs.value (Obs.counter "synth.memo_hits") in
+              let scans = Obs.value (Obs.counter "synth.pick_scans") in
+              let memo_hit_rate =
+                if memo_hits + scans = 0 then 0.
+                else float_of_int memo_hits /. float_of_int (memo_hits + scans)
+              in
+              let num f = Json.Number f in
+              let doc =
+                Json.Object
+                  ([
+                     ("topology", Json.String (Topology.name topo));
+                     ("npus", num (float_of_int (Topology.num_npus topo)));
+                     ("links", num (float_of_int (Topology.num_links topo)));
+                     ("pattern", Json.String (Pattern.name pattern));
+                     ("buffer_bytes", num size);
+                     ("chunks_per_npu", num (float_of_int chunks));
+                     ("seed", num (float_of_int seed));
+                     ("trials", num (float_of_int trials));
+                     ("collective_time_seconds", num result.Synth.collective_time);
+                     ("simulated_time_seconds", num sim.Tacos_sim.Engine.finish_time);
+                     ("synthesis_wall_seconds", num result.Synth.stats.Synth.wall_seconds);
+                     ("rounds", num (float_of_int result.Synth.stats.Synth.rounds));
+                     ("matches", num (float_of_int result.Synth.stats.Synth.matches));
+                     ("derived", Json.Object [ ("memo_hit_rate", num memo_hit_rate) ]);
+                     ("obs", snap);
+                   ]
+                  @ if trace then [ ("trace", Obs.trace_events ()) ] else [])
+              in
+              let text = Json.encode doc in
+              (match out with
+              | "-" -> print_endline text
+              | file ->
+                let oc = open_out file in
+                output_string oc text;
+                output_char oc '\n';
+                close_out oc;
+                Format.printf "profile written to %s@." file);
+              `Ok ())))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
+       $ chunks_arg $ seed_arg $ trials_arg $ out_arg $ trace_arg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Synthesize with the observability registry enabled and emit a JSON \
+          profile (counters, histograms, timers, queueing metrics)")
+    term
+
 (* --- info -------------------------------------------------------------------- *)
 
 let info_cmd =
@@ -329,4 +431,6 @@ let info_cmd =
 let () =
   let doc = "TACOS: topology-aware collective algorithm synthesizer" in
   let info = Cmd.info "tacos" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ synthesize_cmd; compare_cmd; tune_cmd; info_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ synthesize_cmd; compare_cmd; tune_cmd; profile_cmd; info_cmd ]))

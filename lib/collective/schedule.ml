@@ -147,27 +147,9 @@ let link_busy_seconds topo t =
   busy
 
 let utilization_timeline topo ~bins t =
-  if bins <= 0 then invalid_arg "Schedule.utilization_timeline: bins must be positive";
-  let nlinks = float_of_int (Topology.num_links topo) in
-  if t.makespan <= 0. then []
-  else begin
-    let width = t.makespan /. float_of_int bins in
-    let busy = Array.make bins 0. in
-    List.iter
-      (fun s ->
-        (* Spread the send's busy interval over the bins it intersects. *)
-        let lo = int_of_float (s.start /. width) in
-        let hi = min (bins - 1) (int_of_float (s.finish /. width)) in
-        for b = max 0 lo to hi do
-          let bin_start = float_of_int b *. width in
-          let bin_end = bin_start +. width in
-          let overlap = Float.min s.finish bin_end -. Float.max s.start bin_start in
-          if overlap > 0. then busy.(b) <- busy.(b) +. overlap
-        done)
-      t.sends;
-    List.init bins (fun b ->
-        (float_of_int (b + 1) *. width, busy.(b) /. (nlinks *. width)))
-  end
+  Tacos_util.Timeline.utilization ~bins ~span:t.makespan
+    ~capacity:(float_of_int (Topology.num_links topo))
+    (fun f -> List.iter (fun s -> f s.start s.finish) t.sends)
 
 let average_utilization topo t =
   if t.makespan <= 0. then 0.

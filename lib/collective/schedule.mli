@@ -28,6 +28,11 @@ val make : send list -> t
 val empty : t
 val num_sends : t -> int
 
+val eps_for : float -> float
+(** Magnitude-scaled tolerance for floating-point time comparisons:
+    [1e-9 + 1e-9 * |t|]. Shared by the validator and the router's
+    reservation calendars so "free slot" and "congestion-free" agree. *)
+
 val shift : t -> float -> t
 (** Translate every send in time. *)
 

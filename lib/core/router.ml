@@ -2,10 +2,19 @@
 open Tacos_topology
 open Tacos_collective
 module Rng = Tacos_util.Rng
+module Obs = Tacos_obs.Obs
+
+let obs_relaxations = Obs.counter "router.relaxations"
+let obs_jobs = Obs.counter "router.jobs"
+let obs_calendar_scan = Obs.histogram "router.calendar_scan_depth"
+let obs_route_timer = Obs.timer "router.route_seconds"
 
 type job = { chunk : int; src : int; dst : int }
 
-(* Per-link reservation calendar: sorted disjoint busy intervals. *)
+(* Per-link reservation calendar: sorted disjoint busy intervals. All time
+   comparisons use the magnitude-scaled [Schedule.eps_for] tolerance — an
+   absolute slack (the old 1e-15) is below one ulp once makespans reach
+   ~100s, which made exactly-fitting gaps invisible on long calendars. *)
 module Calendar = struct
   type t = (float * float) list ref
 
@@ -13,18 +22,33 @@ module Calendar = struct
 
   (* Earliest start >= ready such that [start, start + dur) is free. *)
   let earliest_free (t : t) ~ready ~dur =
+    let depth = ref 0 in
     let rec scan start = function
       | [] -> start
       | (b, e) :: rest ->
-        if start +. dur <= b +. 1e-15 then start else scan (Float.max start e) rest
+        incr depth;
+        if start +. dur <= b +. Schedule.eps_for b then start
+        else scan (Float.max start e) rest
     in
-    scan ready !t
+    let start = scan ready !t in
+    Obs.observe obs_calendar_scan (float_of_int !depth);
+    start
 
+  (* Insert keeping the list sorted and disjoint; a reservation that
+     overlaps an existing interval by more than the scaled tolerance is a
+     routing bug and raises instead of silently corrupting the calendar. *)
   let reserve (t : t) ~start ~dur =
+    let finish = start +. dur in
+    let eps = Schedule.eps_for finish in
     let rec insert = function
-      | [] -> [ (start, start +. dur) ]
-      | ((b, _) as iv) :: rest when start < b -> (start, start +. dur) :: iv :: rest
-      | iv :: rest -> iv :: insert rest
+      | [] -> [ (start, finish) ]
+      | ((b, _) :: _) as rest when finish <= b +. eps -> (start, finish) :: rest
+      | ((_, e) as iv) :: rest when e <= start +. eps -> iv :: insert rest
+      | (b, e) :: _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Calendar.reserve: [%g, %g) overlaps reserved [%g, %g)" start finish b
+             e)
     in
     t := insert !t
 end
@@ -64,6 +88,7 @@ let route_jobs ?(seed = 42) topo ~chunk_size jobs =
           if u <> dst then
             List.iter
               (fun (e : Topology.edge) ->
+                Obs.incr obs_relaxations;
                 let start =
                   Calendar.earliest_free calendars.(e.id) ~ready:t ~dur:cost.(e.id)
                 in
@@ -105,7 +130,14 @@ let route_jobs ?(seed = 42) topo ~chunk_size jobs =
   let jobs = Array.of_list jobs in
   Rng.shuffle_in_place rng jobs;
   let sends = ref [] in
-  Array.iter (fun job -> if job.src <> job.dst then sends := route job @ !sends) jobs;
+  Obs.time obs_route_timer (fun () ->
+      Array.iter
+        (fun job ->
+          if job.src <> job.dst then begin
+            Obs.incr obs_jobs;
+            sends := route job @ !sends
+          end)
+        jobs);
   Schedule.make !sends
 
 let jobs_of_spec (spec : Spec.t) =

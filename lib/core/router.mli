@@ -11,6 +11,23 @@ open Tacos_collective
 
 type job = { chunk : int; src : int; dst : int }
 
+(** Per-link reservation calendar: sorted disjoint busy intervals, with all
+    comparisons under the magnitude-scaled {!Schedule.eps_for} tolerance.
+    Exposed for testing. *)
+module Calendar : sig
+  type t
+
+  val create : unit -> t
+
+  val earliest_free : t -> ready:float -> dur:float -> float
+  (** Earliest [start >= ready] such that [\[start, start + dur)] is free. *)
+
+  val reserve : t -> start:float -> dur:float -> unit
+  (** Mark [\[start, start + dur)] busy. Raises [Invalid_argument] if the
+      interval overlaps an existing reservation by more than the scaled
+      tolerance. *)
+end
+
 val route_jobs :
   ?seed:int -> Topology.t -> chunk_size:float -> job list -> Schedule.t
 (** Route every job (shuffled by [seed]); returns the combined schedule.

@@ -4,6 +4,16 @@ open Tacos_collective
 module Rng = Tacos_util.Rng
 module Fheap = Tacos_util.Fheap
 module Ivec = Tacos_util.Ivec
+module Obs = Tacos_obs.Obs
+
+let obs_rounds = Obs.counter "synth.rounds"
+let obs_matches = Obs.counter "synth.matches"
+let obs_pick_scans = Obs.counter "synth.pick_scans"
+let obs_memo_hits = Obs.counter "synth.memo_hits"
+let obs_idle_links = Obs.histogram "synth.idle_links"
+let obs_scan_len = Obs.histogram "synth.pick_scan_len"
+let obs_trial_makespan = Obs.histogram "synth.trial_makespan"
+let obs_trial_timer = Obs.timer "synth.trial_seconds"
 
 type stats = { wall_seconds : float; rounds : int; matches : int; trials : int }
 
@@ -83,41 +93,53 @@ let synthesize_pull ~prefer_cheap_links rng topo spec =
      towards [s] — such a failure must not be memoized, since it resolves
      without any version bump. *)
   let saw_pending = ref false in
+  let obs_on = Obs.enabled () in
+  let probes = ref 0 in
   let pick_chunk s d =
     let t = !now in
     saw_pending := false;
-    if Ivec.length holds.(s) <= Ivec.length wants.(d) then begin
-      let len = Ivec.length holds.(s) in
-      if len = 0 then -1
-      else begin
-        let i =
-          Ivec.exists_from holds.(s) ~start:(Rng.int rng len) (fun c ->
-              wants_pos.(d).(c) >= 0
-              &&
-              if arrival.(s).(c) <= t then true
-              else begin
-                saw_pending := true;
-                false
-              end)
-        in
-        if i < 0 then -1 else Ivec.get holds.(s) i
+    probes := 0;
+    let found =
+      if Ivec.length holds.(s) <= Ivec.length wants.(d) then begin
+        let len = Ivec.length holds.(s) in
+        if len = 0 then -1
+        else begin
+          let i =
+            Ivec.exists_from holds.(s) ~start:(Rng.int rng len) (fun c ->
+                if obs_on then incr probes;
+                wants_pos.(d).(c) >= 0
+                &&
+                if arrival.(s).(c) <= t then true
+                else begin
+                  saw_pending := true;
+                  false
+                end)
+          in
+          if i < 0 then -1 else Ivec.get holds.(s) i
+        end
       end
-    end
-    else begin
-      let len = Ivec.length wants.(d) in
-      if len = 0 then -1
       else begin
-        let i =
-          Ivec.exists_from wants.(d) ~start:(Rng.int rng len) (fun c ->
-              if arrival.(s).(c) <= t then true
-              else begin
-                if arrival.(s).(c) < infinity then saw_pending := true;
-                false
-              end)
-        in
-        if i < 0 then -1 else Ivec.get wants.(d) i
+        let len = Ivec.length wants.(d) in
+        if len = 0 then -1
+        else begin
+          let i =
+            Ivec.exists_from wants.(d) ~start:(Rng.int rng len) (fun c ->
+                if obs_on then incr probes;
+                if arrival.(s).(c) <= t then true
+                else begin
+                  if arrival.(s).(c) < infinity then saw_pending := true;
+                  false
+                end)
+          in
+          if i < 0 then -1 else Ivec.get wants.(d) i
+        end
       end
-    end
+    in
+    if obs_on then begin
+      Obs.incr obs_pick_scans;
+      Obs.observe obs_scan_len (float_of_int !probes)
+    end;
+    found
   in
   let remove_want d c =
     let i = wants_pos.(d).(c) in
@@ -127,6 +149,7 @@ let synthesize_pull ~prefer_cheap_links rng topo spec =
   in
   while !unsatisfied > 0 do
     incr rounds;
+    Obs.incr obs_rounds;
     let t = !now in
     (* Gather the idle links, shuffle, then order cheapest-first (§IV-F). *)
     let idle_count = ref 0 in
@@ -137,18 +160,19 @@ let synthesize_pull ~prefer_cheap_links rng topo spec =
       end
     done;
     let idle_links = Array.sub idle 0 !idle_count in
+    if obs_on then Obs.observe obs_idle_links (float_of_int !idle_count);
     Rng.shuffle_in_place rng idle_links;
     if prefer_cheap_links then
       Array.stable_sort (fun a b -> compare cost.(a) cost.(b)) idle_links;
     Array.iter
       (fun e ->
         let d = dst.(e) and s = src.(e) in
-        if
-          Ivec.length wants.(d) > 0
-          && not
-               (scanned_has.(e) = has_version.(s)
-               && scanned_wants.(e) = wants_version.(d))
-        then begin
+        if Ivec.length wants.(d) > 0 then begin
+          if
+            scanned_has.(e) = has_version.(s)
+            && scanned_wants.(e) = wants_version.(d)
+          then Obs.incr obs_memo_hits
+          else begin
           let c = pick_chunk s d in
           if c >= 0 then begin
             let finish = t +. cost.(e) in
@@ -163,11 +187,13 @@ let synthesize_pull ~prefer_cheap_links rng topo spec =
             link_free.(e) <- finish;
             Fheap.push events finish;
             decr unsatisfied;
-            incr matches
+            incr matches;
+            Obs.incr obs_matches
           end
           else if not !saw_pending then begin
             scanned_has.(e) <- has_version.(s);
             scanned_wants.(e) <- wants_version.(d)
+          end
           end
         end)
       idle_links;
@@ -209,7 +235,7 @@ let synthesize_simple ~prefer_cheap_links rng topo (spec : Spec.t) =
           use Tacos.Router (or Tacos.Alltoall)")
 
 (* One full trial, returning (schedule, phases, rounds, matches). *)
-let trial ~prefer_cheap_links rng topo (spec : Spec.t) =
+let trial_untimed ~prefer_cheap_links rng topo (spec : Spec.t) =
   match spec.pattern with
   | Pattern.All_reduce ->
     let rs, r1, m1 =
@@ -225,6 +251,13 @@ let trial ~prefer_cheap_links rng topo (spec : Spec.t) =
   | _ ->
     let sched, rounds, matches = synthesize_simple ~prefer_cheap_links rng topo spec in
     (sched, None, rounds, matches)
+
+let trial ~prefer_cheap_links rng topo spec =
+  let ((sched, _, _, _) as result) =
+    Obs.time obs_trial_timer (fun () -> trial_untimed ~prefer_cheap_links rng topo spec)
+  in
+  Obs.observe obs_trial_makespan sched.Schedule.makespan;
+  result
 
 let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = true)
     topo spec =

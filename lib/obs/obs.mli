@@ -1,0 +1,82 @@
+(** Lightweight observability substrate: counters, running-max gauges,
+    log-scale histograms, span timers and a structured trace sink behind one
+    global registry that is OFF by default.
+
+    When disabled (the default) every record operation is a single atomic
+    flag load and a branch, so the synthesizer and simulator hot paths stay
+    permanently instrumented at effectively zero cost. All metric state is
+    domain-safe (synthesis trials run on multiple domains). Snapshots
+    serialize to {!Tacos_util.Json} for the CLI [profile] subcommand and the
+    [BENCH_*.json] benchmark rows. *)
+
+(** {1 Global switch} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every registered metric and drop buffered trace events. Metric
+    identities survive: handles interned before [reset] remain valid. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Intern by name: the same name always yields the same counter. Raises
+    [Invalid_argument] if the name is registered as another metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val value : counter -> int
+(** Current value (readable even while disabled). *)
+
+(** {1 Gauges (running maximum)} *)
+
+type gauge
+
+val gauge : string -> gauge
+val observe_max : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+(** Largest observation since the last {!reset}; 0 when none. *)
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record one observation: exact count/sum/min/max plus a power-of-two
+    magnitude bucket. *)
+
+(** {1 Span timers} *)
+
+type timer
+
+val timer : string -> timer
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its wall-clock duration as a histogram
+    observation (in seconds) when enabled; a plain call when disabled. *)
+
+(** {1 Trace sink} *)
+
+val trace : string -> (string * Tacos_util.Json.t) list -> unit
+(** Append a structured trace event (name, seconds since the last [reset],
+    caller-supplied fields). Buffered in memory, bounded: events past the
+    cap are counted as dropped. *)
+
+val trace_events : unit -> Tacos_util.Json.t
+(** [{dropped; events}] — the buffered trace as JSON. *)
+
+(** {1 Snapshot} *)
+
+val snapshot : unit -> Tacos_util.Json.t
+(** All registered metrics as one JSON object with [counters], [gauges],
+    [histograms] and [timers] sections, each sorted by metric name. *)
+
+val snapshot_string : unit -> string

@@ -1,6 +1,12 @@
 (* Namespaces of the substrate libraries. *)
 open Tacos_topology
 module Pq = Tacos_util.Pq
+module Obs = Tacos_obs.Obs
+
+let obs_events = Obs.counter "engine.events"
+let obs_queue_depth = Obs.histogram "engine.queue_depth"
+let obs_max_queue = Obs.gauge "engine.max_queue_depth"
+let obs_max_backlog = Obs.gauge "engine.max_backlog_seconds"
 
 type report = {
   finish_time : float;
@@ -67,14 +73,18 @@ let run ?(model = Pipelined_alpha) ?routing_size topo program =
       List.iter (fun d -> dependents.(d) <- tr.id :: dependents.(d)) tr.deps)
     transfers;
   let events : event Pq.t = Pq.create () in
+  let obs_on = Obs.enabled () in
+  (* Time the link is occupied by one message of [size] bytes — the unit of
+     both FCFS service and backlog accounting, so the two can never drift. *)
+  let hold_of link size =
+    match model with
+    | Pipelined_alpha -> serialize.(link) *. size
+    | Blocking_alpha -> latency.(link) +. (serialize.(link) *. size)
+  in
   let start_service link (msg : msg) t =
     serving.(link) <- true;
     let size = transfers.(msg.tid).Program.size in
-    let hold =
-      match model with
-      | Pipelined_alpha -> serialize.(link) *. size
-      | Blocking_alpha -> latency.(link) +. (serialize.(link) *. size)
-    in
+    let hold = hold_of link size in
     let arrive =
       match model with
       | Pipelined_alpha -> t +. hold +. latency.(link)
@@ -102,8 +112,27 @@ let run ?(model = Pipelined_alpha) ?routing_size topo program =
             if backlog.(e.id) < backlog.(best) then e.id else best)
           first.Topology.id rest
     in
-    let hold = serialize.(link) *. transfers.(msg.tid).Program.size in
+    (* backlog.(link) predicts when the link finishes everything accepted so
+       far: service is FCFS and back-to-back, so the new message starts at
+       max(backlog, now) and occupies the link for its full model hold
+       (including α under Blocking_alpha — accounting only the serialization
+       term let latency-bound traffic look free and pile onto one of two
+       identical parallel links). *)
+    let hold = hold_of link transfers.(msg.tid).Program.size in
     backlog.(link) <- Float.max backlog.(link) t +. hold;
+    if obs_on then begin
+      let depth = Queue.length queue.(link) in
+      Obs.observe obs_queue_depth (float_of_int depth);
+      Obs.observe_max obs_max_queue (float_of_int depth);
+      Obs.observe_max obs_max_backlog (backlog.(link) -. t);
+      Obs.trace "engine.enqueue"
+        [
+          ("link", Tacos_util.Json.Number (float_of_int link));
+          ("now", Tacos_util.Json.Number t);
+          ("depth", Tacos_util.Json.Number (float_of_int depth));
+          ("backlog_seconds", Tacos_util.Json.Number (backlog.(link) -. t));
+        ]
+    end;
     if serving.(link) then Queue.push msg queue.(link) else start_service link msg t
   in
   let complete tid t =
@@ -135,6 +164,7 @@ let run ?(model = Pipelined_alpha) ?routing_size topo program =
     match Pq.pop events with
     | None -> ()
     | Some (t, ev) ->
+      Obs.incr obs_events;
       finish_time := Float.max !finish_time t;
       (match ev with
       | Ready tid -> launch tid t
@@ -170,27 +200,9 @@ let run ?(model = Pipelined_alpha) ?routing_size topo program =
   }
 
 let utilization_timeline topo report ~bins =
-  if bins <= 0 then invalid_arg "Engine.utilization_timeline: bins must be positive";
-  let nlinks = float_of_int (Topology.num_links topo) in
-  let span = report.finish_time in
-  if span <= 0. then []
-  else begin
-    let width = span /. float_of_int bins in
-    let busy = Array.make bins 0. in
-    Array.iter
-      (List.iter (fun (s, f) ->
-           let lo = max 0 (int_of_float (s /. width)) in
-           let hi = min (bins - 1) (int_of_float (f /. width)) in
-           for b = lo to hi do
-             let bin_start = float_of_int b *. width in
-             let bin_end = bin_start +. width in
-             let overlap = Float.min f bin_end -. Float.max s bin_start in
-             if overlap > 0. then busy.(b) <- busy.(b) +. overlap
-           done))
-      report.link_intervals;
-    List.init bins (fun b ->
-        (float_of_int (b + 1) *. width, busy.(b) /. (nlinks *. width)))
-  end
+  Tacos_util.Timeline.utilization ~bins ~span:report.finish_time
+    ~capacity:(float_of_int (Topology.num_links topo))
+    (fun f -> Array.iter (List.iter (fun (s, e) -> f s e)) report.link_intervals)
 
 let average_utilization topo report =
   if report.finish_time <= 0. then 0.

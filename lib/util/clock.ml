@@ -1,0 +1,17 @@
+(* Monotonic-style span clock (the role Mtime plays in bigger codebases):
+   a start/elapsed pair for timing code regions, used by the obs layer's
+   span timers. Unix.gettimeofday is the best dependency-free source; the
+   elapsed reading is clamped at zero so a stepped wall clock can never
+   produce a negative span. *)
+
+type span = { started : float }
+
+let now () = Unix.gettimeofday ()
+let start () = { started = now () }
+let elapsed s = Float.max 0. (now () -. s.started)
+
+(* Run [f] and return its result with the wall seconds it took. *)
+let time f =
+  let s = start () in
+  let v = f () in
+  (v, elapsed s)

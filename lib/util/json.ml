@@ -153,6 +153,62 @@ let parse input =
     else Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
   | exception Bad msg -> Error msg
 
+(* --- emission ----------------------------------------------------------- *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_number buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let rec add_value buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Number f -> add_number buf f
+  | String s -> add_escaped buf s
+  | Array elems ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_string buf ", ";
+        add_value buf v)
+      elems;
+    Buffer.add_char buf ']'
+  | Object fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        add_escaped buf k;
+        Buffer.add_string buf ": ";
+        add_value buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let encode v =
+  let buf = Buffer.create 256 in
+  add_value buf v;
+  Buffer.contents buf
+
+(* --- accessors ---------------------------------------------------------- *)
+
 let member key = function
   | Object fields -> List.assoc_opt key fields
   | _ -> None

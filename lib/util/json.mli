@@ -15,6 +15,12 @@ val parse : string -> (t, string) result
     the standard single-character escapes; unicode escapes are preserved
     verbatim. *)
 
+val encode : t -> string
+(** Serialize compactly (single line). Integral numbers print without a
+    fractional part; everything else uses round-trippable [%.17g]. Strings
+    are escaped, so [parse (encode v) = Ok v] for documents built from this
+    type. *)
+
 val member : string -> t -> t option
 (** Object field lookup. *)
 

@@ -18,9 +18,22 @@ let copy t = { state = t.state }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let mask = Int64.of_int max_int in
-  let v = Int64.to_int (Int64.logand (bits64 t) mask) in
-  v mod bound
+  if bound land (bound - 1) = 0 then
+    (* Power of two: masking the mixed state is exact and unbiased. *)
+    Int64.to_int (Int64.logand (bits64 t) (Int64.of_int (bound - 1)))
+  else begin
+    (* Rejection sampling: [v mod bound] over [0, max_int] over-represents
+       the residues below [(max_int + 1) mod bound], which skews tie-break
+       shuffles for non-power-of-two counts. Redraw whenever [v] falls in
+       the final partial block [v - r + bound - 1 > max_int]. *)
+    let mask = Int64.of_int max_int in
+    let rec draw () =
+      let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+      let r = v mod bound in
+      if v - r > max_int - bound + 1 then draw () else r
+    in
+    draw ()
+  end
 
 let float t bound =
   (* 53 random bits scaled to [0,1). *)

@@ -25,8 +25,9 @@ val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in \[0, bound). Raises [Invalid_argument] if
-    [bound <= 0]. *)
+(** [int t bound] is uniform in \[0, bound) — exactly, via rejection
+    sampling, so non-power-of-two bounds carry no modulo bias. Raises
+    [Invalid_argument] if [bound <= 0]. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in \[0, bound). *)

@@ -1,0 +1,37 @@
+(* Time-binned busy/utilization accounting shared by the simulator report
+   and the schedule analyses: spread a set of [start, finish) busy
+   intervals over [bins] equal slices of [0, span] and normalize each
+   slice by [capacity] parallel servers.
+
+   [iter] is a fold over the intervals: it calls its argument once per
+   (start, finish) pair, letting callers stream their own structures
+   (interval lists per link, send lists, ...) without materializing an
+   intermediate list. *)
+
+let binned_busy ~bins ~span iter =
+  if bins <= 0 then invalid_arg "Timeline.binned_busy: bins must be positive";
+  let width = span /. float_of_int bins in
+  let busy = Array.make bins 0. in
+  iter (fun s f ->
+      let lo = max 0 (int_of_float (s /. width)) in
+      let hi = min (bins - 1) (int_of_float (f /. width)) in
+      for b = lo to hi do
+        let bin_start = float_of_int b *. width in
+        let bin_end = bin_start +. width in
+        let overlap = Float.min f bin_end -. Float.max s bin_start in
+        if overlap > 0. then busy.(b) <- busy.(b) +. overlap
+      done);
+  busy
+
+(* (bin_end_time, fraction-of-capacity-busy) per bin; [] when the span is
+   empty, matching the historical behavior of both call sites. *)
+let utilization ~bins ~span ~capacity iter =
+  if bins <= 0 then invalid_arg "Timeline.utilization: bins must be positive";
+  if capacity <= 0. then invalid_arg "Timeline.utilization: capacity must be positive";
+  if span <= 0. then []
+  else begin
+    let width = span /. float_of_int bins in
+    let busy = binned_busy ~bins ~span iter in
+    List.init bins (fun b ->
+        (float_of_int (b + 1) *. width, busy.(b) /. (capacity *. width)))
+  end

@@ -1,0 +1,23 @@
+(** Time-binned busy/utilization accounting shared by the simulator report
+    and the schedule analyses.
+
+    Busy intervals are supplied as an iterator: [iter f] must call
+    [f start finish] once per interval, letting callers stream their own
+    structures (per-link interval lists, send lists, ...) without building
+    an intermediate list. Intervals reaching outside [0, span] are
+    clamped. *)
+
+val binned_busy :
+  bins:int -> span:float -> ((float -> float -> unit) -> unit) -> float array
+(** Total busy time falling into each of [bins] equal slices of
+    [0, span]. Raises [Invalid_argument] if [bins <= 0]. *)
+
+val utilization :
+  bins:int ->
+  span:float ->
+  capacity:float ->
+  ((float -> float -> unit) -> unit) ->
+  (float * float) list
+(** [(bin_end_time, fraction_of_capacity_busy)] per bin, normalizing each
+    slice by [capacity] parallel servers; [[]] when [span <= 0]. Raises
+    [Invalid_argument] if [bins <= 0] or [capacity <= 0]. *)

@@ -126,6 +126,53 @@ let test_router_rejects_matching_patterns () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "All-Gather belongs to the matching loop"
 
+(* --- Calendar ------------------------------------------------------------ *)
+
+module Calendar = Tacos.Router.Calendar
+
+let test_calendar_empty () =
+  let c = Calendar.create () in
+  Alcotest.check time "free from ready" 3. (Calendar.earliest_free c ~ready:3. ~dur:5.)
+
+let test_calendar_gap_fit () =
+  let c = Calendar.create () in
+  Calendar.reserve c ~start:0. ~dur:2.;
+  Calendar.reserve c ~start:5. ~dur:2.;
+  Alcotest.check time "fits the gap" 2. (Calendar.earliest_free c ~ready:0. ~dur:3.);
+  Alcotest.check time "too long for the gap, goes after" 7.
+    (Calendar.earliest_free c ~ready:0. ~dur:4.);
+  Alcotest.check time "ready inside a busy interval" 2.
+    (Calendar.earliest_free c ~ready:1. ~dur:1.)
+
+let test_calendar_scaled_eps () =
+  (* Regression: with a fixed 1e-15 slack, a O(1e9)-magnitude fit check
+     failed on representation error alone (1 ulp of 1e9 is ~1.2e-7), so
+     jobs that exactly abutted a reservation were pushed behind it. The
+     tolerance must scale with the magnitudes compared. *)
+  let c = Calendar.create () in
+  Calendar.reserve c ~start:1e9 ~dur:10.;
+  (* Filling the [0, 1e9) gap exactly: a few ulps of slop must not spill
+     the job past the reservation. *)
+  let dur = 1e9 *. (1. +. 2. *. epsilon_float) in
+  Alcotest.check time "abutting fit at large magnitude" 0.
+    (Calendar.earliest_free c ~ready:0. ~dur)
+
+let test_calendar_reserve_overlap () =
+  let c = Calendar.create () in
+  Calendar.reserve c ~start:0. ~dur:10.;
+  Alcotest.(check bool) "overlap raises" true
+    (match Calendar.reserve c ~start:5. ~dur:10. with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_calendar_adjacent_ok () =
+  let c = Calendar.create () in
+  Calendar.reserve c ~start:0. ~dur:10.;
+  Calendar.reserve c ~start:10. ~dur:5.;
+  Calendar.reserve c ~start:20. ~dur:1.;
+  Alcotest.check time "free after the packed prefix" 15.
+    (Calendar.earliest_free c ~ready:0. ~dur:5.)
+
 let prop_always_valid =
   QCheck.Test.make ~name:"All-to-All schedules always validate" ~count:25
     QCheck.(make Gen.(pair (int_range 2 3) (int_range 2 3)))
@@ -138,6 +185,17 @@ let prop_always_valid =
 let () =
   Alcotest.run "alltoall"
     [
+      ( "calendar",
+        [
+          Alcotest.test_case "empty calendar is free" `Quick test_calendar_empty;
+          Alcotest.test_case "fits into gaps" `Quick test_calendar_gap_fit;
+          Alcotest.test_case "large-magnitude tolerance" `Quick
+            test_calendar_scaled_eps;
+          Alcotest.test_case "reserve rejects overlap" `Quick
+            test_calendar_reserve_overlap;
+          Alcotest.test_case "adjacent reservations ok" `Quick
+            test_calendar_adjacent_ok;
+        ] );
       ( "alltoall",
         [
           Alcotest.test_case "spec conditions" `Quick test_spec_conditions;

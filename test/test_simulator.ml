@@ -171,6 +171,43 @@ let test_blocking_alpha_model () =
   let pipelined = Engine.run topo (Program.build b2) in
   Alcotest.check feq "alpha pipelines" 3. pipelined.Engine.finish_time
 
+let test_blocking_alpha_spreads_parallel_links () =
+  (* Regression: enqueue-time backlog accounting used the pipelined hold
+     (serialization only), so under Blocking_alpha with beta=0 every queued
+     message predicted an instantly-free link and all of them piled onto the
+     first of two identical parallel links (8 alphas serialized instead of
+     4). Backlog must advance by the same hold the service model charges. *)
+  let topo = Topology.create 2 in
+  Topology.add_bidir topo 0 1 (Link.make ~alpha:1. ~beta:0.);
+  Topology.add_bidir topo 0 1 (Link.make ~alpha:1. ~beta:0.);
+  let b = Program.builder () in
+  for _ = 1 to 8 do
+    ignore (add b ~src:0 ~dst:1 ~size:1. ())
+  done;
+  let r = Engine.run ~model:Engine.Blocking_alpha topo (Program.build b) in
+  Alcotest.check feq "4 rounds of blocked alpha" 4. r.Engine.finish_time;
+  List.iter
+    (fun (l : Topology.edge) ->
+      Alcotest.check feq "even bytes split" 4. r.Engine.link_bytes.(l.Topology.id))
+    (Topology.find_links topo ~src:0 ~dst:1)
+
+let test_pipelined_spreads_parallel_links () =
+  (* The same even-split property for the default model, where the hold is
+     the serialization time. *)
+  let topo = Topology.create 2 in
+  Topology.add_bidir topo 0 1 (Link.make ~alpha:0. ~beta:1.);
+  Topology.add_bidir topo 0 1 (Link.make ~alpha:0. ~beta:1.);
+  let b = Program.builder () in
+  for _ = 1 to 8 do
+    ignore (add b ~src:0 ~dst:1 ~size:1. ())
+  done;
+  let r = Engine.run topo (Program.build b) in
+  Alcotest.check feq "4 serialized per link" 4. r.Engine.finish_time;
+  List.iter
+    (fun (l : Topology.edge) ->
+      Alcotest.check feq "even bytes split" 4. r.Engine.link_bytes.(l.Topology.id))
+    (Topology.find_links topo ~src:0 ~dst:1)
+
 let test_deterministic () =
   let topo = Builders.torus [| 3; 3 |] in
   let spec = Spec.make ~buffer_size:1e6 ~pattern:Pattern.All_reduce ~npus:9 () in
@@ -205,6 +242,10 @@ let () =
             test_simulates_synthesized_schedule;
           Alcotest.test_case "routing size matters" `Quick test_routing_size_override;
           Alcotest.test_case "blocking-alpha model" `Quick test_blocking_alpha_model;
+          Alcotest.test_case "blocking-alpha spreads parallel links" `Quick
+            test_blocking_alpha_spreads_parallel_links;
+          Alcotest.test_case "pipelined spreads parallel links" `Quick
+            test_pipelined_spreads_parallel_links;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
         ] );
     ]

@@ -61,6 +61,41 @@ let test_rng_int_roughly_uniform () =
       Alcotest.(check bool) "bucket near 10%" true (f > 0.08 && f < 0.12))
     buckets
 
+(* Regression for the modulo-bias bug: [bits64 mod bound] over-weights the
+   low residues whenever the 62-bit draw range is not a multiple of [bound].
+   Rejection sampling makes every residue exactly equally likely, which a
+   chi-square test over a non-power-of-two bound can certify: for 7 buckets
+   (6 degrees of freedom) the 99.9th percentile of chi2 is 22.46, so a
+   correct sampler stays below 30 with overwhelming probability while a
+   deliberately biased one lands far above. *)
+let chi_square ~bound ~samples draw =
+  let buckets = Array.make bound 0 in
+  for _ = 1 to samples do
+    let v = draw () in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let expected = float_of_int samples /. float_of_int bound in
+  Array.fold_left
+    (fun acc count ->
+      let d = float_of_int count -. expected in
+      acc +. (d *. d /. expected))
+    0. buckets
+
+let test_rng_int_chi_square () =
+  let rng = Rng.create 2024 in
+  let chi2 = chi_square ~bound:7 ~samples:70_000 (fun () -> Rng.int rng 7) in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.2f below 30 (df=6, p=0.999 at 22.46)" chi2)
+    true (chi2 < 30.)
+
+let test_rng_int_chi_square_pow2 () =
+  (* The masked power-of-two shortcut must be just as uniform. *)
+  let rng = Rng.create 77 in
+  let chi2 = chi_square ~bound:8 ~samples:80_000 (fun () -> Rng.int rng 8) in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.2f below 32 (df=7, p=0.999 at 24.32)" chi2)
+    true (chi2 < 32.)
+
 let test_rng_float_range () =
   let rng = Rng.create 3 in
   for _ = 1 to 1000 do
@@ -248,6 +283,83 @@ let test_json_empty_containers () =
   Alcotest.(check bool) "empty object" true (Json.parse "{}" = Ok (Json.Object []));
   Alcotest.(check bool) "empty array" true (Json.parse "[ ]" = Ok (Json.Array []))
 
+let test_json_encode_roundtrip () =
+  let doc =
+    Json.Object
+      [
+        ("name", Json.String "mesh:3x3");
+        ("escaped", Json.String "a\"b\\c\nd\te");
+        ("count", Json.Number 42.);
+        ("ratio", Json.Number 0.125);
+        ("neg", Json.Number (-3.));
+        ("flag", Json.Bool true);
+        ("none", Json.Null);
+        ("rows", Json.Array [ Json.Number 1.; Json.Object []; Json.Array [] ]);
+      ]
+  in
+  match Json.parse (Json.encode doc) with
+  | Ok parsed -> Alcotest.(check bool) "parse (encode v) = v" true (parsed = doc)
+  | Error e -> Alcotest.failf "encode produced unparseable JSON: %s" e
+
+let test_json_encode_integral () =
+  (* Integral floats must not pick up a spurious fraction or exponent. *)
+  Alcotest.(check string) "integral" "144" (Json.encode (Json.Number 144.));
+  Alcotest.(check string) "zero" "0" (Json.encode (Json.Number 0.))
+
+(* --- Clock ---------------------------------------------------------------- *)
+
+module Clock = Tacos_util.Clock
+
+let test_clock_monotone_span () =
+  let s = Clock.start () in
+  let busy = ref 0 in
+  for i = 1 to 10_000 do
+    busy := !busy + i
+  done;
+  let e = Clock.elapsed s in
+  Alcotest.(check bool) "non-negative" true (e >= 0.);
+  Alcotest.(check bool) "later spans grow" true (Clock.elapsed s >= e)
+
+let test_clock_time () =
+  let v, dt = Clock.time (fun () -> 42) in
+  Alcotest.(check int) "value" 42 v;
+  Alcotest.(check bool) "duration non-negative" true (dt >= 0.)
+
+(* --- Timeline ------------------------------------------------------------- *)
+
+module Timeline = Tacos_util.Timeline
+
+let iter_intervals intervals f = List.iter (fun (s, e) -> f s e) intervals
+
+let test_timeline_binned_busy () =
+  let busy =
+    Timeline.binned_busy ~bins:4 ~span:4. (iter_intervals [ (0., 2.) ])
+  in
+  Alcotest.(check (array (float 1e-9))) "first half busy" [| 1.; 1.; 0.; 0. |] busy
+
+let test_timeline_utilization () =
+  let tl =
+    Timeline.utilization ~bins:4 ~span:4. ~capacity:2.
+      (iter_intervals [ (0., 2.); (1., 3.) ])
+  in
+  let expect = [ (1., 0.5); (2., 1.0); (3., 0.5); (4., 0.) ] in
+  List.iter2
+    (fun (t, u) (t', u') ->
+      Alcotest.check feq "bin end" t' t;
+      Alcotest.check feq "utilization" u' u)
+    tl expect
+
+let test_timeline_clamps_out_of_span () =
+  (* Intervals sticking out past the span must clamp, not wrap or crash. *)
+  let busy =
+    Timeline.binned_busy ~bins:2 ~span:2. (iter_intervals [ (-1., 0.5); (1.5, 9.) ])
+  in
+  Alcotest.(check (array (float 1e-9))) "clamped" [| 0.5; 0.5 |] busy
+
+let test_timeline_empty_span () =
+  Alcotest.(check bool) "degenerate span" true
+    (Timeline.utilization ~bins:8 ~span:0. ~capacity:1. (iter_intervals []) = [])
+
 let () =
   Alcotest.run "util"
     [
@@ -261,6 +373,10 @@ let () =
           Alcotest.test_case "int rejects nonpositive" `Quick
             test_rng_int_rejects_nonpositive;
           Alcotest.test_case "int roughly uniform" `Quick test_rng_int_roughly_uniform;
+          Alcotest.test_case "int chi-square (modulo-bias regression)" `Quick
+            test_rng_int_chi_square;
+          Alcotest.test_case "int chi-square power-of-two" `Quick
+            test_rng_int_chi_square_pow2;
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "shuffle is permutation" `Quick
             test_rng_shuffle_is_permutation;
@@ -293,6 +409,20 @@ let () =
           Alcotest.test_case "escapes" `Quick test_json_escapes;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
           Alcotest.test_case "empty containers" `Quick test_json_empty_containers;
+          Alcotest.test_case "encode round-trip" `Quick test_json_encode_roundtrip;
+          Alcotest.test_case "encode integral" `Quick test_json_encode_integral;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotone span" `Quick test_clock_monotone_span;
+          Alcotest.test_case "time wrapper" `Quick test_clock_time;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "binned busy" `Quick test_timeline_binned_busy;
+          Alcotest.test_case "utilization" `Quick test_timeline_utilization;
+          Alcotest.test_case "clamps out of span" `Quick test_timeline_clamps_out_of_span;
+          Alcotest.test_case "empty span" `Quick test_timeline_empty_span;
         ] );
       ( "rendering",
         [
