@@ -24,6 +24,7 @@ let experiments =
     ("strategies", "Table III parallelization strategies", Strategies.run);
     ("exotic", "Synthesis for fabrics without hand-made collectives", Exotic.run);
     ("a2a", "All-to-All / Gather / Scatter routing extension", A2a.run);
+    ("resilience", "Synthesis on broken fabrics (fault injection)", Resilience.run);
     ("overlap", "Bucketed comm/compute overlap", Overlap.run);
   ]
 

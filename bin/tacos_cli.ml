@@ -5,6 +5,7 @@
      tacos synthesize --topology mesh:3x3 --pattern all-gather --ten
      tacos compare --topology dgx1 --size 1GB
      tacos profile --topology mesh:4x4 --pattern all-reduce
+     tacos faults --topology mesh:5x5 --fail-links 2 --seed 7
      tacos info --topology dragonfly:4x5 *)
 
 open Cmdliner
@@ -16,6 +17,8 @@ module Units = Tacos_util.Units
 module Table = Tacos_util.Table
 module Json = Tacos_util.Json
 module Obs = Tacos_obs.Obs
+module Fault = Tacos_resilience.Fault
+module Resilience = Tacos_resilience.Resilience
 
 (* --- common options ------------------------------------------------------ *)
 
@@ -390,6 +393,211 @@ let profile_cmd =
           profile (counters, histograms, timers, queueing metrics)")
     term
 
+(* --- faults ----------------------------------------------------------------- *)
+
+let faults_cmd =
+  let fail_links_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fail-links" ] ~docv:"K" ~doc:"Kill $(docv) random links.")
+  in
+  let fail_npus_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fail-npus" ] ~docv:"K"
+          ~doc:"Kill $(docv) random NPUs (all their incident links fail).")
+  in
+  let degrade_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "degrade" ] ~docv:"K"
+          ~doc:"Degrade $(docv) random links (bandwidth divided, latency \
+                multiplied by the factor).")
+  in
+  let degrade_factor_arg =
+    Arg.(
+      value & opt float 4.
+      & info [ "degrade-factor" ] ~docv:"F"
+          ~doc:"Degradation severity for $(b,--degrade) (default 4x).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock budget for the reseeded-retry rung of the \
+                fallback ladder.")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the structured fault report as JSON to $(docv) ('-' \
+                for stdout).")
+  in
+  let run topo_str alpha bw size_str pattern_str chunks seed trials fail_links
+      fail_npus degrade degrade_factor budget json =
+    with_setup topo_str alpha bw (fun topo ->
+        match Parse.parse_size size_str with
+        | Error e -> fail "%s" e
+        | Ok size -> (
+          match Parse.parse_pattern pattern_str (Topology.num_npus topo) with
+          | Error e -> fail "%s" e
+          | Ok pattern -> (
+            let spec =
+              Spec.make ~chunks_per_npu:chunks ~buffer_size:size ~pattern
+                ~npus:(Topology.num_npus topo) ()
+            in
+            (* Deterministic fault set from one seed: kills, NPU kills, then
+               degradations, all drawn from the same stream. *)
+            let rng = Tacos_util.Rng.create seed in
+            match
+              let kills = Fault.random_link_kills rng topo fail_links in
+              let npus = Fault.random_npu_kills rng topo fail_npus in
+              let slow =
+                Fault.random_degradations rng ~factor:degrade_factor topo degrade
+              in
+              kills @ npus @ slow
+            with
+            | exception Invalid_argument msg -> fail "%s" msg
+            | faults ->
+              Obs.enable ();
+              Obs.reset ();
+              Format.printf "topology:     %a@." Topology.pp topo;
+              Format.printf "collective:   %a@." Spec.pp spec;
+              if faults = [] then Format.printf "faults:       none@."
+              else
+                List.iter
+                  (fun f -> Format.printf "fault:        %a@." Fault.pp f)
+                  faults;
+              let degraded = Fault.apply topo faults in
+              Format.printf "degraded:     %a@." Topology.pp degraded;
+              let connectivity = Fault.connectivity degraded in
+              Format.printf "connectivity: %a@." Fault.pp_connectivity connectivity;
+              (* The whole pipeline: fallback-ladder synthesis on the
+                 degraded fabric, then — when faults were injected — the
+                 degradation analysis of the healthy schedule. *)
+              let outcome =
+                Resilience.synthesize ~seed ~trials ?budget_ms:budget ~faults topo
+                  spec
+              in
+              (match outcome with
+              | Ok o ->
+                (match o.Resilience.plan with
+                | Resilience.Synthesized result ->
+                  Format.printf "plan:         synthesized (%d sends, makespan %s)@."
+                    (Schedule.num_sends result.Synth.schedule)
+                    (Units.time_pp result.Synth.collective_time);
+                  (match Synth.verify degraded result with
+                  | Ok () ->
+                    Format.printf
+                      "validation:   ok (congestion-free, postconditions met)@."
+                  | Error e -> Format.printf "validation:   FAILED: %s@." e)
+                | Resilience.Baseline { algo; _ } ->
+                  Format.printf "plan:         fallback baseline %s@." (Algo.name algo));
+                Format.printf "simulated:    %s (%s)@."
+                  (Units.time_pp o.Resilience.simulated_time)
+                  (Units.bandwidth_pp (size /. o.Resilience.simulated_time));
+                if o.Resilience.retries > 0 then
+                  Format.printf "retries:      %d@." o.Resilience.retries;
+                Format.printf "ladder:       %s@."
+                  (String.concat " -> " o.Resilience.rungs)
+              | Error f -> Format.printf "plan:         NONE — %a@." Resilience.pp_failure f);
+              (* Healthy-vs-degraded: what re-synthesis buys over replaying
+                 the healthy schedule (only meaningful with faults and a
+                 synthesizer-supported pattern). *)
+              let analysis =
+                if faults = [] then None
+                else
+                  match Synth.synthesize ~seed ~trials topo spec with
+                  | healthy ->
+                    Some (Resilience.analyze ~seed ~trials topo faults healthy)
+                  | exception (Synth.Stuck _ | Synth.Unsupported _) -> None
+              in
+              (match analysis with
+              | None -> ()
+              | Some a ->
+                Format.printf "healthy plan: %s on the degraded fabric@."
+                  (Resilience.health_to_string a.Resilience.health);
+                (match (a.Resilience.replay_time, a.Resilience.resynth_time) with
+                | Some replay, Some resynth ->
+                  Format.printf "replay:       %s; re-synthesis: %s@."
+                    (Units.time_pp replay) (Units.time_pp resynth)
+                | _ -> ());
+                match a.Resilience.advantage with
+                | Some adv -> Format.printf "advantage:    %.2fx from re-synthesis@." adv
+                | None -> ());
+              Format.printf "fallback counters:@.";
+              List.iter
+                (fun name ->
+                  Format.printf "  %-32s %d@." name (Obs.value (Obs.counter name)))
+                [
+                  "resilience.synth_ok";
+                  "resilience.synth_retries";
+                  "resilience.fallback_baseline";
+                  "resilience.failures";
+                  "resilience.disconnected_inputs";
+                ];
+              (match json with
+              | None -> ()
+              | Some dest ->
+                let doc =
+                  Json.Object
+                    [
+                      ("topology", Json.String (Topology.name topo));
+                      ("pattern", Json.String (Pattern.name pattern));
+                      ("buffer_bytes", Json.Number size);
+                      ("seed", Json.Number (float_of_int seed));
+                      ("faults", Json.Array (List.map Fault.to_json faults));
+                      ( "connectivity",
+                        Json.String
+                          (Format.asprintf "%a" Fault.pp_connectivity connectivity) );
+                      ( "outcome",
+                        match outcome with
+                        | Ok o ->
+                          Json.Object
+                            [
+                              ( "plan",
+                                Json.String
+                                  (match o.Resilience.plan with
+                                  | Resilience.Synthesized _ -> "synthesized"
+                                  | Resilience.Baseline { algo; _ } ->
+                                    "baseline " ^ Algo.name algo) );
+                              ("simulated_seconds", Json.Number o.Resilience.simulated_time);
+                              ("retries", Json.Number (float_of_int o.Resilience.retries));
+                              ( "ladder",
+                                Json.Array
+                                  (List.map (fun r -> Json.String r) o.Resilience.rungs) );
+                            ]
+                        | Error f -> Resilience.failure_to_json f );
+                      ("obs", Obs.snapshot ());
+                    ]
+                in
+                let text = Json.encode doc in
+                (match dest with
+                | "-" -> print_endline text
+                | file ->
+                  let oc = open_out file in
+                  output_string oc text;
+                  output_char oc '\n';
+                  close_out oc;
+                  Format.printf "report written to %s@." file));
+              `Ok ())))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
+       $ chunks_arg $ seed_arg $ trials_arg $ fail_links_arg $ fail_npus_arg
+       $ degrade_arg $ degrade_factor_arg $ budget_arg $ json_out))
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Inject deterministic link/NPU faults and synthesize on the broken \
+          fabric via the graceful-degradation fallback ladder (never an \
+          uncaught exception)")
+    term
+
 (* --- info -------------------------------------------------------------------- *)
 
 let info_cmd =
@@ -433,4 +641,5 @@ let () =
   let info = Cmd.info "tacos" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ synthesize_cmd; compare_cmd; tune_cmd; profile_cmd; info_cmd ]))
+       (Cmd.group info
+          [ synthesize_cmd; compare_cmd; tune_cmd; profile_cmd; faults_cmd; info_cmd ]))

@@ -42,6 +42,26 @@ let program t topo spec =
 let simulate ?routing_size t topo spec =
   Engine.run ?routing_size topo (program t topo spec)
 
+let all = [ Ring { bidirectional = true }; Direct; Rhd; Dbt; Multitree; Taccl_like ]
+
+let probe ?routing_size t topo spec =
+  match simulate ?routing_size t topo spec with
+  | report -> Ok report
+  | exception Invalid_argument msg | (exception Failure msg) -> Error msg
+  | exception Not_found -> Error "internal lookup failed"
+
+let best_feasible ?routing_size ?(candidates = all) topo spec =
+  List.fold_left
+    (fun best algo ->
+      match probe ?routing_size algo topo spec with
+      | Error _ -> best
+      | Ok report -> (
+        match best with
+        | Some (_, prev) when prev.Engine.finish_time <= report.Engine.finish_time ->
+          best
+        | _ -> Some (algo, report)))
+    None candidates
+
 let collective_time ?routing_size t topo spec =
   (simulate ?routing_size t topo spec).Engine.finish_time
 

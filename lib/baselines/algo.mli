@@ -28,6 +28,24 @@ val program : t -> Topology.t -> Spec.t -> Program.t
 val simulate : ?routing_size:float -> t -> Topology.t -> Spec.t -> Engine.report
 (** [program] then {!Engine.run}. *)
 
+val all : t list
+(** The topology-agnostic candidates a fallback ladder can always try: Ring,
+    Direct, RHD, DBT, MultiTree, TACCL-like (the hierarchy-bound algorithms
+    need extra parameters and are probed separately when applicable). *)
+
+val probe : ?routing_size:float -> t -> Topology.t -> Spec.t -> (Engine.report, string) result
+(** Feasibility probe: build and simulate, turning the structural
+    [Invalid_argument]/[Failure] exceptions (unsupported pattern, non-power-
+    of-two NPU count, missing hierarchy, unroutable fabric) into [Error] —
+    the building block of the degraded-fabric fallback ladder in
+    [Tacos_resilience]. *)
+
+val best_feasible :
+  ?routing_size:float -> ?candidates:t list -> Topology.t -> Spec.t ->
+  (t * Engine.report) option
+(** The feasible candidate (default {!all}) with the smallest simulated
+    completion time, or [None] when every probe fails. *)
+
 val collective_time : ?routing_size:float -> t -> Topology.t -> Spec.t -> float
 (** The simulated completion time. *)
 

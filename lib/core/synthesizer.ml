@@ -28,6 +28,64 @@ type result = {
 exception Unsupported of string
 exception Stuck of string
 
+(* Fail fast on broken fabrics: a postcondition (d, c) is satisfiable iff
+   some initial holder of c can reach d. Strong connectivity implies every
+   postcondition is reachable, so the O(n·(n+m)) analysis only runs after
+   the cheap connectivity test fails — the healthy-fabric path pays one
+   DFS pair per trial. *)
+let unreachable_postconditions topo spec =
+  let n = Topology.num_npus topo in
+  let reach_cache = Hashtbl.create 8 in
+  let reachable_from s =
+    match Hashtbl.find_opt reach_cache s with
+    | Some seen -> seen
+    | None ->
+      let seen = Array.make n false in
+      let rec visit v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          List.iter (fun (e : Topology.edge) -> visit e.dst) (Topology.out_edges topo v)
+        end
+      in
+      visit s;
+      Hashtbl.add reach_cache s seen;
+      seen
+  in
+  let holders = Hashtbl.create 16 in
+  List.iter
+    (fun (v, c) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt holders c) in
+      Hashtbl.replace holders c (v :: prev))
+    (Spec.precondition spec);
+  List.filter
+    (fun (d, c) ->
+      match Hashtbl.find_opt holders c with
+      | None -> true
+      | Some hs -> not (List.exists (fun h -> (reachable_from h).(d)) hs))
+    (Spec.postcondition spec)
+
+let check_feasible topo spec =
+  if not (Topology.is_strongly_connected topo) then begin
+    match unreachable_postconditions topo spec with
+    | [] -> () (* e.g. Broadcast whose root reaches everyone *)
+    | unreachable ->
+      let total = List.length unreachable in
+      let shown = List.filteri (fun i _ -> i < 6) unreachable in
+      let pairs =
+        String.concat ", "
+          (List.map (fun (d, c) -> Printf.sprintf "chunk %d -> NPU %d" c d) shown)
+      in
+      let suffix = if total > List.length shown then ", ..." else "" in
+      raise
+        (Stuck
+           (Printf.sprintf
+              "topology is not strongly connected: %d unreachable \
+               postcondition%s (%s%s)"
+              total
+              (if total = 1 then "" else "s")
+              pairs suffix))
+  end
+
 (* One synthesis trial of a pull-based (non-combining) pattern: All-Gather or
    Broadcast. This is Alg. 2 with Alg. 1 run at every event time.
 
@@ -43,7 +101,8 @@ let synthesize_pull ~prefer_cheap_links rng topo spec =
   let num_chunks = Spec.num_chunks spec in
   let chunk_size = Spec.chunk_size spec in
   let m = Topology.num_links topo in
-  if m = 0 then raise (Stuck "topology has no links");
+  if m = 0 && n > 1 then raise (Stuck "topology has no links");
+  check_feasible topo spec;
   (* Per-link constants. *)
   let src = Array.make m 0 and dst = Array.make m 0 and cost = Array.make m 0. in
   List.iter

@@ -50,8 +50,18 @@ exception Unsupported of string
     (Gather/Scatter — the paper targets the patterns of Table III). *)
 
 exception Stuck of string
-(** Raised when postconditions remain but no event can make progress — the
-    topology is not strongly connected. *)
+(** Raised when the collective cannot complete on this fabric. Detected
+    promptly, before any matching work: when the topology is not strongly
+    connected, the unsatisfiable postconditions (those no initial holder of
+    the chunk can reach) are computed and a bounded sample of them is named
+    in the message. A not-strongly-connected fabric whose postconditions are
+    all still reachable (e.g. Broadcast from a root that reaches everyone)
+    synthesizes normally. Also raised, as a safety net, if the matching loop
+    ever runs out of events with postconditions left.
+
+    Callers that must never see this exception — degraded-fabric pipelines —
+    should go through [Tacos_resilience.Resilience.synthesize], which turns
+    it into a structured fallback ladder. *)
 
 val synthesize :
   ?seed:int ->

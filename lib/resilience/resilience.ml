@@ -1,0 +1,219 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_collective
+module Synth = Tacos.Synthesizer
+module Algo = Tacos_baselines.Algo
+module Engine = Tacos_sim.Engine
+module Program = Tacos_sim.Program
+module Rng = Tacos_util.Rng
+module Json = Tacos_util.Json
+module Obs = Tacos_obs.Obs
+
+(* Fallback-ladder telemetry: a fleet running degraded syntheses watches
+   these to see how often it is living on fallbacks ("tacos profile" /
+   BENCH rows surface them). *)
+let obs_ok = Obs.counter "resilience.synth_ok"
+let obs_retries = Obs.counter "resilience.synth_retries"
+let obs_baseline = Obs.counter "resilience.fallback_baseline"
+let obs_failures = Obs.counter "resilience.failures"
+let obs_disconnected = Obs.counter "resilience.disconnected_inputs"
+
+type plan =
+  | Synthesized of Synth.result
+  | Baseline of { algo : Algo.t; report : Engine.report }
+
+type outcome = {
+  plan : plan;
+  simulated_time : float;
+  retries : int;
+  rungs : string list;
+  wall_seconds : float;
+}
+
+type failure = {
+  stage : string;
+  message : string;
+  connectivity : Fault.connectivity;
+  disconnecting : Fault.t option;
+}
+
+let pp_failure ppf f =
+  Format.fprintf ppf "%s: %s (fabric %a%t)" f.stage f.message Fault.pp_connectivity
+    f.connectivity (fun ppf ->
+      match f.disconnecting with
+      | Some fault -> Format.fprintf ppf "; disconnected by %a" Fault.pp fault
+      | None -> ())
+
+let failure_to_json f =
+  Json.Object
+    ([
+       ("stage", Json.String f.stage);
+       ("message", Json.String f.message);
+       ( "connectivity",
+         Json.String (Format.asprintf "%a" Fault.pp_connectivity f.connectivity) );
+     ]
+    @
+    match f.disconnecting with
+    | Some fault -> [ ("disconnecting_fault", Fault.to_json fault) ]
+    | None -> [])
+
+let simulated_time topo (result : Synth.result) =
+  let chunk_size = Spec.chunk_size result.Synth.spec in
+  let program = Program.of_schedule ~chunk_size result.Synth.schedule in
+  (Engine.run topo program).Engine.finish_time
+
+let synthesize ?(seed = 42) ?(trials = 1) ?(budget_ms = infinity) ?(max_retries = 3)
+    ?(baselines = Algo.all) ?(faults = []) topo spec =
+  let t0 = Unix.gettimeofday () in
+  let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let fail stage message ~connectivity ~disconnecting =
+    Obs.incr obs_failures;
+    Error { stage; message; connectivity; disconnecting }
+  in
+  match Fault.validate topo faults with
+  | Error msg ->
+    fail "faults" msg ~connectivity:(Fault.connectivity topo) ~disconnecting:None
+  | Ok () ->
+    let degraded = if faults = [] then topo else Fault.apply topo faults in
+    let connectivity = Fault.connectivity degraded in
+    let disconnecting () =
+      if faults = [] then None else Fault.disconnecting_fault topo faults
+    in
+    (match connectivity with
+    | Fault.Disconnected _ -> Obs.incr obs_disconnected
+    | Fault.Connected -> ());
+    (* One synthesis attempt; [Stuck] is the only exception the ladder
+       absorbs at this rung ([Unsupported] is about the pattern, not the
+       fabric — reseeding cannot help, so it drops straight to baselines). *)
+    let attempt s =
+      if spec.Spec.pattern = Pattern.All_to_all then Tacos.Alltoall.synthesize ~seed:s degraded spec
+      else Synth.synthesize ~seed:s ~trials degraded spec
+    in
+    let finish ~retries ~rungs plan =
+      let simulated_time =
+        match plan with
+        | Synthesized result -> simulated_time degraded result
+        | Baseline { report; _ } -> report.Engine.finish_time
+      in
+      Ok
+        {
+          plan;
+          simulated_time;
+          retries;
+          rungs = List.rev rungs;
+          wall_seconds = Unix.gettimeofday () -. t0;
+        }
+    in
+    let baseline_rung ~retries ~rungs reason =
+      Obs.incr obs_baseline;
+      match Algo.best_feasible ~candidates:baselines degraded spec with
+      | Some (algo, report) ->
+        finish ~retries
+          ~rungs:(Printf.sprintf "baseline %s" (Algo.name algo) :: rungs)
+          (Baseline { algo; report })
+      | None ->
+        fail "baseline"
+          (reason ^ "; no baseline algorithm is feasible on this fabric either")
+          ~connectivity ~disconnecting:(disconnecting ())
+    in
+    (* Reseed stream: deterministic per (seed, attempt index). *)
+    let reseeder = Rng.create seed in
+    let rec ladder ~retries ~rungs s =
+      match attempt s with
+      | result ->
+        Obs.incr obs_ok;
+        finish ~retries ~rungs:("synthesized" :: rungs) (Synthesized result)
+      | exception Synth.Unsupported msg ->
+        baseline_rung ~retries
+          ~rungs:(Printf.sprintf "unsupported: %s" msg :: rungs)
+          ("pattern unsupported by the synthesizer: " ^ msg)
+      | exception Synth.Stuck msg ->
+        (* On a disconnected fabric Stuck is deterministic — reseeding is
+           futile, so go straight to the structured report. *)
+        if connectivity <> Fault.Connected then
+          fail "connectivity" msg ~connectivity ~disconnecting:(disconnecting ())
+        else if retries >= max_retries then
+          baseline_rung ~retries
+            ~rungs:(Printf.sprintf "stuck after %d reseeds" retries :: rungs)
+            (Printf.sprintf "synthesis stuck after %d reseeded retries: %s" retries msg)
+        else if elapsed_ms () > budget_ms then
+          baseline_rung ~retries
+            ~rungs:(Printf.sprintf "budget %.0fms exhausted" budget_ms :: rungs)
+            (Printf.sprintf "synthesis budget (%.0f ms) exhausted while stuck: %s"
+               budget_ms msg)
+        else begin
+          Obs.incr obs_retries;
+          ladder ~retries:(retries + 1)
+            ~rungs:(Printf.sprintf "reseed(%d)" (retries + 1) :: rungs)
+            (Int64.to_int (Rng.bits64 reseeder))
+        end
+    in
+    ladder ~retries:0 ~rungs:[] seed
+
+(* --- degradation analysis ------------------------------------------------ *)
+
+type health =
+  | Intact
+  | Degraded_timing of { links : int list }
+  | Broken of { links : int list; lost_sends : int }
+
+type analysis = {
+  health : health;
+  replay_time : float option;
+  resynth : (outcome, failure) result;
+  resynth_time : float option;
+  advantage : float option;
+}
+
+let health_to_string = function
+  | Intact -> "intact"
+  | Degraded_timing { links } ->
+    Printf.sprintf "degraded-timing (%d slowed links in use)" (List.length links)
+  | Broken { links; lost_sends } ->
+    let n = List.length links in
+    Printf.sprintf "broken (%d send%s ride %d dead link%s)" lost_sends
+      (if lost_sends = 1 then "" else "s")
+      n
+      (if n = 1 then "" else "s")
+
+let classify topo faults (result : Synth.result) =
+  let dead = Fault.killed_links topo faults in
+  let slowed = List.map fst (Fault.degraded_links topo faults) in
+  let used_dead = Hashtbl.create 8 and used_slow = Hashtbl.create 8 in
+  let lost = ref 0 in
+  List.iter
+    (fun (s : Schedule.send) ->
+      if List.mem s.Schedule.edge dead then begin
+        incr lost;
+        Hashtbl.replace used_dead s.Schedule.edge ()
+      end
+      else if List.mem s.Schedule.edge slowed then
+        Hashtbl.replace used_slow s.Schedule.edge ())
+    result.Synth.schedule.Schedule.sends;
+  let ids tbl = List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) tbl []) in
+  if !lost > 0 then Broken { links = ids used_dead; lost_sends = !lost }
+  else if Hashtbl.length used_slow > 0 then Degraded_timing { links = ids used_slow }
+  else Intact
+
+let analyze ?(seed = 42) ?(trials = 1) ?budget_ms topo faults (result : Synth.result) =
+  let health = classify topo faults result in
+  let degraded = Fault.apply topo faults in
+  (* Replay the healthy schedule's transfers on the degraded fabric: the
+     engine reroutes sends whose direct link died (store-and-forward), so
+     this is the cost of *not* re-synthesizing. *)
+  let replay_time =
+    let chunk_size = Spec.chunk_size result.Synth.spec in
+    let program = Program.of_schedule ~chunk_size result.Synth.schedule in
+    match Engine.run degraded program with
+    | report -> Some report.Engine.finish_time
+    | exception Failure _ -> None
+  in
+  let resynth = synthesize ~seed ~trials ?budget_ms ~faults topo result.Synth.spec in
+  let resynth_time =
+    match resynth with Ok o -> Some o.simulated_time | Error _ -> None
+  in
+  let advantage =
+    match (replay_time, resynth_time) with
+    | Some r, Some s when s > 0. -> Some (r /. s)
+    | _ -> None
+  in
+  { health; replay_time; resynth; resynth_time; advantage }

@@ -1,0 +1,125 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+
+module Synth := Tacos.Synthesizer
+module Algo := Tacos_baselines.Algo
+module Engine := Tacos_sim.Engine
+
+(** Graceful degradation around the synthesizer (the paper's §III/§VII
+    resilience argument, made operational).
+
+    {!synthesize} never lets {!Tacos.Synthesizer.Stuck} or
+    [Unsupported] escape. It walks a documented fallback ladder:
+
+    + synthesize on the (possibly fault-injected) fabric;
+    + on [Stuck], retry with a reseeded search, bounded by a retry count
+      and a wall-clock budget;
+    + when synthesis is out of options, fall back to the best *feasible*
+      baseline algorithm ({!Tacos_baselines.Algo.best_feasible});
+    + otherwise return a structured {!failure} naming the stage that gave
+      up, the surviving component, and — when faults were injected — the
+      specific fault that disconnected the fabric.
+
+    Every rung activation is counted in the {!Tacos_obs.Obs} registry
+    ([resilience.*] counters), so a fleet running thousands of degraded
+    syntheses can see how often it is living on fallbacks. *)
+
+(** {1 Degraded synthesis} *)
+
+type plan =
+  | Synthesized of Synth.result
+      (** a TACOS schedule for the degraded fabric (verified by the caller
+          via {!Tacos.Synthesizer.verify} like any other result) *)
+  | Baseline of { algo : Algo.t; report : Engine.report }
+      (** no schedule could be synthesized; the named baseline is the best
+          feasible stand-in, with its simulated execution *)
+
+type outcome = {
+  plan : plan;
+  simulated_time : float;
+      (** congestion-aware simulated completion time on the degraded fabric
+          (the apples-to-apples number: schedules are replayed under the
+          same engine the baselines run on) *)
+  retries : int;  (** reseeded synthesis attempts beyond the first *)
+  rungs : string list;
+      (** human-readable ladder rungs activated, in order — ["synthesized"],
+          ["reseed(2)"], ["baseline Ring"], ... *)
+  wall_seconds : float;
+}
+
+type failure = {
+  stage : string;  (** ladder stage that gave up: "faults", "connectivity", "synthesis", "baseline" *)
+  message : string;
+  connectivity : Fault.connectivity;  (** of the degraded fabric *)
+  disconnecting : Fault.t option;
+      (** first injected fault that broke strong connectivity, when faults
+          were given and one did *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val failure_to_json : failure -> Tacos_util.Json.t
+
+val synthesize :
+  ?seed:int ->
+  ?trials:int ->
+  ?budget_ms:float ->
+  ?max_retries:int ->
+  ?baselines:Algo.t list ->
+  ?faults:Fault.t list ->
+  Topology.t ->
+  Spec.t ->
+  (outcome, failure) result
+(** [synthesize topo spec] runs the fallback ladder above. [faults]
+    (default none) are applied to [topo] first — pass the healthy topology
+    and the fault set rather than pre-degrading, so failures can name the
+    disconnecting fault. [budget_ms] (default unlimited) bounds the
+    *retry* phase wall clock; [max_retries] defaults to 3; [baselines]
+    defaults to {!Tacos_baselines.Algo.all}. All-to-All specs dispatch to
+    {!Tacos.Alltoall}. Never raises [Stuck]/[Unsupported]. *)
+
+val simulated_time : Topology.t -> Synth.result -> float
+(** Replay a synthesized schedule under the congestion-aware engine on the
+    given fabric (the metric [outcome.simulated_time] reports). *)
+
+(** {1 Degradation analysis (§VII, quantitative)}
+
+    Given a schedule synthesized on the {e healthy} fabric and a fault set,
+    classify whether that schedule still makes sense and measure what
+    re-synthesis buys — the paper's resilience claim as a number. *)
+
+type health =
+  | Intact  (** every link the schedule uses survives at full capability *)
+  | Degraded_timing of { links : int list }
+      (** all links survive, but the listed (healthy-id) links got slower:
+          the schedule's timestamps are stale, though its routes remain
+          executable *)
+  | Broken of { links : int list; lost_sends : int }
+      (** [lost_sends] sends ride the listed dead links: the schedule is
+          infeasible as routed and must be rerouted or re-synthesized *)
+
+type analysis = {
+  health : health;
+  replay_time : float option;
+      (** the healthy schedule's sends replayed on the degraded fabric (the
+          engine reroutes dead hops store-and-forward); [None] when some
+          send's endpoints can no longer reach each other *)
+  resynth : (outcome, failure) result;
+      (** the fallback ladder run on the degraded fabric *)
+  resynth_time : float option;  (** [resynth]'s simulated time, when Ok *)
+  advantage : float option;
+      (** [replay_time /. resynth_time] — above 1.0, re-synthesis wins *)
+}
+
+val analyze :
+  ?seed:int ->
+  ?trials:int ->
+  ?budget_ms:float ->
+  Topology.t ->
+  Fault.t list ->
+  Synth.result ->
+  analysis
+(** [analyze healthy_topo faults healthy_result]. *)
+
+val health_to_string : health -> string

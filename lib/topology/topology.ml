@@ -104,6 +104,45 @@ let is_strongly_connected t =
     Array.for_all Fun.id fwd && Array.for_all Fun.id bwd
   end
 
+(* Kosaraju: forward DFS finish order, then reverse-graph DFS in reverse
+   finish order peels off one component per root. *)
+let strongly_connected_components t =
+  let finish = ref [] in
+  let seen = Array.make t.n false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter (fun e -> visit e.dst) t.out_adj.(v);
+      finish := v :: !finish
+    end
+  in
+  for v = 0 to t.n - 1 do
+    visit v
+  done;
+  let comp = Array.make t.n (-1) in
+  let components = ref [] in
+  let rec collect c v acc =
+    comp.(v) <- c;
+    List.fold_left
+      (fun acc e -> if comp.(e.src) < 0 then collect c e.src acc else acc)
+      (v :: acc) t.in_adj.(v)
+  in
+  let c = ref 0 in
+  List.iter
+    (fun v ->
+      if comp.(v) < 0 then begin
+        components := List.sort compare (collect !c v []) :: !components;
+        incr c
+      end)
+    !finish;
+  (* Largest first; ties by smallest member, so the result is canonical. *)
+  List.sort
+    (fun a b ->
+      match compare (List.length b) (List.length a) with
+      | 0 -> compare a b
+      | n -> n)
+    !components
+
 let reverse t =
   let r = create ~name:(t.name ^ "-reversed") t.n in
   (* Preserve edge ids: re-add in id order with flipped endpoints. *)
@@ -113,6 +152,22 @@ let reverse t =
   r.hier <- t.hier;
   r
 
+let map_links ?name t f =
+  let name = match name with Some n -> n | None -> t.name ^ "-degraded" in
+  let t' = create ~name t.n in
+  Array.iter
+    (fun e ->
+      match f e with
+      | Some link -> ignore (add_link t' ~src:e.src ~dst:e.dst link)
+      | None -> ())
+    (edge_array t);
+  (* Structural metadata survives (the NPU numbering is unchanged); ring
+     embeddings name physical paths that may no longer exist, so they are
+     invalidated by design. *)
+  t'.hier <- t.hier;
+  t'.cuts <- t.cuts;
+  t'
+
 let without_links t ids =
   List.iter
     (fun id ->
@@ -121,13 +176,7 @@ let without_links t ids =
     ids;
   let removed = Array.make t.num_edges false in
   List.iter (fun id -> removed.(id) <- true) ids;
-  let degraded = create ~name:(t.name ^ "-degraded") t.n in
-  Array.iter
-    (fun e ->
-      if not removed.(e.id) then
-        ignore (add_link degraded ~src:e.src ~dst:e.dst e.link))
-    (edge_array t);
-  degraded
+  map_links t (fun e -> if removed.(e.id) then None else Some e.link)
 
 let set_hierarchy t dims =
   let product = Array.fold_left (fun acc d -> acc * d.size) 1 dims in

@@ -59,15 +59,33 @@ val is_strongly_connected : t -> bool
 (** Synthesis of an all-to-all-style collective terminates iff the topology
     is strongly connected; callers check this up front. *)
 
+val strongly_connected_components : t -> int list list
+(** The strongly connected components, each sorted ascending, ordered
+    largest-first (ties broken by smallest member). A healthy fabric has
+    exactly one; after link/NPU failures the head is the surviving component
+    a degraded collective could still run over. *)
+
 val reverse : t -> t
 (** Same NPUs, every link's direction flipped (link ids preserved). Used to
     synthesize reduction collectives by reversal (§IV-E, Fig. 11). *)
 
 val without_links : t -> int list -> t
 (** A copy of the topology with the given link ids removed — degraded-fabric
-    scenarios (link failures). Link ids are renumbered densely; hierarchy and
-    ring metadata are dropped (they may no longer hold). Raises
+    scenarios (link failures). Link ids are renumbered densely. Hierarchy and
+    cut hints are carried over (the NPU numbering is unchanged, so
+    coordinates and slab subsets still make sense on the degraded fabric);
+    ring embeddings are invalidated by design — they enumerate physical
+    paths that the removed links may have broken — and are dropped. Raises
     [Invalid_argument] on an unknown id. *)
+
+val map_links : ?name:string -> t -> (edge -> Link.t option) -> t
+(** [map_links t f] rebuilds the topology, keeping each edge [e] with link
+    parameters [l] where [f e = Some l] and dropping it where [f e = None] —
+    the general fault-injection primitive ({!without_links} composed with
+    per-link degradation). Link ids are renumbered densely in the surviving
+    edges' id order. Metadata behaves as in {!without_links}: hierarchy and
+    cut hints carry over, ring embeddings are dropped. [name] defaults to
+    [t]'s name suffixed with ["-degraded"]. *)
 
 (** {1 Hierarchy and ring-embedding metadata} *)
 

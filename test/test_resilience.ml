@@ -1,0 +1,343 @@
+(* Tests for the fault-injection and graceful-degradation subsystem:
+   deterministic injectors, connectivity pre-checks, the fallback ladder's
+   no-uncaught-exception guarantee, degradation analysis, and the
+   metadata-carrying degraded topologies. *)
+
+open Tacos_topology
+open Tacos_collective
+module Rng = Tacos_util.Rng
+module Obs = Tacos_obs.Obs
+module Synth = Tacos.Synthesizer
+module Fault = Tacos_resilience.Fault
+module Resilience = Tacos_resilience.Resilience
+
+let spec ?(chunks_per_npu = 1) ?(buffer_size = 1.) pattern npus =
+  Spec.make ~chunks_per_npu ~buffer_size ~pattern ~npus ()
+
+let link_1s = Link.make ~alpha:1.0 ~beta:0.
+
+(* --- fault model and injector ------------------------------------------- *)
+
+let test_samplers_deterministic () =
+  let topo = Builders.mesh [| 3; 3 |] in
+  let draw () =
+    let rng = Rng.create 7 in
+    ( Fault.random_link_kills rng topo 3,
+      Fault.random_npu_kills rng topo 2,
+      Fault.random_degradations rng ~factor:2. topo 2 )
+  in
+  Alcotest.(check bool) "same seed, same faults" true (draw () = draw ())
+
+let test_killed_links_expands_npu_kills () =
+  let topo = Builders.ring 6 in
+  let v = 2 in
+  let dead = Fault.killed_links topo [ Fault.Kill_npu v ] in
+  let expected =
+    List.sort compare
+      (List.map
+         (fun (e : Topology.edge) -> e.Topology.id)
+         (Topology.out_edges topo v @ Topology.in_edges topo v))
+  in
+  Alcotest.(check (list int)) "all incident links die" expected dead
+
+let test_apply_kills_and_degrades () =
+  let topo = Builders.ring 6 in
+  let victim = (List.hd (Topology.out_edges topo 0)).Topology.id in
+  let slowed = (List.hd (Topology.out_edges topo 3)).Topology.id in
+  let degraded =
+    Fault.apply topo
+      [ Fault.Kill_link victim; Fault.Degrade_link { link = slowed; factor = 4. } ]
+  in
+  Alcotest.(check int) "one link fewer" (Topology.num_links topo - 1)
+    (Topology.num_links degraded);
+  (* The slowed link survives at a quarter of the bandwidth. *)
+  let slow_edge = List.hd (Topology.out_edges degraded 3) in
+  let healthy_edge = List.hd (Topology.out_edges topo 3) in
+  Alcotest.(check (float 1e-6)) "bandwidth divided"
+    (Link.bandwidth healthy_edge.Topology.link /. 4.)
+    (Link.bandwidth slow_edge.Topology.link)
+
+let test_apply_validates () =
+  let topo = Builders.ring 4 in
+  Alcotest.check_raises "unknown link"
+    (Invalid_argument "Fault.apply: unknown link id 99 (topology has 8 links)")
+    (fun () -> ignore (Fault.apply topo [ Fault.Kill_link 99 ]));
+  Alcotest.check_raises "bad factor"
+    (Invalid_argument "Fault.apply: degradation factor 0.5 < 1")
+    (fun () -> ignore (Fault.apply topo [ Fault.Degrade_link { link = 0; factor = 0.5 } ]))
+
+let test_degraded_metadata_carried () =
+  (* The satellite fix: hierarchy and cut hints survive fault injection,
+     ring embeddings are invalidated by design. *)
+  let topo = Builders.mesh [| 3; 3 |] in
+  Alcotest.(check bool) "mesh records cut hints" true (Topology.cut_hints topo <> []);
+  let victim = (List.hd (Topology.out_edges topo 0)).Topology.id in
+  let degraded = Topology.without_links topo [ victim ] in
+  Alcotest.(check bool) "hierarchy carried" true (Topology.hierarchy degraded <> None);
+  Alcotest.(check bool) "coords usable on degraded fabric" true
+    (Topology.coords degraded 4 = Topology.coords topo 4);
+  Alcotest.(check bool) "cut hints carried" true
+    (Topology.cut_hints degraded = Topology.cut_hints topo);
+  let dgx = Builders.dgx1 () in
+  Alcotest.(check bool) "dgx1 records rings" true (Topology.rings dgx <> None);
+  let dgx_degraded = Fault.apply dgx [ Fault.Kill_link 0 ] in
+  Alcotest.(check bool) "ring embeddings dropped" true
+    (Topology.rings dgx_degraded = None)
+
+let test_connectivity_report () =
+  let topo = Builders.mesh [| 3; 3 |] in
+  Alcotest.(check bool) "healthy fabric connected" true
+    (Fault.connectivity topo = Fault.Connected);
+  (* Killing the corner NPU 0 isolates it; the other 8 survive. *)
+  let degraded = Fault.apply topo [ Fault.Kill_npu 0 ] in
+  match Fault.connectivity degraded with
+  | Fault.Connected -> Alcotest.fail "must be disconnected"
+  | Fault.Disconnected { survivors; isolated } ->
+    Alcotest.(check (list int)) "survivors" [ 1; 2; 3; 4; 5; 6; 7; 8 ] survivors;
+    Alcotest.(check (list int)) "isolated" [ 0 ] isolated
+
+let test_disconnecting_fault_named () =
+  let topo = Builders.ring 6 in
+  let out0 = List.map (fun (e : Topology.edge) -> e.Topology.id) (Topology.out_edges topo 0) in
+  let in0 = List.map (fun (e : Topology.edge) -> e.Topology.id) (Topology.in_edges topo 0) in
+  (* Kill one out-port and one in-port of NPU 0 first (it still has a live
+     port each way, so the ring stays strongly connected), then its second
+     out-port: that third kill leaves NPU 0 unable to send and the report
+     must name that very fault. *)
+  let faults =
+    List.map
+      (fun id -> Fault.Kill_link id)
+      [ List.nth out0 0; List.nth in0 0; List.nth out0 1 ]
+  in
+  (match Fault.disconnecting_fault topo faults with
+  | Some f ->
+    let last = List.nth faults (List.length faults - 1) in
+    Alcotest.(check bool) "last port kill disconnects" true (f = last)
+  | None -> Alcotest.fail "the full set disconnects");
+  Alcotest.(check bool) "connected subset reports none" true
+    (Fault.disconnecting_fault topo [ List.hd faults ] = None)
+
+let test_connected_sampler_respects_connectivity () =
+  let topo = Builders.torus [| 3; 3 |] in
+  let rng = Rng.create 13 in
+  match Fault.random_connected_link_kills rng topo 3 with
+  | None -> Alcotest.fail "a 3-link-survivable fault set exists on a 3x3 torus"
+  | Some faults ->
+    Alcotest.(check int) "three faults" 3 (List.length faults);
+    Alcotest.(check bool) "still strongly connected" true
+      (Topology.is_strongly_connected (Fault.apply topo faults))
+
+(* --- fallback ladder ----------------------------------------------------- *)
+
+let test_ladder_synthesizes_on_degraded () =
+  let topo = Builders.ring 6 in
+  let victim = (List.hd (Topology.out_edges topo 0)).Topology.id in
+  match
+    Resilience.synthesize ~faults:[ Fault.Kill_link victim ] topo
+      (spec Pattern.All_gather 6)
+  with
+  | Error f -> Alcotest.failf "ladder failed: %s" f.Resilience.message
+  | Ok o -> (
+    Alcotest.(check int) "no retries needed" 0 o.Resilience.retries;
+    Alcotest.(check (list string)) "one rung" [ "synthesized" ] o.Resilience.rungs;
+    match o.Resilience.plan with
+    | Resilience.Baseline _ -> Alcotest.fail "synthesis must succeed here"
+    | Resilience.Synthesized result -> (
+      let degraded = Fault.apply topo [ Fault.Kill_link victim ] in
+      match Synth.verify degraded result with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid degraded schedule: %s" e))
+
+let test_ladder_structured_failure_on_disconnected () =
+  (* An NPU kill isolates a node: every pattern must come back as a
+     structured failure naming the disconnecting fault — never an
+     exception. *)
+  let topo = Builders.mesh [| 3; 3 |] in
+  let faults = [ Fault.Kill_npu 4 ] in
+  List.iter
+    (fun pattern ->
+      match Resilience.synthesize ~faults topo (spec pattern 9) with
+      | Ok _ -> Alcotest.failf "%s must fail on a disconnected fabric" (Pattern.name pattern)
+      | Error f ->
+        Alcotest.(check string) "stage" "connectivity" f.Resilience.stage;
+        Alcotest.(check bool) "names the disconnecting fault" true
+          (f.Resilience.disconnecting = Some (Fault.Kill_npu 4));
+        (match f.Resilience.connectivity with
+        | Fault.Connected -> Alcotest.fail "report must be disconnected"
+        | Fault.Disconnected { isolated; _ } ->
+          Alcotest.(check (list int)) "names the isolated NPU" [ 4 ] isolated))
+    [ Pattern.All_gather; Pattern.Reduce_scatter; Pattern.All_reduce ]
+
+let test_ladder_never_raises_on_unsupported () =
+  (* Gather has no synthesizer support and no feasible baseline: the ladder
+     must end in a structured baseline-stage failure, not an exception. *)
+  let topo = Builders.ring 4 in
+  match Resilience.synthesize topo (spec (Pattern.Gather 0) 4) with
+  | Ok o -> (
+    match o.Resilience.plan with
+    | Resilience.Baseline _ -> () (* a feasible baseline is fine too *)
+    | Resilience.Synthesized _ -> Alcotest.fail "Gather is unsupported")
+  | Error f -> Alcotest.(check string) "gave up at the baseline rung" "baseline" f.Resilience.stage
+
+let test_ladder_baseline_fallback_feasible () =
+  (* Force the synthesizer rung to fail by exhausting retries on an
+     unsupported pattern, with baselines that can run: All-Reduce baselines
+     are feasible on a ring, so Gather falls through but All-Reduce-capable
+     probes succeed. Exercise best_feasible directly too. *)
+  let topo = Builders.ring 8 in
+  let sp = spec ~buffer_size:1e6 Pattern.All_reduce 8 in
+  match Tacos_baselines.Algo.best_feasible topo sp with
+  | None -> Alcotest.fail "some baseline must be feasible on a ring"
+  | Some (_, report) ->
+    Alcotest.(check bool) "positive time" true (report.Tacos_sim.Engine.finish_time > 0.)
+
+let test_ladder_counts_fallbacks () =
+  Obs.reset ();
+  Obs.enable ();
+  let topo = Builders.mesh [| 3; 3 |] in
+  ignore (Resilience.synthesize ~faults:[ Fault.Kill_npu 0 ] topo (spec Pattern.All_gather 9));
+  ignore (Resilience.synthesize topo (spec Pattern.All_gather 9));
+  Obs.disable ();
+  Alcotest.(check int) "one failure" 1 (Obs.value (Obs.counter "resilience.failures"));
+  Alcotest.(check int) "one disconnected input" 1
+    (Obs.value (Obs.counter "resilience.disconnected_inputs"));
+  Alcotest.(check int) "one success" 1 (Obs.value (Obs.counter "resilience.synth_ok"))
+
+(* --- degradation analysis ------------------------------------------------ *)
+
+let test_analysis_classifies_broken () =
+  (* On a unidirectional unit ring the All-Gather schedule keeps every link
+     busy, so killing any link breaks it. *)
+  let topo = Builders.ring ~link:link_1s ~bidirectional:false 6 in
+  let healthy = Synth.synthesize topo (spec Pattern.All_gather 6) in
+  (* Unidirectional ring: one kill disconnects, so analyze with a
+     bidirectional ring instead for the resynth leg. *)
+  let topo2 = Builders.ring ~link:link_1s 6 in
+  let healthy2 = Synth.synthesize topo2 (spec Pattern.All_gather 6) in
+  let used = (List.hd healthy2.Synth.schedule.Schedule.sends).Schedule.edge in
+  let a = Resilience.analyze topo2 [ Fault.Kill_link used ] healthy2 in
+  (match a.Resilience.health with
+  | Resilience.Broken { links; lost_sends } ->
+    Alcotest.(check (list int)) "names the dead link" [ used ] links;
+    Alcotest.(check bool) "counts lost sends" true (lost_sends > 0)
+  | h -> Alcotest.failf "expected broken, got %s" (Resilience.health_to_string h));
+  Alcotest.(check bool) "replay still possible (rerouted)" true
+    (a.Resilience.replay_time <> None);
+  (match a.Resilience.resynth with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "resynth must succeed: %s" f.Resilience.message);
+  ignore healthy
+
+let test_analysis_classifies_degraded_timing () =
+  let topo = Builders.ring 6 in
+  let healthy = Synth.synthesize topo (spec ~buffer_size:6e6 Pattern.All_gather 6) in
+  let all_links = List.map (fun (e : Topology.edge) -> e.Topology.id) (Topology.edges topo) in
+  let faults = List.map (fun id -> Fault.Degrade_link { link = id; factor = 2. }) all_links in
+  let a = Resilience.analyze topo faults healthy in
+  (match a.Resilience.health with
+  | Resilience.Degraded_timing _ -> ()
+  | h -> Alcotest.failf "expected degraded-timing, got %s" (Resilience.health_to_string h));
+  match (a.Resilience.replay_time, a.Resilience.resynth_time) with
+  | Some replay, Some resynth ->
+    (* Halved bandwidth everywhere: both legs slow down; neither is zero. *)
+    Alcotest.(check bool) "replay positive" true (replay > 0.);
+    Alcotest.(check bool) "resynth positive" true (resynth > 0.)
+  | _ -> Alcotest.fail "both replay and resynth must simulate"
+
+let test_analysis_intact_without_faults () =
+  let topo = Builders.ring 6 in
+  let healthy = Synth.synthesize topo (spec Pattern.All_gather 6) in
+  let a = Resilience.analyze topo [] healthy in
+  Alcotest.(check bool) "intact" true (a.Resilience.health = Resilience.Intact);
+  match a.Resilience.advantage with
+  | Some adv -> Alcotest.(check (float 1e-6)) "no advantage without faults" 1.0 adv
+  | None -> Alcotest.fail "advantage must be defined"
+
+(* --- property: still-connected degradations stay synthesizable ----------- *)
+
+let degradation_gen =
+  QCheck.Gen.(
+    let* topo_idx = int_range 0 2 in
+    let* k = int_range 1 3 in
+    let* seed = int_range 0 10000 in
+    return (topo_idx, k, seed))
+
+let build_topo = function
+  | 0 -> Builders.ring 8
+  | 1 -> Builders.mesh [| 3; 3 |]
+  | _ -> Builders.torus [| 3; 3 |]
+
+let supported_patterns n =
+  [
+    Pattern.All_gather;
+    Pattern.Reduce_scatter;
+    Pattern.All_reduce;
+    Pattern.Broadcast (n / 2);
+    Pattern.Reduce 0;
+  ]
+
+let prop_degraded_synthesis_verifies =
+  QCheck.Test.make
+    ~name:"still-connected k-link degradations synthesize and verify" ~count:20
+    (QCheck.make degradation_gen) (fun (topo_idx, k, seed) ->
+      let topo = build_topo topo_idx in
+      let n = Topology.num_npus topo in
+      let rng = Rng.create seed in
+      match Fault.random_connected_link_kills rng topo k with
+      | None -> true (* no survivable fault set found; nothing to check *)
+      | Some faults ->
+        let degraded = Fault.apply topo faults in
+        List.for_all
+          (fun pattern ->
+            match Resilience.synthesize ~seed ~faults topo (spec pattern n) with
+            | Error _ -> false
+            | Ok o -> (
+              match o.Resilience.plan with
+              | Resilience.Baseline _ -> false
+              | Resilience.Synthesized result -> (
+                match Synth.verify degraded result with Ok () -> true | Error _ -> false)))
+          (supported_patterns n))
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "samplers are deterministic" `Quick test_samplers_deterministic;
+          Alcotest.test_case "NPU kill expands to incident links" `Quick
+            test_killed_links_expands_npu_kills;
+          Alcotest.test_case "apply kills and degrades" `Quick test_apply_kills_and_degrades;
+          Alcotest.test_case "apply validates faults" `Quick test_apply_validates;
+          Alcotest.test_case "degraded topology keeps hierarchy metadata" `Quick
+            test_degraded_metadata_carried;
+          Alcotest.test_case "connectivity reports surviving component" `Quick
+            test_connectivity_report;
+          Alcotest.test_case "disconnecting fault is named" `Quick
+            test_disconnecting_fault_named;
+          Alcotest.test_case "connected sampler keeps the fabric connected" `Quick
+            test_connected_sampler_respects_connectivity;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "synthesizes on a degraded fabric" `Quick
+            test_ladder_synthesizes_on_degraded;
+          Alcotest.test_case "structured failure on disconnection" `Quick
+            test_ladder_structured_failure_on_disconnected;
+          Alcotest.test_case "unsupported pattern never raises" `Quick
+            test_ladder_never_raises_on_unsupported;
+          Alcotest.test_case "baseline probe finds a feasible algorithm" `Quick
+            test_ladder_baseline_fallback_feasible;
+          Alcotest.test_case "fallback counters" `Quick test_ladder_counts_fallbacks;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "classifies broken schedules" `Quick
+            test_analysis_classifies_broken;
+          Alcotest.test_case "classifies degraded timing" `Quick
+            test_analysis_classifies_degraded_timing;
+          Alcotest.test_case "intact without faults" `Quick
+            test_analysis_intact_without_faults;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_degraded_synthesis_verifies ] );
+    ]

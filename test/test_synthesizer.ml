@@ -204,14 +204,52 @@ let test_reference_agrees_on_fc () =
   Alcotest.check time "event-driven matches" 1.0 event.collective_time
 
 let test_stuck_on_disconnected () =
+  (* Two disconnected pairs: the check fires before any matching work, and
+     the message names the unsatisfiable postconditions. *)
   let topo = Topology.create 4 in
   Topology.add_bidir topo 0 1 link_1s;
   Topology.add_bidir topo 2 3 link_1s;
-  Alcotest.check_raises "stuck"
-    (Synth.Stuck
-       "no progress possible with 8 postconditions unsatisfied — is the \
-        topology strongly connected?")
-    (fun () -> ignore (Synth.synthesize topo (spec Pattern.All_gather 4)))
+  let contains msg sub =
+    let n = String.length msg and k = String.length sub in
+    let rec scan i = i + k <= n && (String.sub msg i k = sub || scan (i + 1)) in
+    scan 0
+  in
+  match Synth.synthesize topo (spec Pattern.All_gather 4) with
+  | _ -> Alcotest.fail "disconnected All-Gather must be Stuck"
+  | exception Synth.Stuck msg ->
+    (* 8 of the 12 postconditions cross the cut (each side wants the other
+       side's 2 chunks on each of its 2 NPUs). *)
+    Alcotest.(check bool) "names the count" true (contains msg "8 unreachable");
+    Alcotest.(check bool) "lists sample pairs" true (contains msg "chunk")
+
+let test_stuck_is_prompt () =
+  (* The infeasibility check must fire without running the matching loop:
+     even a large disconnected fabric fails fast. *)
+  let topo = Topology.create 128 in
+  for v = 0 to 62 do
+    Topology.add_bidir topo v (v + 1) link_1s
+  done;
+  for v = 64 to 126 do
+    Topology.add_bidir topo v (v + 1) link_1s
+  done;
+  let t0 = Unix.gettimeofday () in
+  (match Synth.synthesize topo (spec Pattern.All_gather 128) with
+  | _ -> Alcotest.fail "must be Stuck"
+  | exception Synth.Stuck _ -> ());
+  Alcotest.(check bool) "fails fast" true (Unix.gettimeofday () -. t0 < 1.0)
+
+let test_weakly_connected_broadcast_ok () =
+  (* Not strongly connected, but every postcondition is reachable from the
+     root: Broadcast must still synthesize (the prompt check is precise,
+     not a blanket strong-connectivity requirement). *)
+  let topo = Topology.create 3 in
+  ignore (Topology.add_link topo ~src:0 ~dst:1 link_1s);
+  ignore (Topology.add_link topo ~src:1 ~dst:2 link_1s);
+  Alcotest.(check bool) "not strongly connected" false
+    (Topology.is_strongly_connected topo);
+  let r = Synth.synthesize topo (spec (Pattern.Broadcast 0) 3) in
+  check_valid topo r;
+  Alcotest.check time "two hops" 2.0 r.collective_time
 
 let test_unsupported_patterns () =
   let topo = unit_ring 4 in
@@ -417,6 +455,9 @@ let () =
         [
           Alcotest.test_case "stuck on disconnected topology" `Quick
             test_stuck_on_disconnected;
+          Alcotest.test_case "stuck check is prompt" `Quick test_stuck_is_prompt;
+          Alcotest.test_case "weakly connected broadcast still works" `Quick
+            test_weakly_connected_broadcast_ok;
           Alcotest.test_case "gather/scatter unsupported" `Quick
             test_unsupported_patterns;
           Alcotest.test_case "spec/topology mismatch" `Quick test_spec_mismatch_rejected;
