@@ -25,6 +25,7 @@ let experiments =
     ("exotic", "Synthesis for fabrics without hand-made collectives", Exotic.run);
     ("a2a", "All-to-All / Gather / Scatter routing extension", A2a.run);
     ("resilience", "Synthesis on broken fabrics (fault injection)", Resilience.run);
+    ("midflight", "Mid-flight faults: replay vs repair vs re-synthesis", Midflight.run);
     ("overlap", "Bucketed comm/compute overlap", Overlap.run);
   ]
 

@@ -1,0 +1,157 @@
+(* Mid-flight fault experiment: a link dies while the collective is running.
+
+   PCCL/TACCL-style deployments treat a schedule as a static artifact: on a
+   fabric change they either keep replaying it (the engine reroutes dead
+   hops store-and-forward) or throw it away and re-synthesize from scratch.
+   This sweep measures the third option this reproduction adds — incremental
+   suffix repair (Resilience.repair): keep every send that completed before
+   the fault and re-synthesize only the unmet postconditions from the
+   actual chunk positions. Three completion times per row, timed from the
+   same fault instant:
+
+     - replay:  healthy schedule driven through the timed fault by the
+                engine (in-flight abort + reroute, no re-planning);
+     - repair:  suffix re-synthesis seeded with the positions at the fault;
+     - full:    fault time + full re-synthesis on the degraded fabric.
+
+   Rows land in BENCH_midflight.json; synthesis wall-clocks are recorded so
+   the repair-is-cheaper claim is measured, not asserted. *)
+
+open Tacos_topology
+open Tacos_collective
+open Exp_common
+module Table = Tacos_util.Table
+module Units = Tacos_util.Units
+module Engine = Tacos_sim.Engine
+module Program = Tacos_sim.Program
+module Fault = Tacos_resilience.Fault
+module Resilience = Tacos_resilience.Resilience
+
+let size = match scale with Small -> 16e6 | _ -> 64e6
+
+let fractions =
+  match scale with
+  | Small -> [ 0.4 ]
+  | Default -> [ 0.2; 0.4; 0.7 ]
+  | Large -> [ 0.1; 0.25; 0.5; 0.75; 0.9 ]
+
+let cases () =
+  let mesh = ("2D Mesh 5x5", Builders.mesh [| 5; 5 |]) in
+  let torus = ("2D Torus 4x4", Builders.torus [| 4; 4 |]) in
+  match scale with
+  | Small -> [ (mesh, Pattern.All_gather) ]
+  | _ ->
+    [ (mesh, Pattern.All_gather); (torus, Pattern.All_gather); (mesh, Pattern.All_reduce) ]
+
+(* The victim: the first link still scheduled to carry traffic after the
+   fault whose death keeps the fabric strongly connected — deterministic,
+   and guaranteed to actually perturb the suffix. *)
+let pick_victim topo (healthy : Synth.result) ~at =
+  let future (s : Schedule.send) = s.Schedule.start > at in
+  let connected_kill (s : Schedule.send) =
+    Topology.is_strongly_connected (Fault.apply topo [ Fault.Kill_link s.Schedule.edge ])
+  in
+  List.find_opt
+    (fun s -> future s && connected_kill s)
+    healthy.Synth.schedule.Schedule.sends
+
+let measure name topo pattern frac =
+  let sp =
+    Spec.make ~chunks_per_npu:2 ~buffer_size:size ~pattern
+      ~npus:(Topology.num_npus topo) ()
+  in
+  let healthy = Synth.synthesize topo sp in
+  let chunk_size = Spec.chunk_size sp in
+  let program () = Program.of_schedule ~chunk_size healthy.Synth.schedule in
+  let healthy_time = (Engine.run topo (program ())).Engine.finish_time in
+  let at = frac *. healthy_time in
+  match pick_victim topo healthy ~at with
+  | None ->
+    note "%s %s @%.0f%%: no connected-surviving victim after the fault time; skipped"
+      name (Pattern.name pattern) (100. *. frac);
+    None
+  | Some victim_send ->
+    let victim = victim_send.Schedule.edge in
+    let faults = [ Fault.Kill_link victim ] in
+    let replay =
+      match Engine.run ~faults:(Fault.timeline ~at topo faults) topo (program ()) with
+      | r when r.Engine.stranded = [] -> Some r.Engine.finish_time
+      | _ -> None
+      | exception Engine.Simulation_error _ -> None
+    in
+    let repair, repair_obs =
+      with_obs (fun () -> Resilience.repair ~at topo faults healthy)
+    in
+    let full = Resilience.synthesize ~faults topo sp in
+    let repair_completion, repair_wall, strategy, verified =
+      match repair with
+      | Ok r ->
+        ( Some r.Resilience.completion_time,
+          Some r.Resilience.synth_wall_seconds,
+          Resilience.strategy_name r.Resilience.strategy,
+          (match r.Resilience.verified with Ok () -> true | Error _ -> false) )
+      | Error f -> (None, None, "FAILED(" ^ f.Resilience.stage ^ ")", false)
+    in
+    let full_completion, full_wall =
+      match full with
+      | Ok o -> (Some (at +. o.Resilience.simulated_time), Some o.Resilience.wall_seconds)
+      | Error _ -> (None, None)
+    in
+    let num = Option.value ~default:Float.nan in
+    let wall_speedup =
+      match (repair_wall, full_wall) with
+      | Some r, Some f when r > 0. -> Some (f /. r)
+      | _ -> None
+    in
+    record ~exp:"midflight"
+      [
+        ("topology", Json.String name);
+        ("pattern", Json.String (Pattern.name pattern));
+        ("buffer_bytes", Json.Number size);
+        ("fault_fraction", Json.Number frac);
+        ("at_seconds", Json.Number at);
+        ("victim_link", Json.Number (float_of_int victim));
+        ("healthy_seconds", Json.Number healthy_time);
+        ("replay_seconds", Json.Number (num replay));
+        ("repair_strategy", Json.String strategy);
+        ("repair_verified", Json.Bool verified);
+        ("repair_completion_seconds", Json.Number (num repair_completion));
+        ("repair_synth_wall_seconds", Json.Number (num repair_wall));
+        ("full_completion_seconds", Json.Number (num full_completion));
+        ("full_synth_wall_seconds", Json.Number (num full_wall));
+        ("repair_wall_speedup", Json.Number (num wall_speedup));
+        ("obs", repair_obs);
+      ];
+    Some
+      [
+        name;
+        Pattern.name pattern;
+        Printf.sprintf "%.0f%%" (100. *. frac);
+        Units.time_pp (num replay);
+        Units.time_pp (num repair_completion) ^ (if verified then "" else " !");
+        Units.time_pp (num full_completion);
+        (match wall_speedup with
+        | Some s -> Printf.sprintf "%.1fx" s
+        | None -> "n/a");
+        strategy;
+      ]
+
+let run () =
+  section "Mid-flight faults — replay vs incremental repair vs full re-synthesis";
+  let rows = ref [] in
+  List.iter
+    (fun ((name, topo), pattern) ->
+      List.iter
+        (fun frac ->
+          match measure name topo pattern frac with
+          | Some row -> rows := !rows @ [ row ]
+          | None -> ())
+        fractions)
+    (cases ());
+  Table.print
+    ~header:
+      [ "Topology"; "pattern"; "fault@"; "replay"; "repair"; "full"; "wall speedup"; "strategy" ]
+    !rows;
+  note "completion times are absolute (fault lands mid-collective)";
+  note "wall speedup: full re-synthesis wall-clock / suffix-repair wall-clock";
+  flush_bench ~exp:"midflight"

@@ -395,6 +395,126 @@ let profile_cmd =
 
 (* --- faults ----------------------------------------------------------------- *)
 
+module Engine = Tacos_sim.Engine
+module Sim_program = Tacos_sim.Program
+
+(* "--at 40%" resolves against the healthy schedule's simulated completion
+   time; "--at 0.0012" is absolute seconds. *)
+let parse_at s =
+  let s = String.trim s in
+  let pct = String.length s > 1 && s.[String.length s - 1] = '%' in
+  let body = if pct then String.sub s 0 (String.length s - 1) else s in
+  match float_of_string_opt body with
+  | None -> Error (Printf.sprintf "bad fault time %S (seconds or N%%)" s)
+  | Some v when v < 0. -> Error "fault time must be non-negative"
+  | Some v -> Ok (if pct then `Fraction (v /. 100.) else `Seconds v)
+
+(* The mid-flight three-way comparison: replay-through-the-fault vs suffix
+   repair vs full re-synthesis, all timed from the same fault instant. *)
+let midflight_run ~seed ~trials ~budget ~json topo spec size faults at_spec =
+  match Synth.synthesize ~seed ~trials topo spec with
+  | exception Synth.Stuck msg -> fail "healthy synthesis stuck: %s" msg
+  | exception Synth.Unsupported msg ->
+    fail "--at needs a synthesizer-supported pattern: %s" msg
+  | healthy ->
+    let chunk_size = Spec.chunk_size spec in
+    let program () = Sim_program.of_schedule ~chunk_size healthy.Synth.schedule in
+    let healthy_time = (Engine.run topo (program ())).Engine.finish_time in
+    let at =
+      match at_spec with
+      | `Seconds v -> v
+      | `Fraction f -> f *. healthy_time
+    in
+    Format.printf "healthy:      %s simulated; fault lands at %s@."
+      (Units.time_pp healthy_time) (Units.time_pp at);
+    let timeline = Fault.timeline ~at topo faults in
+    let replay =
+      match Engine.run ~faults:timeline topo (program ()) with
+      | report ->
+        if report.Engine.stranded = [] then Ok report.Engine.finish_time
+        else Error (Printf.sprintf "%d transfers stranded" (List.length report.Engine.stranded))
+      | exception (Engine.Simulation_error _ as e) -> Error (Printexc.to_string e)
+    in
+    (match replay with
+    | Ok t ->
+      Format.printf "replay:       %s (reroute in the engine, no re-planning)@."
+        (Units.time_pp t)
+    | Error why -> Format.printf "replay:       FAILS — %s@." why);
+    let repair = Resilience.repair ~seed ~trials ?budget_ms:budget ~at topo faults healthy in
+    (match repair with
+    | Ok r ->
+      Format.printf "repair:       %s via %s (synthesized in %s)%s@."
+        (Units.time_pp r.Resilience.completion_time)
+        (Resilience.strategy_name r.Resilience.strategy)
+        (Units.time_pp r.Resilience.synth_wall_seconds)
+        (match r.Resilience.verified with
+        | Ok () -> ""
+        | Error e -> Printf.sprintf " [INVALID: %s]" e)
+    | Error f -> Format.printf "repair:       NONE — %a@." Resilience.pp_failure f);
+    let full = Resilience.synthesize ~seed ~trials ?budget_ms:budget ~faults topo spec in
+    (match full with
+    | Ok o ->
+      Format.printf "resynthesis:  %s (full, synthesized in %s)@."
+        (Units.time_pp (at +. o.Resilience.simulated_time))
+        (Units.time_pp o.Resilience.wall_seconds)
+    | Error f -> Format.printf "resynthesis:  NONE — %a@." Resilience.pp_failure f);
+    (match (repair, full) with
+    | Ok r, Ok o when r.Resilience.synth_wall_seconds > 0. ->
+      Format.printf "speedup:      %.1fx less synthesis wall-clock from repairing@."
+        (o.Resilience.wall_seconds /. r.Resilience.synth_wall_seconds)
+    | _ -> ());
+    (match json with
+    | None -> ()
+    | Some dest ->
+      let outcome_json = function
+        | Ok (o : Resilience.outcome) ->
+          Json.Object
+            [
+              ("completion_seconds", Json.Number (at +. o.Resilience.simulated_time));
+              ("synth_wall_seconds", Json.Number o.Resilience.wall_seconds);
+            ]
+        | Error f -> Resilience.failure_to_json f
+      in
+      let doc =
+        Json.Object
+          [
+            ("topology", Json.String (Topology.name topo));
+            ("pattern", Json.String (Pattern.name spec.Spec.pattern));
+            ("buffer_bytes", Json.Number size);
+            ("seed", Json.Number (float_of_int seed));
+            ("at_seconds", Json.Number at);
+            ("healthy_seconds", Json.Number healthy_time);
+            ("faults", Json.Array (List.map Fault.to_json faults));
+            ( "replay",
+              match replay with
+              | Ok t -> Json.Object [ ("completion_seconds", Json.Number t) ]
+              | Error why -> Json.Object [ ("stranded", Json.String why) ] );
+            ( "repair",
+              match repair with
+              | Ok r ->
+                Json.Object
+                  [
+                    ("strategy", Json.String (Resilience.strategy_name r.Resilience.strategy));
+                    ("completion_seconds", Json.Number r.Resilience.completion_time);
+                    ("synth_wall_seconds", Json.Number r.Resilience.synth_wall_seconds);
+                    ( "verified",
+                      Json.Bool (match r.Resilience.verified with Ok () -> true | Error _ -> false) );
+                  ]
+              | Error f -> Resilience.failure_to_json f );
+            ("full_resynthesis", outcome_json full);
+          ]
+      in
+      let text = Json.encode doc in
+      (match dest with
+      | "-" -> print_endline text
+      | file ->
+        let oc = open_out file in
+        output_string oc text;
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "report written to %s@." file));
+    `Ok ()
+
 let faults_cmd =
   let fail_links_arg =
     Arg.(
@@ -434,8 +554,17 @@ let faults_cmd =
           ~doc:"Write the structured fault report as JSON to $(docv) ('-' \
                 for stdout).")
   in
+  let at_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "at" ] ~docv:"T"
+          ~doc:"Land the faults mid-flight at $(docv) (seconds, or N% of the \
+                healthy schedule's simulated time) and compare \
+                replay-through-the-fault vs incremental repair vs full \
+                re-synthesis.")
+  in
   let run topo_str alpha bw size_str pattern_str chunks seed trials fail_links
-      fail_npus degrade degrade_factor budget json =
+      fail_npus degrade degrade_factor budget at_str json =
     with_setup topo_str alpha bw (fun topo ->
         match Parse.parse_size size_str with
         | Error e -> fail "%s" e
@@ -459,6 +588,19 @@ let faults_cmd =
               kills @ npus @ slow
             with
             | exception Invalid_argument msg -> fail "%s" msg
+            | faults when at_str <> None -> (
+              match parse_at (Option.get at_str) with
+              | Error e -> fail "%s" e
+              | Ok at_spec ->
+                Format.printf "topology:     %a@." Topology.pp topo;
+                Format.printf "collective:   %a@." Spec.pp spec;
+                if faults = [] then Format.printf "faults:       none@."
+                else
+                  List.iter
+                    (fun f -> Format.printf "fault:        %a@." Fault.pp f)
+                    faults;
+                midflight_run ~seed ~trials ~budget ~json topo spec size faults
+                  at_spec)
             | faults ->
               Obs.enable ();
               Obs.reset ();
@@ -588,7 +730,7 @@ let faults_cmd =
       ret
         (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
        $ chunks_arg $ seed_arg $ trials_arg $ fail_links_arg $ fail_npus_arg
-       $ degrade_arg $ degrade_factor_arg $ budget_arg $ json_out))
+       $ degrade_arg $ degrade_factor_arg $ budget_arg $ at_arg $ json_out))
   in
   Cmd.v
     (Cmd.info "faults"

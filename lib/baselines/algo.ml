@@ -48,6 +48,7 @@ let probe ?routing_size t topo spec =
   match simulate ?routing_size t topo spec with
   | report -> Ok report
   | exception Invalid_argument msg | (exception Failure msg) -> Error msg
+  | exception (Engine.Simulation_error _ as e) -> Error (Printexc.to_string e)
   | exception Not_found -> Error "internal lookup failed"
 
 let best_feasible ?routing_size ?(candidates = all) topo spec =

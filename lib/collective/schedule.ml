@@ -52,16 +52,15 @@ let concat a b =
 
 (* --- validation ------------------------------------------------------- *)
 
-let validate_noncombining topo spec t =
+let validate_positioned topo ~precondition ~postcondition ~num_chunks ~chunk_size t =
   let eps = eps_for t.makespan in
   let npus = Topology.num_npus topo in
-  let chunks = Spec.num_chunks spec in
-  let chunk_size = Spec.chunk_size spec in
+  let chunks = num_chunks in
   let exception Bad of string in
   try
     (* arrival.(d).(c): earliest time chunk c is known to be at NPU d. *)
     let arrival = Array.make_matrix npus chunks infinity in
-    List.iter (fun (d, c) -> arrival.(d).(c) <- 0.) (Spec.precondition spec);
+    List.iter (fun (d, c) -> arrival.(d).(c) <- 0.) precondition;
     let last_free = Hashtbl.create 64 in
     List.iter
       (fun s ->
@@ -99,9 +98,15 @@ let validate_noncombining topo spec t =
       (fun (d, c) ->
         if arrival.(d).(c) = infinity then
           raise (Bad (Printf.sprintf "postcondition unmet: NPU %d never gets chunk %d" d c)))
-      (Spec.postcondition spec);
+      postcondition;
     Ok ()
   with Bad msg -> Error msg
+
+let validate_noncombining topo spec t =
+  validate_positioned topo
+    ~precondition:(Spec.precondition spec)
+    ~postcondition:(Spec.postcondition spec)
+    ~num_chunks:(Spec.num_chunks spec) ~chunk_size:(Spec.chunk_size spec) t
 
 let validate topo spec t =
   if Pattern.is_combining spec.Spec.pattern then

@@ -45,6 +45,19 @@ val concat : t -> t -> t
 (** [concat a b] runs [b] after [a] ([b] shifted by [a.makespan]) — how
     All-Reduce is assembled from Reduce-Scatter and All-Gather. *)
 
+val validate_positioned :
+  Topology.t ->
+  precondition:(int * int) list ->
+  postcondition:(int * int) list ->
+  num_chunks:int ->
+  chunk_size:float ->
+  t ->
+  (unit, string) result
+(** The validator of {!validate} against explicit [(npu, chunk)] position
+    lists instead of a {!Spec.t}-derived pre/postcondition — the form used by
+    mid-flight schedule repair, where the "precondition" is wherever the
+    chunks actually were when the fault landed. Non-combining semantics. *)
+
 val validate : Topology.t -> Spec.t -> t -> (unit, string) result
 (** Check physical legality and semantic correctness:
     - every send's link exists and matches its endpoints;

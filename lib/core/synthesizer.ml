@@ -28,12 +28,49 @@ type result = {
 exception Unsupported of string
 exception Stuck of string
 
+(* A synthesis goal in positional form: where the chunks are and where they
+   must end up, untied from any collective pattern. Specs lower to goals
+   ([goal_of_spec]); mid-flight repair builds goals directly from the chunk
+   positions observed at the fault time. *)
+type goal = {
+  num_chunks : int;
+  chunk_size : float;
+  precondition : (int * int) list;
+  postcondition : (int * int) list;
+}
+
+let goal_of_spec spec =
+  {
+    num_chunks = Spec.num_chunks spec;
+    chunk_size = Spec.chunk_size spec;
+    precondition = Spec.precondition spec;
+    postcondition = Spec.postcondition spec;
+  }
+
+let validate_goal topo goal =
+  let n = Topology.num_npus topo in
+  if goal.num_chunks <= 0 then
+    invalid_arg "Synthesizer: goal.num_chunks must be positive";
+  if not (goal.chunk_size > 0.) then
+    invalid_arg "Synthesizer: goal.chunk_size must be positive";
+  let check_pairs what pairs =
+    List.iter
+      (fun (d, c) ->
+        if d < 0 || d >= n then
+          invalid_arg (Printf.sprintf "Synthesizer: goal %s names NPU %d" what d);
+        if c < 0 || c >= goal.num_chunks then
+          invalid_arg (Printf.sprintf "Synthesizer: goal %s names chunk %d" what c))
+      pairs
+  in
+  check_pairs "precondition" goal.precondition;
+  check_pairs "postcondition" goal.postcondition
+
 (* Fail fast on broken fabrics: a postcondition (d, c) is satisfiable iff
    some initial holder of c can reach d. Strong connectivity implies every
    postcondition is reachable, so the O(n·(n+m)) analysis only runs after
    the cheap connectivity test fails — the healthy-fabric path pays one
    DFS pair per trial. *)
-let unreachable_postconditions topo spec =
+let unreachable_postconditions topo goal =
   let n = Topology.num_npus topo in
   let reach_cache = Hashtbl.create 8 in
   let reachable_from s =
@@ -56,17 +93,17 @@ let unreachable_postconditions topo spec =
     (fun (v, c) ->
       let prev = Option.value ~default:[] (Hashtbl.find_opt holders c) in
       Hashtbl.replace holders c (v :: prev))
-    (Spec.precondition spec);
+    goal.precondition;
   List.filter
     (fun (d, c) ->
       match Hashtbl.find_opt holders c with
       | None -> true
       | Some hs -> not (List.exists (fun h -> (reachable_from h).(d)) hs))
-    (Spec.postcondition spec)
+    goal.postcondition
 
-let check_feasible topo spec =
+let check_feasible topo goal =
   if not (Topology.is_strongly_connected topo) then begin
-    match unreachable_postconditions topo spec with
+    match unreachable_postconditions topo goal with
     | [] -> () (* e.g. Broadcast whose root reaches everyone *)
     | unreachable ->
       let total = List.length unreachable in
@@ -96,13 +133,13 @@ let check_feasible topo spec =
    tie-break) and pick a random chunk from [holds(src) ∩ wants(dst)] — the
    same greedy maximal matching as iterating shuffled postconditions, found
    by scanning whichever of the two sets is smaller. *)
-let synthesize_pull ~prefer_cheap_links rng topo spec =
+let synthesize_pull ~prefer_cheap_links rng topo goal =
   let n = Topology.num_npus topo in
-  let num_chunks = Spec.num_chunks spec in
-  let chunk_size = Spec.chunk_size spec in
+  let num_chunks = goal.num_chunks in
+  let chunk_size = goal.chunk_size in
   let m = Topology.num_links topo in
   if m = 0 && n > 1 then raise (Stuck "topology has no links");
-  check_feasible topo spec;
+  check_feasible topo goal;
   (* Per-link constants. *)
   let src = Array.make m 0 and dst = Array.make m 0 and cost = Array.make m 0. in
   List.iter
@@ -120,9 +157,11 @@ let synthesize_pull ~prefer_cheap_links rng topo spec =
   let wants_pos = Array.make_matrix n num_chunks (-1) in
   List.iter
     (fun (d, c) ->
-      arrival.(d).(c) <- 0.;
-      Ivec.push holds.(d) c)
-    (Spec.precondition spec);
+      if arrival.(d).(c) = infinity then begin
+        arrival.(d).(c) <- 0.;
+        Ivec.push holds.(d) c
+      end)
+    goal.precondition;
   let unsatisfied = ref 0 in
   List.iter
     (fun (d, c) ->
@@ -131,7 +170,7 @@ let synthesize_pull ~prefer_cheap_links rng topo spec =
         Ivec.push wants.(d) c;
         incr unsatisfied
       end)
-    (Spec.postcondition spec);
+    goal.postcondition;
   let link_free = Array.make m 0. in
   let events = Fheap.create () in
   let sends = ref [] in
@@ -272,12 +311,13 @@ let synthesize_pull ~prefer_cheap_links rng topo spec =
 let synthesize_simple ~prefer_cheap_links rng topo (spec : Spec.t) =
   match spec.pattern with
   | Pattern.All_gather | Pattern.Broadcast _ ->
-    synthesize_pull ~prefer_cheap_links rng topo spec
+    synthesize_pull ~prefer_cheap_links rng topo (goal_of_spec spec)
   | Pattern.Reduce_scatter | Pattern.Reduce _ ->
     (* §IV-E: synthesize the non-combining counterpart on the reversed
        topology, then mirror the schedule in time and direction. *)
     let sched, rounds, matches =
-      synthesize_pull ~prefer_cheap_links rng (Topology.reverse topo) (Spec.reverse spec)
+      synthesize_pull ~prefer_cheap_links rng (Topology.reverse topo)
+        (goal_of_spec (Spec.reverse spec))
     in
     (Schedule.reverse sched, rounds, matches)
   | Pattern.All_reduce -> assert false (* handled by the caller *)
@@ -374,6 +414,31 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = 
     phases;
     stats = { wall_seconds; rounds = !rounds; matches = !matches; trials };
   }
+
+let synthesize_goal ?(seed = 42) ?(trials = 1) ?(prefer_cheap_links = true) topo goal =
+  if trials <= 0 then
+    invalid_arg "Synthesizer.synthesize_goal: trials must be positive";
+  validate_goal topo goal;
+  let t0 = Unix.gettimeofday () in
+  let master = Rng.create seed in
+  let rounds = ref 0 and matches = ref 0 in
+  let best = ref None in
+  for _ = 1 to trials do
+    let rng = Rng.create (Int64.to_int (Rng.bits64 master)) in
+    let sched, r, m =
+      Obs.time obs_trial_timer (fun () ->
+          synthesize_pull ~prefer_cheap_links rng topo goal)
+    in
+    Obs.observe obs_trial_makespan sched.Schedule.makespan;
+    rounds := !rounds + r;
+    matches := !matches + m;
+    match !best with
+    | Some b when b.Schedule.makespan <= sched.Schedule.makespan -> ()
+    | _ -> best := Some sched
+  done;
+  let schedule = Option.get !best in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  (schedule, { wall_seconds; rounds = !rounds; matches = !matches; trials })
 
 let verify topo result =
   match result.spec.Spec.pattern with

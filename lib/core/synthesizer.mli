@@ -85,6 +85,39 @@ val synthesize :
     heuristic: idle links are matched cheapest-first. Turning it off matches
     links in random order, the ablation of the bench harness. *)
 
+type goal = {
+  num_chunks : int;
+  chunk_size : float;  (** bytes per chunk *)
+  precondition : (int * int) list;  (** [(npu, chunk)] held at t = 0 *)
+  postcondition : (int * int) list;  (** [(npu, chunk)] required at the end *)
+}
+(** A synthesis goal in positional form, untied from any collective pattern:
+    where the chunks are and where they must end up. This is the entry point
+    mid-flight schedule repair uses — the precondition lists the positions
+    chunks had actually reached when a fault landed, the postcondition the
+    still-unmet part of the collective. Non-combining (pull) semantics only. *)
+
+val goal_of_spec : Spec.t -> goal
+(** The goal a spec's pattern lowers to: {!Spec.precondition} /
+    {!Spec.postcondition} verbatim. For [All_reduce] this is the
+    Reduce-Scatter precondition against the All-Gather postcondition — not
+    directly synthesizable as one pull goal; split into phases instead. *)
+
+val synthesize_goal :
+  ?seed:int ->
+  ?trials:int ->
+  ?prefer_cheap_links:bool ->
+  Topology.t ->
+  goal ->
+  Schedule.t * stats
+(** [synthesize_goal topo goal] runs the pull-based matching loop directly on
+    a positional goal: [trials] (default 1) randomized syntheses from [seed]
+    (default 42), keeping the smallest makespan. Duplicate precondition
+    entries are tolerated (repair goals merge phase preconditions with kept
+    deliveries). Raises [Stuck] when some postcondition is unreachable from
+    every holder of its chunk, [Invalid_argument] on out-of-range NPU/chunk
+    ids or nonpositive sizing. *)
+
 val verify : Topology.t -> result -> (unit, string) Stdlib.result
 (** Re-validate a synthesis result against its spec (physical legality +
     pre/postconditions), dispatching to the right validator per pattern. *)

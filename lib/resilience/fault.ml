@@ -119,6 +119,22 @@ let disconnecting_fault topo faults =
     in
     scan [] faults
 
+let timeline ~at topo faults =
+  (match validate topo faults with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Fault.timeline: " ^ msg));
+  if not (at >= 0.) then invalid_arg "Fault.timeline: fault time must be >= 0";
+  (* One timed event per affected healthy link, deduplicated the way [apply]
+     deduplicates: a link that is both killed and degraded just dies, and
+     repeated kills collapse. Degradations of surviving links keep their
+     compound factor as a single event. *)
+  let dead = killed_links topo faults in
+  let degraded = degraded_links topo faults in
+  List.map (fun link -> Tacos_sim.Engine.Link_dies { link; at }) dead
+  @ List.map
+      (fun (link, factor) -> Tacos_sim.Engine.Link_degrades { link; factor; at })
+      degraded
+
 (* --- deterministic samplers ---------------------------------------------- *)
 
 let sample_distinct rng ~universe ~what k =

@@ -45,6 +45,14 @@ val apply : Topology.t -> t list -> Topology.t
     fails. Link ids are renumbered densely (see {!Topology.map_links});
     use {!killed_links}/{!degraded_links} with healthy ids for analyses. *)
 
+val timeline : at:float -> Topology.t -> t list -> Tacos_sim.Engine.fault_event list
+(** Lower a fault set to the engine's timed fault events, all landing at
+    [at]: [Kill_link] → [Link_dies], [Kill_npu] → one [Link_dies] per
+    incident link, [Degrade_link] → [Link_degrades] with the compound factor.
+    A link both killed and degraded just dies. Link ids are healthy-topology
+    ids, matching what [Engine.run ~faults] on the *healthy* topology
+    expects. Raises [Invalid_argument] when {!validate} fails or [at < 0]. *)
+
 (** {1 Connectivity pre-check} *)
 
 type connectivity =

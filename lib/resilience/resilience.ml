@@ -204,7 +204,8 @@ let analyze ?(seed = 42) ?(trials = 1) ?budget_ms topo faults (result : Synth.re
     let chunk_size = Spec.chunk_size result.Synth.spec in
     let program = Program.of_schedule ~chunk_size result.Synth.schedule in
     match Engine.run degraded program with
-    | report -> Some report.Engine.finish_time
+    | report -> if report.Engine.stranded = [] then Some report.Engine.finish_time else None
+    | exception Engine.Simulation_error _ -> None
     | exception Failure _ -> None
   in
   let resynth = synthesize ~seed ~trials ?budget_ms ~faults topo result.Synth.spec in
@@ -217,3 +218,181 @@ let analyze ?(seed = 42) ?(trials = 1) ?budget_ms topo faults (result : Synth.re
     | _ -> None
   in
   { health; replay_time; resynth; resynth_time; advantage }
+
+(* --- mid-flight repair --------------------------------------------------- *)
+
+let obs_repair_suffix = Obs.counter "resilience.repair_suffix"
+let obs_repair_full = Obs.counter "resilience.repair_full"
+let obs_repair_complete = Obs.counter "resilience.repair_complete"
+
+type strategy =
+  | Suffix of { kept_sends : int; replanned : int; schedule : Schedule.t }
+  | Complete_already
+  | Full of { reason : string; outcome : outcome }
+
+type repaired = {
+  strategy : strategy;
+  completion_time : float;
+  synth_wall_seconds : float;
+  verified : (unit, string) result;
+}
+
+let strategy_name = function
+  | Suffix _ -> "suffix"
+  | Complete_already -> "complete"
+  | Full _ -> "full"
+
+(* Simulate the repaired suffix (degraded-topology link ids, fault-relative
+   times) to get the absolute completion time of the patched collective. *)
+let suffix_completion ~at degraded ~chunk_size schedule =
+  if Schedule.num_sends schedule = 0 then at
+  else
+    let program = Program.of_schedule ~chunk_size schedule in
+    at +. (Engine.run degraded program).Engine.finish_time
+
+(* Repair the pull phase whose sends are [phase_sched] (absolute times),
+   with [precondition] the chunk positions at the phase's start. Keeps every
+   send that finished by [at] and re-synthesizes only the unmet
+   postconditions, seeding the goal with the actual chunk positions. *)
+let repair_pull ~seed ~trials ~at ~connectivity ~disconnecting topo faults
+    ~num_chunks ~chunk_size ~precondition ~postcondition phase_sched =
+  let eps = Schedule.eps_for at in
+  let kept, dropped =
+    List.partition
+      (fun (s : Schedule.send) -> s.Schedule.finish <= at +. eps)
+      phase_sched.Schedule.sends
+  in
+  let seen = Hashtbl.create 64 in
+  List.iter (fun (d, c) -> Hashtbl.replace seen (d, c) ()) precondition;
+  List.iter
+    (fun (s : Schedule.send) -> Hashtbl.replace seen (s.Schedule.dst, s.Schedule.chunk) ())
+    kept;
+  let positions = Hashtbl.fold (fun pos () acc -> pos :: acc) seen [] in
+  let unmet =
+    List.filter (fun (d, c) -> not (Hashtbl.mem seen (d, c))) postcondition
+  in
+  if unmet = [] then begin
+    Obs.incr obs_repair_complete;
+    let done_at =
+      List.fold_left (fun acc (s : Schedule.send) -> Float.max acc s.Schedule.finish)
+        0. kept
+    in
+    Ok
+      {
+        strategy = Complete_already;
+        completion_time = done_at;
+        synth_wall_seconds = 0.;
+        verified = Ok ();
+      }
+  end
+  else begin
+    let degraded = Fault.apply topo faults in
+    match
+      Synth.synthesize_goal ~seed ~trials degraded
+        { Synth.num_chunks; chunk_size; precondition = positions; postcondition = unmet }
+    with
+    | schedule, (stats : Synth.stats) ->
+      Obs.incr obs_repair_suffix;
+      let verified =
+        Schedule.validate_positioned degraded ~precondition:positions
+          ~postcondition:unmet ~num_chunks ~chunk_size schedule
+      in
+      Ok
+        {
+          strategy =
+            Suffix
+              {
+                kept_sends = List.length kept;
+                replanned = List.length dropped + List.length unmet;
+                schedule;
+              };
+          completion_time = suffix_completion ~at degraded ~chunk_size schedule;
+          synth_wall_seconds = stats.Synth.wall_seconds;
+          verified;
+        }
+    | exception Synth.Stuck msg ->
+      Obs.incr obs_failures;
+      Error
+        {
+          stage = "repair";
+          message = msg;
+          connectivity = connectivity ();
+          disconnecting = disconnecting ();
+        }
+  end
+
+(* Fall through to the full fallback ladder when the suffix cannot be
+   patched in isolation (combining phase in flight: kept partial sums are
+   not expressible as chunk positions). *)
+let repair_full ~seed ~trials ~budget_ms ~at topo faults spec reason =
+  match synthesize ~seed ~trials ?budget_ms ~faults topo spec with
+  | Ok outcome ->
+    Obs.incr obs_repair_full;
+    let verified =
+      match outcome.plan with
+      | Synthesized r -> Synth.verify (Fault.apply topo faults) r
+      | Baseline _ -> Ok ()
+    in
+    Ok
+      {
+        strategy = Full { reason; outcome };
+        completion_time = at +. outcome.simulated_time;
+        synth_wall_seconds = outcome.wall_seconds;
+        verified;
+      }
+  | Error f -> Error f
+
+let repair ?(seed = 42) ?(trials = 1) ?budget_ms ~at topo faults
+    (result : Synth.result) =
+  if not (at >= 0.) then invalid_arg "Resilience.repair: fault time must be >= 0";
+  match Fault.validate topo faults with
+  | Error msg ->
+    Obs.incr obs_failures;
+    Error
+      {
+        stage = "faults";
+        message = msg;
+        connectivity = Fault.connectivity topo;
+        disconnecting = None;
+      }
+  | Ok () ->
+    let connectivity () = Fault.connectivity (Fault.apply topo faults) in
+    let disconnecting () = Fault.disconnecting_fault topo faults in
+    let spec = result.Synth.spec in
+    let num_chunks = Spec.num_chunks spec in
+    let chunk_size = Spec.chunk_size spec in
+    let pull ~precondition ~postcondition phase_sched =
+      repair_pull ~seed ~trials ~at ~connectivity ~disconnecting topo faults
+        ~num_chunks ~chunk_size ~precondition ~postcondition phase_sched
+    in
+    let full reason =
+      repair_full ~seed ~trials ~budget_ms ~at topo faults spec reason
+    in
+    (match spec.Spec.pattern with
+    | Pattern.All_gather | Pattern.Broadcast _ ->
+      pull ~precondition:(Spec.precondition spec)
+        ~postcondition:(Spec.postcondition spec) result.Synth.schedule
+    | Pattern.All_reduce -> (
+      match result.Synth.phases with
+      | None -> full "All-Reduce result carries no phase split"
+      | Some (rs, ag) ->
+        let eps = Schedule.eps_for rs.Schedule.makespan in
+        if at >= rs.Schedule.makespan -. eps then begin
+          (* The combining phase is complete: repair the All-Gather suffix.
+             [ag] is already shifted to absolute times by the synthesizer. *)
+          let ag_spec = Spec.with_pattern spec Pattern.All_gather in
+          pull ~precondition:(Spec.precondition ag_spec)
+            ~postcondition:(Spec.postcondition ag_spec) ag
+        end
+        else
+          full
+            (Printf.sprintf
+               "fault at %g lands inside the reduce-scatter phase (ends %g): \
+                partial sums in flight cannot be re-seeded as chunk positions"
+               at rs.Schedule.makespan))
+    | Pattern.Reduce_scatter | Pattern.Reduce _ | Pattern.All_to_all
+    | Pattern.Gather _ | Pattern.Scatter _ ->
+      full
+        (Pattern.name spec.Spec.pattern
+        ^ ": combining/pairwise semantics — partial progress is not \
+           re-seedable as chunk positions"))

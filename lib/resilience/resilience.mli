@@ -123,3 +123,57 @@ val analyze :
 (** [analyze healthy_topo faults healthy_result]. *)
 
 val health_to_string : health -> string
+
+(** {1 Mid-flight schedule repair}
+
+    The timed counterpart of {!analyze}: the fault lands at [at] seconds into
+    an executing healthy schedule. Instead of discarding the collective,
+    {!repair} keeps every send that finished before the fault, computes the
+    actual chunk positions at that instant, and re-synthesizes only the
+    still-unmet postconditions as a positional goal
+    ({!Tacos.Synthesizer.synthesize_goal}) on the degraded fabric — the cheap
+    alternative to full re-synthesis that the ROADMAP's incremental-repair
+    item calls for. *)
+
+type strategy =
+  | Suffix of { kept_sends : int; replanned : int; schedule : Schedule.t }
+      (** the suffix patch: [kept_sends] healthy sends survived, [replanned]
+          deliveries were re-synthesized. [schedule] uses {e degraded}-
+          topology link ids and fault-relative times (t = 0 is the fault). *)
+  | Complete_already
+      (** every postcondition was met before the fault — nothing to do *)
+  | Full of { reason : string; outcome : outcome }
+      (** suffix repair does not apply (combining phase in flight, no phase
+          split, pairwise semantics); the full fallback ladder ran instead *)
+
+type repaired = {
+  strategy : strategy;
+  completion_time : float;
+      (** absolute completion of the patched collective: fault time + the
+          repair's simulated time on the degraded fabric (for
+          [Complete_already], when the last kept send finished) *)
+  synth_wall_seconds : float;  (** wall clock spent re-synthesizing *)
+  verified : (unit, string) result;
+      (** the repaired schedule re-validated against the positions at the
+          fault time ({!Tacos_collective.Schedule.validate_positioned}) *)
+}
+
+val strategy_name : strategy -> string
+(** ["suffix"], ["complete"] or ["full"]. *)
+
+val repair :
+  ?seed:int ->
+  ?trials:int ->
+  ?budget_ms:float ->
+  at:float ->
+  Topology.t ->
+  Fault.t list ->
+  Synth.result ->
+  (repaired, failure) result
+(** [repair ~at healthy_topo faults healthy_result]. Suffix repair applies to
+    the pull patterns (All-Gather, Broadcast) and to an All-Reduce whose
+    fault lands after the reduce-scatter phase (the All-Gather suffix is
+    patched); everything else goes through the {!synthesize} fallback ladder
+    ([Full]). A fault set that strands some unmet postcondition yields a
+    structured [Error] with [stage = "repair"] — never an exception. Raises
+    [Invalid_argument] only on [at < 0]. *)

@@ -11,7 +11,9 @@ module Pq = Set.Make (struct
 end)
 
 (* Dijkstra towards [dst] over reversed edges: settles the cost of every
-   node's best path to [dst] and the first hop on that path. *)
+   node's best path to [dst] and the first hop on that path. Unreachable
+   sources keep [dist = infinity] / [next = -1]; whether that is an error
+   is the caller's policy ([build] vs [build_partial]). *)
 let dijkstra_to topo size dst =
   let n = Topology.num_npus topo in
   let dist = Array.make n infinity in
@@ -33,15 +35,9 @@ let dijkstra_to topo size dst =
           end)
         (Topology.in_edges topo v)
   done;
-  Array.iteri
-    (fun v d ->
-      if d = infinity then
-        failwith
-          (Printf.sprintf "Routing.build: NPU %d cannot reach NPU %d" v dst))
-    dist;
   (dist, next)
 
-let build topo ~size =
+let build_partial topo ~size =
   let n = Topology.num_npus topo in
   let dist = Array.make n [||] and next = Array.make n [||] in
   for d = 0 to n - 1 do
@@ -51,6 +47,19 @@ let build topo ~size =
   done;
   { n; next; dist }
 
+let build topo ~size =
+  let t = build_partial topo ~size in
+  Array.iteri
+    (fun dst per_src ->
+      Array.iteri
+        (fun src d ->
+          if d = infinity then
+            failwith
+              (Printf.sprintf "Routing.build: NPU %d cannot reach NPU %d" src dst))
+        per_src)
+    t.dist;
+  t
+
 let check t src dst =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Routing: NPU out of range"
@@ -58,14 +67,28 @@ let check t src dst =
 let next_hop t ~src ~dst =
   check t src dst;
   if src = dst then invalid_arg "Routing.next_hop: src = dst";
+  if t.dist.(dst).(src) = infinity then
+    failwith (Printf.sprintf "Routing.next_hop: NPU %d cannot reach NPU %d" src dst);
   t.next.(dst).(src)
 
-let path t ~src ~dst =
+let reachable t ~src ~dst =
   check t src dst;
-  let rec go v acc =
-    if v = dst then List.rev (v :: acc) else go t.next.(dst).(v) (v :: acc)
-  in
-  go src []
+  t.dist.(dst).(src) < infinity
+
+let path_opt t ~src ~dst =
+  check t src dst;
+  if t.dist.(dst).(src) = infinity then None
+  else
+    let rec go v acc =
+      if v = dst then List.rev (v :: acc) else go t.next.(dst).(v) (v :: acc)
+    in
+    Some (go src [])
+
+let path t ~src ~dst =
+  match path_opt t ~src ~dst with
+  | Some p -> p
+  | None ->
+    failwith (Printf.sprintf "Routing.path: NPU %d cannot reach NPU %d" src dst)
 
 let path_cost t ~src ~dst =
   check t src dst;

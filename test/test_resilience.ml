@@ -253,6 +253,136 @@ let test_analysis_intact_without_faults () =
   | Some adv -> Alcotest.(check (float 1e-6)) "no advantage without faults" 1.0 adv
   | None -> Alcotest.fail "advantage must be defined"
 
+(* --- mid-flight repair --------------------------------------------------- *)
+
+let test_timeline_lowers_faults () =
+  let topo = Builders.ring 6 in
+  let victim = (List.hd (Topology.out_edges topo 0)).Topology.id in
+  let events =
+    Fault.timeline ~at:3. topo
+      [ Fault.Kill_npu 2; Fault.Kill_link victim;
+        Fault.Degrade_link { link = victim; factor = 2. } ]
+  in
+  let incident =
+    List.length (Topology.out_edges topo 2 @ Topology.in_edges topo 2)
+  in
+  (* The killed NPU contributes one Link_dies per incident link; the link
+     both killed and degraded just dies (no degrade event survives). *)
+  Alcotest.(check int) "one event per dead link" (incident + 1) (List.length events);
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Tacos_sim.Engine.Link_dies _ -> ()
+      | _ -> Alcotest.fail "only deaths expected");
+      Alcotest.(check (float 0.)) "all land at t" 3. (Tacos_sim.Engine.fault_time ev))
+    events
+
+let test_repair_suffix_on_mesh_allgather () =
+  (* The acceptance scenario: Mesh 5x5 All-Gather, one mid-collective link
+     kill. Suffix repair must produce a verified schedule that completes no
+     later than full re-synthesis started at the fault time. *)
+  let topo = Builders.mesh [| 5; 5 |] in
+  let sp = spec ~buffer_size:25e6 Pattern.All_gather 25 in
+  let healthy = Synth.synthesize ~seed:11 topo sp in
+  let at = 0.4 *. healthy.Synth.schedule.Schedule.makespan in
+  (* Kill a link that still carries traffic after the fault, so the suffix
+     actually has to route around it. *)
+  let victim =
+    match
+      List.find_opt
+        (fun (s : Schedule.send) -> s.Schedule.start > at)
+        healthy.Synth.schedule.Schedule.sends
+    with
+    | Some s -> s.Schedule.edge
+    | None -> Alcotest.fail "no send after the fault time"
+  in
+  let faults = [ Fault.Kill_link victim ] in
+  match Resilience.repair ~seed:11 ~at topo faults healthy with
+  | Error f -> Alcotest.failf "repair failed: %s" f.Resilience.message
+  | Ok r ->
+    (match r.Resilience.strategy with
+    | Resilience.Suffix { kept_sends; replanned; schedule } ->
+      Alcotest.(check bool) "kept healthy prefix" true (kept_sends > 0);
+      Alcotest.(check bool) "replanned something" true (replanned > 0);
+      Alcotest.(check bool) "suffix is nonempty" true (Schedule.num_sends schedule > 0)
+    | s -> Alcotest.failf "expected suffix repair, got %s" (Resilience.strategy_name s));
+    (match r.Resilience.verified with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "repaired schedule invalid: %s" e);
+    Alcotest.(check bool) "completes after the fault" true (r.Resilience.completion_time >= at);
+    (match Resilience.synthesize ~seed:11 ~faults topo sp with
+    | Error f -> Alcotest.failf "full resynthesis failed: %s" f.Resilience.message
+    | Ok full ->
+      Alcotest.(check bool) "repair completes no later than full resynthesis" true
+        (r.Resilience.completion_time
+        <= at +. full.Resilience.simulated_time +. Schedule.eps_for at))
+
+let test_repair_complete_when_fault_lands_late () =
+  let topo = Builders.mesh [| 3; 3 |] in
+  let sp = spec Pattern.All_gather 9 in
+  let healthy = Synth.synthesize topo sp in
+  let makespan = healthy.Synth.schedule.Schedule.makespan in
+  let victim = (List.hd (Topology.out_edges topo 0)).Topology.id in
+  match
+    Resilience.repair ~at:(makespan *. 2.) topo [ Fault.Kill_link victim ] healthy
+  with
+  | Error f -> Alcotest.failf "repair failed: %s" f.Resilience.message
+  | Ok r ->
+    Alcotest.(check string) "nothing left to do" "complete"
+      (Resilience.strategy_name r.Resilience.strategy);
+    Alcotest.(check (float 1e-9)) "completed at the healthy makespan" makespan
+      r.Resilience.completion_time
+
+let test_repair_structured_failure_on_disconnection () =
+  (* Killing an NPU mid-collective strands its unmet postconditions: repair
+     must come back as a structured failure, never an exception. *)
+  let topo = Builders.mesh [| 3; 3 |] in
+  let sp = spec ~buffer_size:9e6 Pattern.All_gather 9 in
+  let healthy = Synth.synthesize topo sp in
+  let at = 0.3 *. healthy.Synth.schedule.Schedule.makespan in
+  match Resilience.repair ~at topo [ Fault.Kill_npu 4 ] healthy with
+  | Ok _ -> Alcotest.fail "repair on a disconnected fabric must fail"
+  | Error f ->
+    Alcotest.(check string) "repair stage" "repair" f.Resilience.stage;
+    Alcotest.(check bool) "names the disconnecting fault" true
+      (f.Resilience.disconnecting = Some (Fault.Kill_npu 4))
+
+let test_repair_allreduce_phase_split () =
+  (* A fault inside the reduce-scatter phase cannot be suffix-repaired
+     (partial sums are not chunk positions); one inside the all-gather
+     phase can. *)
+  let topo = Builders.ring 6 in
+  let sp = spec ~buffer_size:6e6 Pattern.All_reduce 6 in
+  let healthy = Synth.synthesize topo sp in
+  let rs, _ag =
+    match healthy.Synth.phases with
+    | Some p -> p
+    | None -> Alcotest.fail "All-Reduce must carry phases"
+  in
+  let victim = (List.hd (Topology.out_edges topo 0)).Topology.id in
+  let faults = [ Fault.Kill_link victim ] in
+  (match Resilience.repair ~at:(0.5 *. rs.Schedule.makespan) topo faults healthy with
+  | Error f -> Alcotest.failf "rs-phase repair failed: %s" f.Resilience.message
+  | Ok r ->
+    Alcotest.(check string) "combining phase forces the full ladder" "full"
+      (Resilience.strategy_name r.Resilience.strategy));
+  let total = healthy.Synth.schedule.Schedule.makespan in
+  let at = rs.Schedule.makespan +. (0.3 *. (total -. rs.Schedule.makespan)) in
+  match Resilience.repair ~at topo faults healthy with
+  | Error f -> Alcotest.failf "ag-phase repair failed: %s" f.Resilience.message
+  | Ok r ->
+    (match r.Resilience.strategy with
+    | Resilience.Suffix _ -> ()
+    | s -> Alcotest.failf "expected suffix repair, got %s" (Resilience.strategy_name s));
+    (match r.Resilience.verified with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "repaired all-gather suffix invalid: %s" e)
+
+let test_connected_sampler_deterministic () =
+  let topo = Builders.mesh [| 3; 3 |] in
+  let draw () = Fault.random_connected_link_kills (Rng.create 23) topo 2 in
+  Alcotest.(check bool) "same seed, same kill set" true (draw () = draw ())
+
 (* --- property: still-connected degradations stay synthesizable ----------- *)
 
 let degradation_gen =
@@ -298,6 +428,16 @@ let prop_degraded_synthesis_verifies =
                 match Synth.verify degraded result with Ok () -> true | Error _ -> false)))
           (supported_patterns n))
 
+let prop_connected_kills_never_disconnect =
+  QCheck.Test.make ~name:"random_connected_link_kills never disconnects" ~count:50
+    (QCheck.make degradation_gen) (fun (topo_idx, k, seed) ->
+      let topo = build_topo topo_idx in
+      match Fault.random_connected_link_kills (Rng.create seed) topo k with
+      | None -> true (* allowed to give up, never to return a breaking set *)
+      | Some faults ->
+        List.length faults = k
+        && Topology.is_strongly_connected (Fault.apply topo faults))
+
 let () =
   Alcotest.run "resilience"
     [
@@ -338,6 +478,21 @@ let () =
           Alcotest.test_case "intact without faults" `Quick
             test_analysis_intact_without_faults;
         ] );
+      ( "repair",
+        [
+          Alcotest.test_case "timeline lowers fault sets" `Quick test_timeline_lowers_faults;
+          Alcotest.test_case "suffix repair on mesh all-gather" `Quick
+            test_repair_suffix_on_mesh_allgather;
+          Alcotest.test_case "late fault needs no repair" `Quick
+            test_repair_complete_when_fault_lands_late;
+          Alcotest.test_case "structured failure on disconnection" `Quick
+            test_repair_structured_failure_on_disconnection;
+          Alcotest.test_case "all-reduce phase split" `Quick
+            test_repair_allreduce_phase_split;
+          Alcotest.test_case "connected sampler is deterministic" `Quick
+            test_connected_sampler_deterministic;
+        ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_degraded_synthesis_verifies ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_degraded_synthesis_verifies; prop_connected_kills_never_disconnect ] );
     ]

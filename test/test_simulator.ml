@@ -216,6 +216,164 @@ let test_deterministic () =
   let b = Engine.run topo (p ()) in
   Alcotest.check feq "identical runs" a.Engine.finish_time b.Engine.finish_time
 
+(* --- mid-flight faults -------------------------------------------------- *)
+
+let link_id topo ~src ~dst =
+  match Topology.find_links topo ~src ~dst with
+  | e :: _ -> e.Topology.id
+  | [] -> Alcotest.failf "no link %d->%d" src dst
+
+let test_fault_reroutes_on_ring () =
+  (* 4-node ring, one transfer 0->1 over the direct link. Killing that link
+     halfway through service must abort the message, un-credit the unsent
+     half, and reroute it the long way (0->3->2->1). *)
+  let topo = Builders.ring ~link:(Link.make ~alpha:0. ~beta:1.) 4 in
+  let victim = link_id topo ~src:0 ~dst:1 in
+  let b = Program.builder () in
+  ignore (add b ~src:0 ~dst:1 ~size:10. ());
+  let r =
+    Engine.run ~faults:[ Engine.Link_dies { link = victim; at = 5. } ] topo
+      (Program.build b)
+  in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "dead link's service interval truncated at the fault" [ (0., 5.) ]
+    r.Engine.link_intervals.(victim);
+  List.iter
+    (fun (s, e) ->
+      Alcotest.(check bool) "no activity on the dead link after the fault" true
+        (s <= 5. && e <= 5.))
+    r.Engine.link_intervals.(victim);
+  Alcotest.check feq "unsent half un-credited" 5. r.Engine.link_bytes.(victim);
+  Alcotest.check feq "busy truncated" 5. r.Engine.link_busy.(victim);
+  (* Rerouted from node 0 at t=5 over three 10-second hops. *)
+  Alcotest.check feq "rerouted the long way" 35. r.Engine.finish_time;
+  Alcotest.(check int) "nothing stranded" 0 (List.length r.Engine.stranded);
+  Alcotest.check feq "hop 0->3 carried it" 10. r.Engine.link_bytes.(link_id topo ~src:0 ~dst:3)
+
+let test_fault_strands_when_disconnected () =
+  (* Two NPUs, one link each way: killing 0->1 mid-service leaves the
+     destination unreachable — a structured stranding, not an exception. *)
+  let topo = Topology.create 2 in
+  Topology.add_bidir topo 0 1 (Link.make ~alpha:0. ~beta:1.);
+  let victim = link_id topo ~src:0 ~dst:1 in
+  let b = Program.builder () in
+  let first = add b ~src:0 ~dst:1 ~size:10. () in
+  ignore (add b ~deps:[ first ] ~src:1 ~dst:0 ~size:1. ());
+  let r =
+    Engine.run ~faults:[ Engine.Link_dies { link = victim; at = 5. } ] topo
+      (Program.build b)
+  in
+  (match r.Engine.stranded with
+  | [ s ] ->
+    Alcotest.(check int) "stranded transfer" first s.Engine.tid;
+    Alcotest.(check int) "stuck at the source" 0 s.Engine.at_npu;
+    Alcotest.(check int) "towards NPU 1" 1 s.Engine.dst;
+    Alcotest.check feq "discovered at the fault time" 5. s.Engine.time
+  | l -> Alcotest.failf "expected one stranding, got %d" (List.length l));
+  Alcotest.(check bool) "stranded transfer never finishes" true
+    (r.Engine.transfer_finish.(first) = infinity);
+  Alcotest.(check bool) "dependent of a stranded transfer never finishes" true
+    (r.Engine.transfer_finish.(first + 1) = infinity)
+
+let test_fault_degrade_applies_to_later_services () =
+  (* Two queued messages: the first is mid-service when the link degrades
+     and finishes at its negotiated rate; the second serializes at the
+     degraded beta. *)
+  let topo = two_npu_line 0. 1. in
+  let victim = link_id topo ~src:0 ~dst:1 in
+  let b = Program.builder () in
+  ignore (add b ~src:0 ~dst:1 ~size:10. ());
+  ignore (add b ~src:0 ~dst:1 ~size:10. ());
+  let r =
+    Engine.run
+      ~faults:[ Engine.Link_degrades { link = victim; factor = 2.; at = 5. } ]
+      topo (Program.build b)
+  in
+  Alcotest.check feq "committed service unchanged, next one at 2x beta" 30.
+    r.Engine.finish_time
+
+let test_fault_recovery_restores_link () =
+  (* Two parallel 0->1 links. Kill one mid-service (its message drains onto
+     the survivor), then recover it; a transfer launched after the recovery
+     must prefer the recovered idle link over the backlogged survivor. *)
+  let topo = Topology.create 2 in
+  let a = Topology.add_link topo ~src:0 ~dst:1 (Link.make ~alpha:0. ~beta:1.) in
+  ignore (Topology.add_link topo ~src:0 ~dst:1 (Link.make ~alpha:0. ~beta:1.));
+  ignore (Topology.add_link topo ~src:1 ~dst:0 (Link.make ~alpha:0. ~beta:1.));
+  let b = Program.builder () in
+  let m1 = add b ~src:0 ~dst:1 ~size:10. () in
+  ignore (add b ~src:0 ~dst:1 ~size:10. ());
+  ignore (add b ~deps:[ m1 ] ~src:0 ~dst:1 ~size:10. ());
+  let r =
+    Engine.run
+      ~faults:
+        [
+          Engine.Link_dies { link = a; at = 5. };
+          Engine.Link_recovers { link = a; at = 12. };
+        ]
+      topo (Program.build b)
+  in
+  (* m1 on link a aborted at 5, drains behind m2 on link b (busy 0-10),
+     re-served 10-20; m3 launches at m1's completion (20) and must take the
+     recovered link a, not queue behind b. *)
+  Alcotest.check feq "drained message completes on the survivor" 30. r.Engine.finish_time;
+  (match r.Engine.link_intervals.(a) with
+  | [ (0., 5.); (s, e) ] ->
+    Alcotest.check feq "recovered link serves the late transfer" 20. s;
+    Alcotest.check feq "at the healthy rate" 30. e
+  | l -> Alcotest.failf "unexpected intervals on recovered link (%d)" (List.length l));
+  Alcotest.(check int) "nothing stranded" 0 (List.length r.Engine.stranded)
+
+let test_fault_dead_link_ineligible_at_enqueue () =
+  (* A link dead from t=0 must not win the least-backlogged parallel-link
+     choice on its stale zero backlog. *)
+  let topo = Topology.create 2 in
+  let a = Topology.add_link topo ~src:0 ~dst:1 (Link.make ~alpha:0. ~beta:1.) in
+  let b' = Topology.add_link topo ~src:0 ~dst:1 (Link.make ~alpha:0. ~beta:1.) in
+  ignore (Topology.add_link topo ~src:1 ~dst:0 (Link.make ~alpha:0. ~beta:1.));
+  let b = Program.builder () in
+  ignore (add b ~src:0 ~dst:1 ~size:1. ());
+  ignore (add b ~src:0 ~dst:1 ~size:1. ());
+  let r =
+    Engine.run ~faults:[ Engine.Link_dies { link = a; at = 0. } ] topo
+      (Program.build b)
+  in
+  Alcotest.check feq "dead link carries nothing" 0. r.Engine.link_bytes.(a);
+  Alcotest.check feq "survivor carries both" 2. r.Engine.link_bytes.(b');
+  Alcotest.check feq "serialized on the survivor" 2. r.Engine.finish_time
+
+let test_fault_replay_deterministic () =
+  (* Equal-time events are common at fault timestamps; two identical runs
+     must produce byte-identical reports. *)
+  let topo = Builders.torus [| 3; 3 |] in
+  let spec = Spec.make ~buffer_size:1e6 ~pattern:Pattern.All_reduce ~npus:9 () in
+  let faults =
+    [
+      Engine.Link_dies { link = 0; at = 1e-6 };
+      Engine.Link_degrades { link = 1; factor = 2.; at = 1e-6 };
+      Engine.Link_dies { link = 2; at = 1e-6 };
+    ]
+  in
+  let run () =
+    Engine.run ~faults topo (Tacos_baselines.Algo.(program ring) topo spec)
+  in
+  let a = run () and b = run () in
+  Alcotest.check feq "same finish" a.Engine.finish_time b.Engine.finish_time;
+  Alcotest.(check bool) "same per-link bytes" true (a.Engine.link_bytes = b.Engine.link_bytes);
+  Alcotest.(check bool) "same per-transfer finishes" true
+    (a.Engine.transfer_finish = b.Engine.transfer_finish)
+
+let test_fault_no_route_without_faults_is_typed () =
+  (* A healthy-fabric routing hole raises the typed error, not Failure. *)
+  let topo = Topology.create 2 in
+  ignore (Topology.add_link topo ~src:1 ~dst:0 (Link.make ~alpha:0. ~beta:1.));
+  let b = Program.builder () in
+  ignore (add b ~tag:"t0" ~src:0 ~dst:1 ~size:1. ());
+  match Engine.run topo (Program.build b) with
+  | _ -> Alcotest.fail "expected Simulation_error"
+  | exception Engine.Simulation_error { tid = 0; kind = Engine.No_route _; _ } -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+
 let () =
   Alcotest.run "simulator"
     [
@@ -247,5 +405,22 @@ let () =
           Alcotest.test_case "pipelined spreads parallel links" `Quick
             test_pipelined_spreads_parallel_links;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "ring reroutes around a dead link" `Quick
+            test_fault_reroutes_on_ring;
+          Alcotest.test_case "disconnection strands, not raises" `Quick
+            test_fault_strands_when_disconnected;
+          Alcotest.test_case "degrade hits later services" `Quick
+            test_fault_degrade_applies_to_later_services;
+          Alcotest.test_case "recovery restores the link" `Quick
+            test_fault_recovery_restores_link;
+          Alcotest.test_case "dead link ineligible at enqueue" `Quick
+            test_fault_dead_link_ineligible_at_enqueue;
+          Alcotest.test_case "faulty replay is deterministic" `Quick
+            test_fault_replay_deterministic;
+          Alcotest.test_case "healthy no-route is typed" `Quick
+            test_fault_no_route_without_faults_is_typed;
         ] );
     ]

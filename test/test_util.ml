@@ -146,6 +146,30 @@ let test_fheap_pop_empty () =
   Alcotest.check_raises "empty pop" (Invalid_argument "Fheap.pop: empty") (fun () ->
       ignore (Fheap.pop h))
 
+(* --- Pq ----------------------------------------------------------------- *)
+
+module Pq = Tacos_util.Pq
+
+let test_pq_equal_keys_pop_in_insertion_order () =
+  (* Regression for the simulator's determinism contract: simultaneous
+     events (common at fault timestamps) must pop in insertion order, and
+     two identical fills must replay identically. *)
+  let fill () =
+    let q = Pq.create () in
+    List.iter
+      (fun (k, v) -> Pq.push q k v)
+      [ (1., "a"); (0., "x"); (1., "b"); (1., "c"); (0., "y"); (2., "z") ];
+    let rec drain acc = match Pq.pop q with
+      | None -> List.rev acc
+      | Some kv -> drain (kv :: acc)
+    in
+    drain []
+  in
+  let expected = [ (0., "x"); (0., "y"); (1., "a"); (1., "b"); (1., "c"); (2., "z") ] in
+  Alcotest.(check (list (pair (float 0.) string))) "insertion order on ties"
+    expected (fill ());
+  Alcotest.(check bool) "two fills replay identically" true (fill () = fill ())
+
 (* --- Ivec --------------------------------------------------------------- *)
 
 let test_ivec_push_get () =
@@ -387,6 +411,11 @@ let () =
           Alcotest.test_case "sorts" `Quick test_fheap_sorts;
           Alcotest.test_case "pop_above" `Quick test_fheap_pop_above;
           Alcotest.test_case "pop empty" `Quick test_fheap_pop_empty;
+        ] );
+      ( "pq",
+        [
+          Alcotest.test_case "equal keys pop in insertion order" `Quick
+            test_pq_equal_keys_pop_in_insertion_order;
         ] );
       ( "ivec",
         [
