@@ -1,0 +1,172 @@
+(* Bench regression guard: compare freshly generated BENCH_<exp>.json rows
+   against the committed baselines under bench/baselines/ and exit non-zero
+   when a tracked metric regresses beyond tolerance.
+
+     dune exec bench/main.exe -- fig18 fig19 midflight regress
+
+   Only *deterministic* fields are compared — simulated makespans, synthesis
+   round counts, utilizations, repair strategies — never wall-clock timings
+   or obs snapshots, so the guard is stable across machines. Rows are
+   matched by their configuration fields (topology, pattern, sizes, ...),
+   which makes the comparison independent of TACOS_BENCH_SCALE: a scale that
+   sweeps more configurations just adds unmatched rows, which are reported
+   as notes, not failures. Improvements beyond tolerance are also notes —
+   with a hint to refresh the baseline. *)
+
+open Exp_common
+
+(* Which way a metric is allowed to drift. [Exact] fields (strategy strings,
+   verification bits, …) must match the baseline bit-for-bit. *)
+type direction = Lower_better | Higher_better | Exact
+
+type exp_spec = {
+  exp : string;
+  keys : string list;  (** configuration fields identifying a row *)
+  metrics : (string * direction) list;
+}
+
+let specs =
+  [
+    {
+      exp = "fig18";
+      keys = [ "topology"; "npus" ];
+      metrics =
+        [
+          ("tacos_makespan_seconds", Lower_better);
+          ("ring_makespan_seconds", Lower_better);
+          ("tacos_avg_utilization", Higher_better);
+          ("ring_avg_utilization", Higher_better);
+        ];
+    };
+    {
+      exp = "fig19";
+      keys = [ "topology"; "npus" ];
+      metrics = [ ("makespan_seconds", Lower_better); ("rounds", Lower_better) ];
+    };
+    {
+      exp = "midflight";
+      keys = [ "topology"; "pattern"; "buffer_bytes"; "fault_fraction"; "victim_link" ];
+      metrics =
+        [
+          ("healthy_seconds", Lower_better);
+          ("replay_seconds", Lower_better);
+          ("repair_completion_seconds", Lower_better);
+          ("full_completion_seconds", Lower_better);
+          ("repair_strategy", Exact);
+          ("repair_verified", Exact);
+        ];
+    };
+  ]
+
+let tolerance =
+  match Sys.getenv_opt "TACOS_BENCH_TOLERANCE" with
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some t when t >= 0. -> t
+    | _ -> failwith "TACOS_BENCH_TOLERANCE must be a non-negative float")
+  | None -> 0.05
+
+let baselines_dir =
+  Option.value ~default:"bench/baselines" (Sys.getenv_opt "TACOS_BENCH_BASELINES")
+
+let load_rows file =
+  if not (Sys.file_exists file) then None
+  else
+    let text = In_channel.with_open_bin file In_channel.input_all in
+    match Json.parse text with
+    | Error e -> failwith (Printf.sprintf "%s: not JSON: %s" file e)
+    | Ok doc -> (
+      match Json.member "rows" doc with
+      | Some (Json.Array rows) -> Some rows
+      | _ -> failwith (Printf.sprintf "%s: no rows array" file))
+
+let cell = function
+  | Some (Json.Number v) -> Printf.sprintf "%.6g" v
+  | Some (Json.String s) -> s
+  | Some (Json.Bool b) -> string_of_bool b
+  | Some Json.Null -> "null"
+  | Some _ -> "<composite>"
+  | None -> "<missing>"
+
+let key_of keys row = String.concat ", " (List.map (fun k -> cell (Json.member k row)) keys)
+
+let run () =
+  section "Bench regression guard — fresh BENCH rows vs committed baselines";
+  note "tolerance ±%.0f%% (TACOS_BENCH_TOLERANCE), baselines in %s"
+    (100. *. tolerance) baselines_dir;
+  let regressions = ref [] in
+  let regress exp key field msg = regressions := (exp, key, field, msg) :: !regressions in
+  List.iter
+    (fun spec ->
+      let fresh_file = Printf.sprintf "BENCH_%s.json" spec.exp in
+      let base_file = Filename.concat baselines_dir fresh_file in
+      match (load_rows base_file, load_rows fresh_file) with
+      | None, _ -> note "%s: no committed baseline — skipped" spec.exp
+      | _, None ->
+        note "%s: %s not generated this run (run the %s experiment first) — skipped"
+          spec.exp fresh_file spec.exp
+      | Some base_rows, Some fresh_rows ->
+        let fresh_by_key = Hashtbl.create 16 in
+        List.iter
+          (fun row -> Hashtbl.replace fresh_by_key (key_of spec.keys row) row)
+          fresh_rows;
+        let checked = ref 0 in
+        List.iter
+          (fun base ->
+            let key = key_of spec.keys base in
+            match Hashtbl.find_opt fresh_by_key key with
+            | None -> note "%s [%s]: not in the fresh run — skipped" spec.exp key
+            | Some fresh ->
+              incr checked;
+              List.iter
+                (fun (field, dir) ->
+                  let b = Json.member field base and f = Json.member field fresh in
+                  match (dir, b, f) with
+                  | Exact, _, _ ->
+                    if cell b <> cell f then
+                      regress spec.exp key field
+                        (Printf.sprintf "%s -> %s (must match baseline)" (cell b)
+                           (cell f))
+                  | _, Some (Json.Number bv), Some (Json.Number fv) ->
+                    (* NaN encodes a failed leg (e.g. replay stranded): only
+                       a fresh failure where the baseline succeeded is a
+                       regression. *)
+                    if Float.is_nan bv || Float.is_nan fv then begin
+                      if Float.is_nan fv && not (Float.is_nan bv) then
+                        regress spec.exp key field
+                          (Printf.sprintf "%.6g -> nan (leg now fails)" bv)
+                    end
+                    else begin
+                      let slack = (tolerance *. Float.abs bv) +. 1e-12 in
+                      let worse, better =
+                        match dir with
+                        | Lower_better -> (fv > bv +. slack, fv < bv -. slack)
+                        | Higher_better -> (fv < bv -. slack, fv > bv +. slack)
+                        | Exact -> (false, false)
+                      in
+                      if worse then
+                        regress spec.exp key field
+                          (Printf.sprintf "%.6g -> %.6g (%+.2f%%)" bv fv
+                             (100. *. (fv -. bv) /. Float.abs bv))
+                      else if better then
+                        note
+                          "%s [%s] %s improved %.6g -> %.6g — consider refreshing \
+                           the baseline"
+                          spec.exp key field bv fv
+                    end
+                  | _, _, _ ->
+                    regress spec.exp key field
+                      (Printf.sprintf "%s -> %s (not comparable)" (cell b) (cell f)))
+                spec.metrics)
+          base_rows;
+        Printf.printf "  %-10s %d row(s) checked against %s\n" spec.exp !checked
+          base_file)
+    specs;
+  match List.rev !regressions with
+  | [] -> Printf.printf "  no regressions\n"
+  | bad ->
+    Printf.printf "\n  %d REGRESSION(S):\n" (List.length bad);
+    Table.print
+      ~header:[ "experiment"; "row"; "metric"; "baseline -> fresh" ]
+      (List.map (fun (e, k, f, m) -> [ e; k; f; m ]) bad);
+    exit 1

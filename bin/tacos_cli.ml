@@ -17,6 +17,9 @@ module Units = Tacos_util.Units
 module Table = Tacos_util.Table
 module Json = Tacos_util.Json
 module Obs = Tacos_obs.Obs
+module Trace = Tacos_obs.Trace
+module Chrome = Tacos_obs.Chrome
+module Critpath = Tacos_obs.Critpath
 module Fault = Tacos_resilience.Fault
 module Resilience = Tacos_resilience.Resilience
 
@@ -307,7 +310,10 @@ let profile_cmd =
     Arg.(
       value & flag
       & info [ "trace" ]
-          ~doc:"Include the raw structured trace (per-link enqueue events) in the output.")
+          ~doc:
+            "Include the raw structured trace in the output: the Obs event \
+             stream and the full per-transfer lifecycle (schema documented \
+             in Tacos_obs.Trace).")
   in
   let run topo_str alpha bw size_str pattern_str chunks seed trials out trace =
     with_setup topo_str alpha bw (fun topo ->
@@ -327,6 +333,10 @@ let profile_cmd =
                engine.* queueing metrics. *)
             Obs.enable ();
             Obs.reset ();
+            if trace then begin
+              Trace.enable ();
+              Trace.reset ()
+            end;
             let synthesize () =
               if pattern = Pattern.All_to_all then Tacos.Alltoall.synthesize ~seed topo spec
               else Synth.synthesize ~seed ~trials topo spec
@@ -367,7 +377,13 @@ let profile_cmd =
                      ("derived", Json.Object [ ("memo_hit_rate", num memo_hit_rate) ]);
                      ("obs", snap);
                    ]
-                  @ if trace then [ ("trace", Obs.trace_events ()) ] else [])
+                  @
+                  if trace then
+                    [
+                      ("trace", Obs.trace_events ());
+                      ("lifecycle", Trace.to_json (Trace.dump ()));
+                    ]
+                  else [])
               in
               let text = Json.encode doc in
               (match out with
@@ -740,6 +756,229 @@ let faults_cmd =
           uncaught exception)")
     term
 
+(* --- trace ------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace-event JSON to $(docv) ('-' for stdout).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Show the $(docv) links carrying the most critical-path time.")
+  in
+  let validate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate" ] ~docv:"FILE"
+          ~doc:
+            "Validate an existing Chrome trace-event JSON file (structure, \
+             monotone timestamps, balanced async pairs) and exit; all other \
+             options are ignored.")
+  in
+  (* 40-bin ASCII Gantt of one link's busy intervals over [0, span]. *)
+  let gantt span intervals =
+    let bins = 40 in
+    if span <= 0. then String.make bins ' '
+    else begin
+      let busy =
+        Tacos_util.Timeline.binned_busy ~bins ~span (fun f ->
+            List.iter (fun (s, e) -> f s e) intervals)
+      in
+      let w = span /. float_of_int bins in
+      String.init bins (fun i ->
+          let frac = busy.(i) /. w in
+          if frac >= 0.75 then '#'
+          else if frac >= 0.25 then '+'
+          else if frac > 0. then '.'
+          else ' ')
+    end
+  in
+  let run topo_str alpha bw size_str pattern_str chunks seed trials out top
+      validate_file =
+    match validate_file with
+    | Some file -> (
+      let text = In_channel.with_open_bin file In_channel.input_all in
+      match Json.parse text with
+      | Error e -> fail "%s: not JSON: %s" file e
+      | Ok doc -> (
+        match Chrome.validate doc with
+        | Ok () ->
+          Format.printf "%s: valid Chrome trace-event JSON@." file;
+          `Ok ()
+        | Error e -> fail "%s: INVALID: %s" file e))
+    | None ->
+      with_setup topo_str alpha bw (fun topo ->
+          match Parse.parse_size size_str with
+          | Error e -> fail "%s" e
+          | Ok size -> (
+            match Parse.parse_pattern pattern_str (Topology.num_npus topo) with
+            | Error e -> fail "%s" e
+            | Ok pattern -> (
+              let spec =
+                Spec.make ~chunks_per_npu:chunks ~buffer_size:size ~pattern
+                  ~npus:(Topology.num_npus topo) ()
+              in
+              Trace.enable ();
+              Trace.reset ();
+              let synthesize () =
+                if pattern = Pattern.All_to_all then
+                  Tacos.Alltoall.synthesize ~seed topo spec
+                else Synth.synthesize ~seed ~trials topo spec
+              in
+              match synthesize () with
+              | exception Synth.Stuck msg -> fail "synthesis stuck: %s" msg
+              | exception Synth.Unsupported msg -> fail "unsupported: %s" msg
+              | result ->
+                (* Transfer tags carry the collective phase ("phase:chunkN")
+                   so the analyzer can attribute the makespan per phase. *)
+                let tag_of =
+                  match result.Synth.phases with
+                  | Some (rs, _) ->
+                    fun (s : Schedule.send) ->
+                      Printf.sprintf "%s:chunk%d"
+                        (Schedule.phase_of_send ~reduce_scatter:rs s)
+                        s.chunk
+                  | None ->
+                    let name = Pattern.name pattern in
+                    fun (s : Schedule.send) ->
+                      Printf.sprintf "%s:chunk%d" name s.chunk
+                in
+                let program =
+                  Sim_program.of_schedule ~tag_of ~chunk_size:(Spec.chunk_size spec)
+                    result.Synth.schedule
+                in
+                let sim = Engine.run topo program in
+                let d = Trace.dump () in
+                let transfers = Sim_program.transfers program in
+                let phase_of tid =
+                  let tag = transfers.(tid).Sim_program.tag in
+                  match String.index_opt tag ':' with
+                  | Some i -> String.sub tag 0 i
+                  | None -> tag
+                in
+                let edge_ends = Array.make (Topology.num_links topo) (0, 0) in
+                List.iter
+                  (fun (e : Topology.edge) -> edge_ends.(e.id) <- (e.src, e.dst))
+                  (Topology.edges topo);
+                let link_label l =
+                  let src, dst = edge_ends.(l) in
+                  Printf.sprintf "link %d (%d->%d)" l src dst
+                in
+                let transfer_label tid =
+                  Printf.sprintf "t%d %s" tid transfers.(tid).Sim_program.tag
+                in
+                let doc =
+                  Chrome.export ~link_label ~transfer_label
+                    ~num_links:(Topology.num_links topo) d
+                in
+                match Chrome.validate doc with
+                | Error e -> fail "internal: emitted trace fails validation: %s" e
+                | Ok () ->
+                  let text = Json.encode doc in
+                  (match out with
+                  | "-" -> print_endline text
+                  | file ->
+                    let oc = open_out file in
+                    output_string oc text;
+                    output_char oc '\n';
+                    close_out oc);
+                  Format.printf "topology:        %a@." Topology.pp topo;
+                  Format.printf "collective:      %a@." Spec.pp spec;
+                  Format.printf "simulated time:  %s@."
+                    (Units.time_pp sim.Engine.finish_time);
+                  Format.printf "trace:           %d events, %d spans%s@."
+                    (List.length d.Trace.events)
+                    (List.length d.Trace.spans)
+                    (if d.Trace.dropped > 0 then
+                       Printf.sprintf " (%d dropped at the buffer cap)" d.Trace.dropped
+                     else "");
+                  (match Critpath.analyze ~phase_of d.Trace.events with
+                  | None ->
+                    Format.printf "critical path:   (no completed transfers)@."
+                  | Some cp ->
+                    let attributed = Critpath.attributed_total cp in
+                    Format.printf
+                      "critical path:   ends at t%d; %s attributed of %s makespan@."
+                      cp.Critpath.critical_transfer (Units.time_pp attributed)
+                      (Units.time_pp cp.Critpath.makespan);
+                    Table.print
+                      ~header:[ "where the time went"; "seconds"; "share" ]
+                      (List.map
+                         (fun (c, v) ->
+                           [
+                             Critpath.category_name c;
+                             Units.time_pp v;
+                             Table.cell_percent
+                               (if cp.Critpath.makespan > 0. then
+                                  v /. cp.Critpath.makespan
+                                else 0.);
+                           ])
+                         cp.Critpath.totals);
+                    if cp.Critpath.per_phase <> [] then begin
+                      Format.printf "per collective phase:@.";
+                      Table.print
+                        ~header:[ "phase"; "seconds"; "share" ]
+                        (List.map
+                           (fun (phase, cats) ->
+                             let v =
+                               List.fold_left (fun acc (_, w) -> acc +. w) 0. cats
+                             in
+                             [
+                               phase;
+                               Units.time_pp v;
+                               Table.cell_percent
+                                 (if cp.Critpath.makespan > 0. then
+                                    v /. cp.Critpath.makespan
+                                  else 0.);
+                             ])
+                           cp.Critpath.per_phase)
+                    end;
+                    let top_links =
+                      List.filteri (fun i _ -> i < top) cp.Critpath.per_link
+                    in
+                    if top_links <> [] then begin
+                      Format.printf
+                        "top critical links (busy over [0, %s], # >=75%% busy):@."
+                        (Units.time_pp sim.Engine.finish_time);
+                      List.iter
+                        (fun (l, cats) ->
+                          let v =
+                            List.fold_left (fun acc (_, w) -> acc +. w) 0. cats
+                          in
+                          Format.printf "  %-18s |%s| %s on path@." (link_label l)
+                            (gantt sim.Engine.finish_time
+                               sim.Engine.link_intervals.(l))
+                            (Units.time_pp v))
+                        top_links
+                    end);
+                  (match out with
+                  | "-" -> ()
+                  | file ->
+                    Format.printf
+                      "trace written to %s (load in Perfetto / chrome://tracing)@."
+                        file);
+                  `Ok ())))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
+       $ chunks_arg $ seed_arg $ trials_arg $ out_arg $ top_arg $ validate_arg))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record the full per-transfer execution trace of a synthesized \
+          schedule, write it as Chrome trace-event JSON (Perfetto), and print \
+          the critical-path attribution of the makespan")
+    term
+
 (* --- info -------------------------------------------------------------------- *)
 
 let info_cmd =
@@ -784,4 +1023,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ synthesize_cmd; compare_cmd; tune_cmd; profile_cmd; faults_cmd; info_cmd ]))
+          [
+            synthesize_cmd; compare_cmd; tune_cmd; profile_cmd; trace_cmd;
+            faults_cmd; info_cmd;
+          ]))

@@ -50,6 +50,13 @@ let concat a b =
   let b = shift b a.makespan in
   make (a.sends @ b.sends)
 
+let phase_of_send ~reduce_scatter s =
+  (* A send of the concatenated All-Reduce belongs to the All-Gather phase
+     iff it starts at or after the Reduce-Scatter makespan (the phases butt
+     up exactly, so compare with the shared tolerance). *)
+  let eps = eps_for reduce_scatter.makespan in
+  if s.start +. eps >= reduce_scatter.makespan then "all-gather" else "reduce-scatter"
+
 (* --- validation ------------------------------------------------------- *)
 
 let validate_positioned topo ~precondition ~postcondition ~num_chunks ~chunk_size t =

@@ -45,6 +45,13 @@ val concat : t -> t -> t
 (** [concat a b] runs [b] after [a] ([b] shifted by [a.makespan]) — how
     All-Reduce is assembled from Reduce-Scatter and All-Gather. *)
 
+val phase_of_send : reduce_scatter:t -> send -> string
+(** Which phase of a {!concat}-assembled All-Reduce a send belongs to:
+    ["all-gather"] when it starts at or after the Reduce-Scatter makespan
+    (within {!eps_for}), ["reduce-scatter"] otherwise. Used to tag engine
+    transfers so the critical-path analyzer can attribute the makespan per
+    collective phase. *)
+
 val validate_positioned :
   Topology.t ->
   precondition:(int * int) list ->

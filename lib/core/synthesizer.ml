@@ -5,6 +5,7 @@ module Rng = Tacos_util.Rng
 module Fheap = Tacos_util.Fheap
 module Ivec = Tacos_util.Ivec
 module Obs = Tacos_obs.Obs
+module Trace = Tacos_obs.Trace
 
 let obs_rounds = Obs.counter "synth.rounds"
 let obs_matches = Obs.counter "synth.matches"
@@ -245,7 +246,9 @@ let synthesize_pull ~prefer_cheap_links rng topo goal =
     wants_pos.(d).(c) <- -1;
     if moved >= 0 then wants_pos.(d).(moved) <- i
   in
-  while !unsatisfied > 0 do
+  (* One expansion round (§IV-F), bound once so the traced loop below
+     allocates nothing per iteration when tracing is off. *)
+  let round_body () =
     incr rounds;
     Obs.incr obs_rounds;
     let t = !now in
@@ -305,6 +308,9 @@ let synthesize_pull ~prefer_cheap_links rng topo goal =
                 "no progress possible with %d postconditions unsatisfied — is \
                  the topology strongly connected?"
                 !unsatisfied))
+  in
+  while !unsatisfied > 0 do
+    Trace.with_span "round" round_body
   done;
   (Schedule.make !sends, !rounds, !matches)
 
@@ -371,7 +377,14 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = 
   let seeds = Array.init trials (fun _ -> Int64.to_int (Rng.bits64 master)) in
   (* Force the topology's lazy caches before sharing it across domains. *)
   ignore (Topology.edges topo);
-  let run_trial i = trial ~prefer_cheap_links (Rng.create seeds.(i)) topo spec in
+  let run_trial i =
+    (* Stamp every Obs/Trace record of this trial — including the rounds of
+       a worker domain — with the trial index, so interleaved multi-domain
+       buffers stay attributable. *)
+    Obs.with_trial i (fun () ->
+        Trace.with_span "trial" (fun () ->
+            trial ~prefer_cheap_links (Rng.create seeds.(i)) topo spec))
+  in
   let results =
     if domains = 1 || trials = 1 then Array.init trials run_trial
     else begin
@@ -423,11 +436,13 @@ let synthesize_goal ?(seed = 42) ?(trials = 1) ?(prefer_cheap_links = true) topo
   let master = Rng.create seed in
   let rounds = ref 0 and matches = ref 0 in
   let best = ref None in
-  for _ = 1 to trials do
+  for i = 0 to trials - 1 do
     let rng = Rng.create (Int64.to_int (Rng.bits64 master)) in
     let sched, r, m =
-      Obs.time obs_trial_timer (fun () ->
-          synthesize_pull ~prefer_cheap_links rng topo goal)
+      Obs.with_trial i (fun () ->
+          Trace.with_span "trial" (fun () ->
+              Obs.time obs_trial_timer (fun () ->
+                  synthesize_pull ~prefer_cheap_links rng topo goal)))
     in
     Obs.observe obs_trial_makespan sched.Schedule.makespan;
     rounds := !rounds + r;

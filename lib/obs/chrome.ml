@@ -1,0 +1,288 @@
+(* Chrome trace-event export of a recorded run, loadable in Perfetto or
+   chrome://tracing.
+
+   Layout: process 1 is the simulation on *simulated* time — one lane
+   (thread) per physical link carrying duration slices for each service,
+   async begin/end pairs for FCFS queue waits (async, because several
+   messages wait on one lane concurrently), instant events for faults,
+   reroutes and strandings, and counter tracks for fleet-wide queued
+   messages and busy links. Process 2 is synthesis on *wall-clock* time —
+   one lane per domain with the per-trial / per-round spans. Both use
+   microsecond [ts], so one Perfetto window shows where the synthesizer
+   spent its wall time next to where the schedule spends its simulated time.
+
+   [validate] is the structural checker CI runs on emitted files: monotone
+   timestamps, non-negative durations, every lane named by metadata, and
+   balanced async pairs. *)
+
+module Json = Tacos_util.Json
+
+let us t = t *. 1e6
+
+(* --- building ------------------------------------------------------------- *)
+
+type pending = { mutable items : (string * Json.t) list list }
+
+let default_link_label l = Printf.sprintf "link %d" l
+let default_transfer_label t = Printf.sprintf "t%d" t
+
+let export ?(link_label = default_link_label)
+    ?(transfer_label = default_transfer_label) ?num_links (d : Trace.dump) =
+  let num f = Json.Number f in
+  let str s = Json.String s in
+  let sim_pid = 1. and synth_pid = 2. in
+  let lane_of_link l = float_of_int (l + 1) in
+  let events_lane = 0. in
+  let out = { items = [] } in
+  let push fields = out.items <- fields :: out.items in
+  let lanes : (float * float, string) Hashtbl.t = Hashtbl.create 16 in
+  let name_lane pid tid name =
+    if not (Hashtbl.mem lanes (pid, tid)) then Hashtbl.add lanes (pid, tid) name
+  in
+  name_lane sim_pid events_lane "events";
+  let base ph name pid tid t =
+    [
+      ("ph", str ph); ("name", str name); ("pid", num pid); ("tid", num tid);
+      ("ts", num (us t));
+    ]
+  in
+  (* Fleet-wide counters, re-emitted after every change. *)
+  let waiting : (int, int * float) Hashtbl.t = Hashtbl.create 32 in
+  let in_service : (int, int * float) Hashtbl.t = Hashtbl.create 32 in
+  let counters t =
+    let queued = Hashtbl.length waiting and busy = Hashtbl.length in_service in
+    push
+      (base "C" "queued messages" sim_pid events_lane t
+      @ [ ("args", Json.Object [ ("queued", num (float_of_int queued)) ]) ]);
+    let util =
+      match num_links with
+      | Some m when m > 0 -> [ ("utilization", num (float_of_int busy /. float_of_int m)) ]
+      | _ -> []
+    in
+    push
+      (base "C" "busy links" sim_pid events_lane t
+      @ [ ("args", Json.Object (("busy", num (float_of_int busy)) :: util)) ])
+  in
+  let queue_cat = "queue-wait" in
+  let open_wait tid link t =
+    name_lane sim_pid (lane_of_link link) (link_label link);
+    push
+      (base "b" ("queued " ^ transfer_label tid) sim_pid (lane_of_link link) t
+      @ [ ("cat", str queue_cat); ("id", num (float_of_int tid)) ]);
+    Hashtbl.replace waiting tid (link, t)
+  in
+  let close_wait tid t =
+    match Hashtbl.find_opt waiting tid with
+    | None -> ()
+    | Some (link, _) ->
+      push
+        (base "e" ("queued " ^ transfer_label tid) sim_pid (lane_of_link link) t
+        @ [ ("cat", str queue_cat); ("id", num (float_of_int tid)) ]);
+      Hashtbl.remove waiting tid
+  in
+  let close_service ~aborted link t =
+    match Hashtbl.find_opt in_service link with
+    | None -> ()
+    | Some (tid, t0) ->
+      push
+        (base "X" (transfer_label tid) sim_pid (lane_of_link link) t0
+        @ [
+            ("dur", num (us t -. us t0));
+            ("cat", str (if aborted then "service-aborted" else "service"));
+            ("args", Json.Object [ ("transfer", num (float_of_int tid)) ]);
+          ]);
+      Hashtbl.remove in_service link
+  in
+  let instant ?(lane = events_lane) name t args =
+    push
+      (base "i" name sim_pid lane t
+      @ [ ("s", str "t") ]
+      @ if args = [] then [] else [ ("args", Json.Object args) ])
+  in
+  let last_t = ref 0. in
+  List.iter
+    (fun (e : Trace.event) ->
+      last_t := Float.max !last_t e.t;
+      match e.ev with
+      | Trace.Deps_ready _ | Trace.Completed _ -> ()
+      | Trace.Enqueued { tid; link; _ } ->
+        close_wait tid e.t (* displaced from a dead link's queue *);
+        open_wait tid link e.t;
+        counters e.t
+      | Trace.Service_start { tid; link } ->
+        close_wait tid e.t;
+        name_lane sim_pid (lane_of_link link) (link_label link);
+        Hashtbl.replace in_service link (tid, e.t);
+        counters e.t
+      | Trace.Service_end { link; _ } ->
+        close_service ~aborted:false link e.t;
+        counters e.t
+      | Trace.Service_aborted { link; _ } ->
+        close_service ~aborted:true link e.t;
+        counters e.t
+      | Trace.Arrived _ -> ()
+      | Trace.Rerouted { tid; node } ->
+        instant "rerouted" e.t
+          [ ("transfer", num (float_of_int tid)); ("node", num (float_of_int node)) ]
+      | Trace.Stranded { tid; node; dst } ->
+        instant "stranded" e.t
+          [
+            ("transfer", num (float_of_int tid)); ("node", num (float_of_int node));
+            ("dst", num (float_of_int dst));
+          ]
+      | Trace.Fault { link; kind } ->
+        name_lane sim_pid (lane_of_link link) (link_label link);
+        instant ~lane:(lane_of_link link) ("link " ^ kind) e.t
+          [ ("link", num (float_of_int link)) ])
+    d.events;
+  (* Close anything still open (a stranded message can sit in a queue when
+     the run ends) so async pairs always balance. *)
+  Hashtbl.iter (fun tid (_, _) -> close_wait tid !last_t)
+    (Hashtbl.copy waiting);
+  Hashtbl.iter (fun link (_, _) -> close_service ~aborted:false link !last_t)
+    (Hashtbl.copy in_service);
+  (* Synthesis spans: process 2 on wall-clock time, one lane per domain. *)
+  List.iter
+    (fun (s : Trace.span) ->
+      let lane = float_of_int s.domain in
+      name_lane synth_pid lane (Printf.sprintf "domain %d" s.domain);
+      let name =
+        match s.trial with
+        | Some i -> Printf.sprintf "%s %d" s.name i
+        | None -> s.name
+      in
+      push
+        (base "X" name synth_pid lane s.t0
+        @ [ ("dur", num (us s.t1 -. us s.t0)); ("cat", str "synthesis") ]))
+    d.spans;
+  (* Metadata first, then everything else sorted by timestamp (stable, so
+     same-instant begin/end pairs keep their emission order). *)
+  let metadata =
+    Json.Object
+      [
+        ("ph", str "M"); ("name", str "process_name"); ("pid", num sim_pid);
+        ("tid", num 0.); ("ts", num 0.);
+        ("args", Json.Object [ ("name", str "simulation (simulated time)") ]);
+      ]
+    :: Json.Object
+         [
+           ("ph", str "M"); ("name", str "process_name"); ("pid", num synth_pid);
+           ("tid", num 0.); ("ts", num 0.);
+           ("args", Json.Object [ ("name", str "synthesis (wall clock)") ]);
+         ]
+    :: (Hashtbl.fold (fun (pid, tid) name acc -> ((pid, tid), name) :: acc) lanes []
+       |> List.sort compare
+       |> List.map (fun ((pid, tid), name) ->
+              Json.Object
+                [
+                  ("ph", str "M"); ("name", str "thread_name"); ("pid", num pid);
+                  ("tid", num tid); ("ts", num 0.);
+                  ("args", Json.Object [ ("name", str name) ]);
+                ]))
+  in
+  let ts_of fields =
+    match List.assoc_opt "ts" fields with Some (Json.Number t) -> t | _ -> 0.
+  in
+  let body =
+    List.rev out.items
+    |> List.stable_sort (fun a b -> Float.compare (ts_of a) (ts_of b))
+    |> List.map (fun fields -> Json.Object fields)
+  in
+  Json.Object
+    [
+      ("traceEvents", Json.Array (metadata @ body));
+      ("displayTimeUnit", Json.String "ns");
+      ( "otherData",
+        Json.Object [ ("dropped_records", Json.Number (float_of_int d.dropped)) ] );
+    ]
+
+(* --- validation ------------------------------------------------------------ *)
+
+let validate doc =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Array l) -> Ok l
+    | _ -> fail "missing traceEvents array"
+  in
+  let field name ev = Json.member name ev in
+  let number name ev =
+    match field name ev with Some (Json.Number v) -> Some v | _ -> None
+  in
+  let string_f name ev =
+    match field name ev with Some (Json.String v) -> Some v | _ -> None
+  in
+  let named_lanes = Hashtbl.create 16 in
+  let named_pids = Hashtbl.create 4 in
+  List.iter
+    (fun ev ->
+      if string_f "ph" ev = Some "M" then
+        match (string_f "name" ev, number "pid" ev, number "tid" ev) with
+        | Some "thread_name", Some pid, Some tid ->
+          Hashtbl.replace named_lanes (pid, tid) ()
+        | Some "process_name", Some pid, _ -> Hashtbl.replace named_pids pid ()
+        | _ -> ())
+    events;
+  let open_async : (float * string * float, int) Hashtbl.t = Hashtbl.create 32 in
+  let rec check i last_ts = function
+    | [] ->
+      if Hashtbl.fold (fun _ n acc -> acc + n) open_async 0 > 0 then
+        fail "unbalanced async begin/end pairs at end of trace"
+      else Ok ()
+    | ev :: rest -> (
+      let* () =
+        match string_f "ph" ev with
+        | None -> fail "event %d: missing ph" i
+        | Some "M" -> Ok ()
+        | Some ph when not (List.mem ph [ "X"; "i"; "C"; "b"; "e" ]) ->
+          fail "event %d: unknown phase %S" i ph
+        | Some _ -> Ok ()
+      in
+      if string_f "ph" ev = Some "M" then check (i + 1) last_ts rest
+      else
+        let ph = Option.get (string_f "ph" ev) in
+        match (string_f "name" ev, number "pid" ev, number "tid" ev, number "ts" ev)
+        with
+        | None, _, _, _ -> fail "event %d: missing name" i
+        | _, None, _, _ | _, _, None, _ -> fail "event %d: missing pid/tid" i
+        | _, _, _, None -> fail "event %d: missing ts" i
+        | Some name, Some pid, Some tid, Some ts ->
+          if ts < 0. then fail "event %d (%s): negative ts" i name
+          else if ts < last_ts then
+            fail "event %d (%s): ts %.3f not monotone (previous %.3f)" i name ts
+              last_ts
+          else if not (Hashtbl.mem named_pids pid) then
+            fail "event %d (%s): pid %g has no process_name metadata" i name pid
+          else if not (Hashtbl.mem named_lanes (pid, tid)) then
+            fail "event %d (%s): lane (%g, %g) has no thread_name metadata" i name
+              pid tid
+          else
+            let* () =
+              match ph with
+              | "X" -> (
+                match number "dur" ev with
+                | Some d when d >= 0. -> Ok ()
+                | Some _ -> fail "event %d (%s): negative dur" i name
+                | None -> fail "event %d (%s): X event without dur" i name)
+              | "b" | "e" -> (
+                match (string_f "cat" ev, number "id" ev) with
+                | Some cat, Some id ->
+                  let key = (pid, cat, id) in
+                  let n = Option.value ~default:0 (Hashtbl.find_opt open_async key) in
+                  if ph = "b" then begin
+                    Hashtbl.replace open_async key (n + 1);
+                    Ok ()
+                  end
+                  else if n <= 0 then
+                    fail "event %d (%s): async end without matching begin" i name
+                  else begin
+                    Hashtbl.replace open_async key (n - 1);
+                    Ok ()
+                  end
+                | _ -> fail "event %d (%s): async event without cat/id" i name)
+              | _ -> Ok ()
+            in
+            check (i + 1) ts rest)
+  in
+  check 0 0. events

@@ -1,0 +1,28 @@
+(** Chrome trace-event (Perfetto / chrome://tracing) export of a recorded
+    {!Trace} run, plus the structural validator CI runs on emitted files.
+
+    Process 1 is the simulation on simulated time: one lane per physical
+    link with duration slices per service, async begin/end pairs per FCFS
+    queue wait, instant events for faults / reroutes / strandings, and
+    counter tracks for fleet-wide queued messages and busy links (and the
+    busy fraction when [num_links] is given). Process 2 is synthesis on
+    wall-clock time: one lane per domain carrying the per-trial and
+    per-round spans. Timestamps are microseconds. *)
+
+val export :
+  ?link_label:(int -> string) ->
+  ?transfer_label:(int -> string) ->
+  ?num_links:int ->
+  Trace.dump ->
+  Tacos_util.Json.t
+(** Render a dump as a JSON object with [traceEvents] (metadata first, then
+    events sorted by timestamp) — the document `tacos trace` writes.
+    [link_label] and [transfer_label] name lanes and slices (defaults:
+    ["link %d"], ["t%d"]). *)
+
+val validate : Tacos_util.Json.t -> (unit, string) result
+(** Structural well-formedness of a trace-event document: a [traceEvents]
+    array whose events carry name/pid/tid/ts, non-negative and monotone
+    timestamps, non-negative durations on duration slices, every referenced
+    lane named by [thread_name]/[process_name] metadata, and balanced async
+    begin/end pairs. *)

@@ -1,0 +1,197 @@
+(* Critical-path extraction and makespan attribution over a recorded
+   lifecycle trace.
+
+   The walk starts at the last-finishing transfer's [Completed] event and
+   follows each step's binding constraint backwards in time: an arrival is
+   bound by the service that launched it (propagation), a service end by its
+   start (serialization), a service start by the enqueue it waited behind
+   (FCFS queue wait), and a launch by the dependency whose completion made
+   the transfer ready — at which point the walk jumps into that transfer's
+   own lifecycle. Because the engine launches transfers eagerly the jump is
+   zero-width; any residual gap (there are none in the current engine, but
+   the partition must be total) is attributed to [Dependency].
+
+   The segments partition [0, makespan] exactly — each walk step moves the
+   anchor strictly backwards through contiguous events — so the per-category
+   sums reconstruct the makespan up to float addition error. That invariant
+   is what `tacos trace` prints and the test suite checks against
+   [Schedule.eps_for]. *)
+
+type category = Dependency | Queue | Serialization | Propagation
+
+let category_name = function
+  | Dependency -> "dependency"
+  | Queue -> "queue"
+  | Serialization -> "serialization"
+  | Propagation -> "propagation"
+
+let all_categories = [ Dependency; Queue; Serialization; Propagation ]
+
+type segment = {
+  tid : int;
+  link : int option;  (** the link involved; [None] for dependency gaps *)
+  category : category;
+  t0 : float;
+  t1 : float;
+}
+
+type t = {
+  makespan : float;
+  critical_transfer : int;
+  segments : segment list;
+  totals : (category * float) list;
+  per_link : (int * (category * float) list) list;
+  per_phase : (string * (category * float) list) list;
+}
+
+(* Events grouped per transfer id, each group in emission order (the engine
+   is single-threaded, so emission order is chronological). *)
+let group_by_tid events =
+  let tbl : (int, Trace.event list ref) Hashtbl.t = Hashtbl.create 64 in
+  let tid_of (e : Trace.event) =
+    match e.ev with
+    | Trace.Deps_ready { tid; _ }
+    | Trace.Enqueued { tid; _ }
+    | Trace.Service_start { tid; _ }
+    | Trace.Service_end { tid; _ }
+    | Trace.Service_aborted { tid; _ }
+    | Trace.Arrived { tid; _ }
+    | Trace.Completed { tid }
+    | Trace.Rerouted { tid; _ }
+    | Trace.Stranded { tid; _ } ->
+      Some tid
+    | Trace.Fault _ -> None
+  in
+  List.iter
+    (fun e ->
+      match tid_of e with
+      | None -> ()
+      | Some tid -> (
+        match Hashtbl.find_opt tbl tid with
+        | Some r -> r := e :: !r
+        | None -> Hashtbl.add tbl tid (ref [ e ])))
+    events;
+  let out = Hashtbl.create (Hashtbl.length tbl) in
+  Hashtbl.iter (fun tid r -> Hashtbl.add out tid (Array.of_list (List.rev !r))) tbl;
+  out
+
+(* Category of the interval ending at [cur], given the event [prev] that
+   immediately precedes it in the transfer's own lifecycle. Zero-width
+   intervals get a category too (it is never accumulated). *)
+let pair_category (prev : Trace.lifecycle) (cur : Trace.lifecycle) =
+  match (prev, cur) with
+  | _, Trace.Arrived { link; _ } -> (Propagation, Some link)
+  | _, Trace.Service_end { link; _ } | _, Trace.Service_aborted { link; _ } ->
+    (Serialization, Some link)
+  | _, Trace.Service_start { link; _ } -> (Queue, Some link)
+  (* A message displaced from a dead link's queue re-enqueues at the fault
+     time: the gap since its original enqueue was spent queued there. *)
+  | Trace.Enqueued { link; _ }, Trace.Enqueued _ -> (Queue, Some link)
+  | _, _ -> (Dependency, None)
+
+let analyze ?phase_of (events : Trace.event list) =
+  let by_tid = group_by_tid events in
+  (* The last-finishing transfer: max Completed timestamp, latest emission
+     winning ties (matches the engine's deterministic event order). *)
+  let last = ref None in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.ev with
+      | Trace.Completed { tid } -> (
+        match !last with
+        | Some (_, t) when t > e.t -> ()
+        | _ -> last := Some (tid, e.t))
+      | _ -> ())
+    events;
+  match !last with
+  | None -> None
+  | Some (last_tid, makespan) ->
+    let segments = ref [] in
+    let push tid link category t0 t1 =
+      if t1 -. t0 > 0. then segments := { tid; link; category; t0; t1 } :: !segments
+    in
+    (* Walk one transfer's lifecycle backwards, then jump to the dependency
+       that made it ready. Budgeted by the total number of events, which the
+       acyclic dependency graph cannot exceed. *)
+    let budget = ref (List.length events + 1) in
+    let rec walk tid =
+      decr budget;
+      if !budget < 0 then ()
+      else
+        match Hashtbl.find_opt by_tid tid with
+        | None -> ()
+        | Some evs ->
+          let n = Array.length evs in
+          for j = n - 1 downto 1 do
+            let cur = evs.(j) and prev = evs.(j - 1) in
+            let category, link = pair_category prev.ev cur.ev in
+            push tid link category prev.t cur.t
+          done;
+          if n > 0 then begin
+            match evs.(0).ev with
+            | Trace.Deps_ready { cause = Some d; _ } -> walk d
+            | Trace.Deps_ready { cause = None; _ } ->
+              (* A root transfer: ready at t = 0 by construction; cover any
+                 residue defensively so the partition stays total. *)
+              push tid None Dependency 0. evs.(0).t
+            | _ -> push tid None Dependency 0. evs.(0).t
+          end
+    in
+    walk last_tid;
+    let segments = !segments (* built back-to-front: already ascending *) in
+    let add tbl key v =
+      let prev = Option.value ~default:0. (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (prev +. v)
+    in
+    let totals_tbl = Hashtbl.create 4 in
+    let link_tbl = Hashtbl.create 16 in
+    let phase_tbl = Hashtbl.create 4 in
+    List.iter
+      (fun s ->
+        let w = s.t1 -. s.t0 in
+        add totals_tbl s.category w;
+        (match s.link with
+        | Some l -> add link_tbl (l, s.category) w
+        | None -> ());
+        match phase_of with
+        | Some f -> add phase_tbl (f s.tid, s.category) w
+        | None -> ())
+      segments;
+    let totals =
+      List.map
+        (fun c -> (c, Option.value ~default:0. (Hashtbl.find_opt totals_tbl c)))
+        all_categories
+    in
+    let collect_grouped tbl =
+      (* ('k * category) totals -> per-'k category breakdowns, biggest
+         total first. *)
+      let keys = Hashtbl.create 8 in
+      Hashtbl.iter (fun (k, _) _ -> Hashtbl.replace keys k ()) tbl;
+      Hashtbl.fold
+        (fun k () acc ->
+          let cats =
+            List.filter_map
+              (fun c ->
+                match Hashtbl.find_opt tbl (k, c) with
+                | Some v when v > 0. -> Some (c, v)
+                | _ -> None)
+              all_categories
+          in
+          (k, cats) :: acc)
+        keys []
+      |> List.sort (fun (_, a) (_, b) ->
+             let sum l = List.fold_left (fun acc (_, v) -> acc +. v) 0. l in
+             compare (sum b) (sum a))
+    in
+    Some
+      {
+        makespan;
+        critical_transfer = last_tid;
+        segments;
+        totals;
+        per_link = collect_grouped link_tbl;
+        per_phase = collect_grouped phase_tbl;
+      }
+
+let attributed_total t =
+  List.fold_left (fun acc (_, v) -> acc +. v) 0. t.totals

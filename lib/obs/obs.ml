@@ -25,6 +25,22 @@ let enable () = Atomic.set enabled_flag true
 let disable () = Atomic.set enabled_flag false
 let enabled () = Atomic.get enabled_flag
 
+(* --- recording context ---------------------------------------------------- *)
+
+(* Synthesis trial index, carried in domain-local storage so trials running
+   concurrently on several domains tag their own records: [trace] (and
+   [Trace.emit]) stamp events with the emitting domain id plus this index,
+   keeping the interleaved shared buffers attributable. *)
+
+let trial_key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current_trial () = Domain.DLS.get trial_key
+
+let with_trial i f =
+  let saved = Domain.DLS.get trial_key in
+  Domain.DLS.set trial_key (Some i);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set trial_key saved) f
+
 (* --- atomic float helpers ------------------------------------------------ *)
 
 let rec atomic_add_float a x =
@@ -184,17 +200,28 @@ let trace_dropped = ref 0
 let trace_epoch = ref 0.
 
 let trace name fields =
-  if enabled () then
+  if enabled () then begin
+    (* Stamp outside the lock: domain id and trial context belong to the
+       emitting domain, not to whoever flushes the buffer. *)
+    let stamp =
+      ("domain", Json.Number (float_of_int (Domain.self () :> int)))
+      ::
+      (match current_trial () with
+      | Some i -> [ ("trial", Json.Number (float_of_int i)) ]
+      | None -> [])
+    in
     with_lock trace_mutex (fun () ->
         if !trace_len >= trace_cap then trace_dropped := !trace_dropped + 1
         else begin
           let t = Clock.now () -. !trace_epoch in
           traces_rev :=
             Json.Object
-              (("event", Json.String name) :: ("t", Json.Number t) :: fields)
+              (("event", Json.String name) :: ("t", Json.Number t)
+              :: (stamp @ fields))
             :: !traces_rev;
           trace_len := !trace_len + 1
         end)
+  end
 
 let trace_events () =
   with_lock trace_mutex (fun () ->

@@ -19,6 +19,20 @@ val reset : unit -> unit
 (** Zero every registered metric and drop buffered trace events. Metric
     identities survive: handles interned before [reset] remain valid. *)
 
+(** {1 Recording context}
+
+    Trace events (here and in {!Trace}) are stamped with the emitting domain
+    id; synthesis additionally tags each record with the trial index it is
+    working on, so concurrent multi-domain trials stay attributable in the
+    shared buffers. *)
+
+val with_trial : int -> (unit -> 'a) -> 'a
+(** Run the thunk with the current domain's trial context set to [i];
+    restored (to the previous value) afterwards, even on raise. *)
+
+val current_trial : unit -> int option
+(** The trial context of the calling domain, if inside {!with_trial}. *)
+
 (** {1 Counters} *)
 
 type counter

@@ -1,0 +1,169 @@
+(* Full-fidelity execution tracing: typed per-transfer lifecycle events and
+   wall-clock spans behind an off-by-default atomic flag, mirroring the
+   zero-cost-when-disabled discipline of [Obs].
+
+   The simulator emits one event per state change of a message in flight
+   (deps-ready, hop enqueue, service start/end, propagation arrival,
+   abort/reroute on fault, stranding) with *simulated* timestamps; the
+   synthesizer emits per-trial / per-round spans with *wall-clock*
+   timestamps relative to the last [reset]. The Chrome exporter renders both
+   on one timeline as separate process groups; the critical-path analyzer
+   consumes the lifecycle events alone.
+
+   Events are typed (not JSON) so the analyzer can pattern-match without
+   parsing; [to_json] serializes the documented schema for `tacos profile
+   --trace`. Every record is stamped with the emitting domain id and, when
+   set via [Obs.with_trial], the synthesis trial index — multi-domain trials
+   interleave in the shared buffer and stay attributable. *)
+
+module Json = Tacos_util.Json
+module Clock = Tacos_util.Clock
+
+type lifecycle =
+  | Deps_ready of { tid : int; cause : int option }
+  | Enqueued of { tid : int; link : int; node : int; depth : int }
+  | Service_start of { tid : int; link : int }
+  | Service_end of { tid : int; link : int }
+  | Service_aborted of { tid : int; link : int }
+  | Arrived of { tid : int; node : int; link : int }
+  | Completed of { tid : int }
+  | Rerouted of { tid : int; node : int }
+  | Stranded of { tid : int; node : int; dst : int }
+  | Fault of { link : int; kind : string }
+
+type event = { t : float; domain : int; trial : int option; ev : lifecycle }
+type span = { name : string; domain : int; trial : int option; t0 : float; t1 : float }
+type dump = { events : event list; spans : span list; dropped : int }
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+(* Bounded buffers so a long run cannot exhaust memory: past the cap,
+   records are counted as dropped instead of stored. *)
+let event_cap = 200_000
+let span_cap = 50_000
+let mutex = Mutex.create ()
+let events_rev : event list ref = ref []
+let event_len = ref 0
+let spans_rev : span list ref = ref []
+let span_len = ref 0
+let dropped = ref 0
+let epoch = ref 0.
+
+let with_lock f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let reset () =
+  with_lock (fun () ->
+      events_rev := [];
+      event_len := 0;
+      spans_rev := [];
+      span_len := 0;
+      dropped := 0;
+      epoch := Clock.now ())
+
+let emit ~t ev =
+  if enabled () then begin
+    let e =
+      { t; domain = (Domain.self () :> int); trial = Obs.current_trial (); ev }
+    in
+    with_lock (fun () ->
+        if !event_len >= event_cap then incr dropped
+        else begin
+          events_rev := e :: !events_rev;
+          incr event_len
+        end)
+  end
+
+let record_span name t0 t1 =
+  let s =
+    { name; domain = (Domain.self () :> int); trial = Obs.current_trial (); t0; t1 }
+  in
+  with_lock (fun () ->
+      if !span_len >= span_cap then incr dropped
+      else begin
+        spans_rev := s :: !spans_rev;
+        incr span_len
+      end)
+
+let with_span name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = Clock.now () -. !epoch in
+    Fun.protect
+      ~finally:(fun () -> record_span name t0 (Clock.now () -. !epoch))
+      f
+  end
+
+let dump () =
+  with_lock (fun () ->
+      { events = List.rev !events_rev; spans = List.rev !spans_rev; dropped = !dropped })
+
+(* --- JSON schema ---------------------------------------------------------- *)
+
+let event_name = function
+  | Deps_ready _ -> "deps_ready"
+  | Enqueued _ -> "enqueued"
+  | Service_start _ -> "service_start"
+  | Service_end _ -> "service_end"
+  | Service_aborted _ -> "service_aborted"
+  | Arrived _ -> "arrived"
+  | Completed _ -> "completed"
+  | Rerouted _ -> "rerouted"
+  | Stranded _ -> "stranded"
+  | Fault _ -> "fault"
+
+let lifecycle_fields =
+  let num i = Json.Number (float_of_int i) in
+  function
+  | Deps_ready { tid; cause } ->
+    [ ("tid", num tid) ]
+    @ (match cause with Some c -> [ ("cause", num c) ] | None -> [])
+  | Enqueued { tid; link; node; depth } ->
+    [ ("tid", num tid); ("link", num link); ("node", num node); ("depth", num depth) ]
+  | Service_start { tid; link } | Service_end { tid; link }
+  | Service_aborted { tid; link } ->
+    [ ("tid", num tid); ("link", num link) ]
+  | Arrived { tid; node; link } ->
+    [ ("tid", num tid); ("node", num node); ("link", num link) ]
+  | Completed { tid } -> [ ("tid", num tid) ]
+  | Rerouted { tid; node } -> [ ("tid", num tid); ("node", num node) ]
+  | Stranded { tid; node; dst } ->
+    [ ("tid", num tid); ("node", num node); ("dst", num dst) ]
+  | Fault { link; kind } -> [ ("link", num link); ("kind", Json.String kind) ]
+
+let event_to_json e =
+  Json.Object
+    ([
+       ("event", Json.String (event_name e.ev));
+       ("t", Json.Number e.t);
+       ("domain", Json.Number (float_of_int e.domain));
+     ]
+    @ (match e.trial with
+      | Some i -> [ ("trial", Json.Number (float_of_int i)) ]
+      | None -> [])
+    @ lifecycle_fields e.ev)
+
+let span_to_json (s : span) =
+  Json.Object
+    ([
+       ("span", Json.String s.name);
+       ("t0", Json.Number s.t0);
+       ("t1", Json.Number s.t1);
+       ("domain", Json.Number (float_of_int s.domain));
+     ]
+    @
+    match s.trial with
+    | Some i -> [ ("trial", Json.Number (float_of_int i)) ]
+    | None -> [])
+
+let to_json d =
+  Json.Object
+    [
+      ("dropped", Json.Number (float_of_int d.dropped));
+      ("events", Json.Array (List.map event_to_json d.events));
+      ("spans", Json.Array (List.map span_to_json d.spans));
+    ]

@@ -2,6 +2,7 @@
 open Tacos_topology
 module Pq = Tacos_util.Pq
 module Obs = Tacos_obs.Obs
+module Trace = Tacos_obs.Trace
 
 let obs_events = Obs.counter "engine.events"
 let obs_queue_depth = Obs.histogram "engine.queue_depth"
@@ -62,6 +63,7 @@ type msg = {
   mutable at : int;
   mutable rest : int list;
   mutable aborted : bool;
+  mutable via : int;  (** link ridden into the pending [Hop_arrived]; -1 before *)
 }
 
 type event =
@@ -146,6 +148,10 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
   (* Dependency bookkeeping. *)
   let indeg = Array.make nt 0 in
   let dependents = Array.make nt [] in
+  (* For the lifecycle trace: the dependency whose completion made each
+     transfer ready (-1 for roots) — the binding constraint the
+     critical-path analyzer follows across transfers. *)
+  let ready_cause = Array.make nt (-1) in
   Array.iter
     (fun (tr : Program.transfer) ->
       indeg.(tr.id) <- List.length tr.deps;
@@ -153,6 +159,7 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
     transfers;
   let events : event Pq.t = Pq.create () in
   let obs_on = Obs.enabled () in
+  let trace_on = Trace.enabled () in
   (* Routing over the *surviving* fabric, rebuilt lazily once per fault
      epoch (the alive/degraded sets only change at fault events). The
      degraded view keeps the healthy NPU numbering, so node paths remain
@@ -191,6 +198,8 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
   let start_service link (msg : msg) t =
     serving.(link) <- true;
     in_service.(link) <- Some msg;
+    msg.via <- link;
+    if trace_on then Trace.emit ~t (Trace.Service_start { tid = msg.tid; link });
     let size = transfers.(msg.tid).Program.size in
     let hold = hold_of link size in
     let arrive =
@@ -207,6 +216,10 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
   in
   let strand (msg : msg) t =
     Obs.incr obs_stranded;
+    if trace_on then
+      Trace.emit ~t
+        (Trace.Stranded
+           { tid = msg.tid; node = msg.at; dst = transfers.(msg.tid).Program.dst });
     stranded :=
       {
         tid = msg.tid;
@@ -263,6 +276,8 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
         (* The planned hop rides a dead link: the stale route is discarded
            and the message re-planned over the surviving fabric. *)
         Obs.incr obs_reroutes;
+        if trace_on then
+          Trace.emit ~t (Trace.Rerouted { tid = msg.tid; node = current });
         replan msg t ~complete
       end
     | first :: rest ->
@@ -280,6 +295,15 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
          identical parallel links). *)
       let hold = hold_of link transfers.(msg.tid).Program.size in
       backlog.(link) <- Float.max backlog.(link) t +. hold;
+      if trace_on then
+        Trace.emit ~t
+          (Trace.Enqueued
+             {
+               tid = msg.tid;
+               link;
+               node = current;
+               depth = Queue.length queue.(link);
+             });
       if obs_on then begin
         let depth = Queue.length queue.(link) in
         Obs.observe obs_queue_depth (float_of_int depth);
@@ -298,17 +322,21 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
   in
   let complete tid t =
     transfer_finish.(tid) <- t;
+    if trace_on then Trace.emit ~t (Trace.Completed { tid });
     List.iter
       (fun d ->
         indeg.(d) <- indeg.(d) - 1;
-        if indeg.(d) = 0 then Pq.push events t (Ready d))
+        if indeg.(d) = 0 then begin
+          ready_cause.(d) <- tid;
+          Pq.push events t (Ready d)
+        end)
       dependents.(tid)
   in
   let launch tid t =
     let tr = transfers.(tid) in
     if tr.Program.src = tr.Program.dst then complete tid t
     else begin
-      let msg = { tid; at = tr.Program.src; rest = []; aborted = false } in
+      let msg = { tid; at = tr.Program.src; rest = []; aborted = false; via = -1 } in
       replan msg t ~complete
     end
   in
@@ -327,6 +355,7 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
         faulted := true;
         routing := None;
         serial.(link) <- serial.(link) + 1;
+        if trace_on then Trace.emit ~t (Trace.Fault { link; kind = "dies" });
         (* Satellite fix: a dead link must never win the least-backlogged
            parallel-link choice on its stale (low) backlog, and its
            predicted queue is void — it is filtered out of [enqueue_hop]'s
@@ -337,6 +366,8 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
         | Some msg ->
           Obs.incr obs_aborts;
           msg.aborted <- true;
+          if trace_on then
+            Trace.emit ~t (Trace.Service_aborted { tid = msg.tid; link });
           let s, e = service_span.(link) in
           let hold = e -. s in
           let fraction =
@@ -351,7 +382,7 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
           | (s0, _) :: tail -> link_intervals.(link) <- (s0, t) :: tail
           | [] -> ());
           displaced :=
-            [ { tid = msg.tid; at = msg.at; rest = msg.rest; aborted = false } ]
+            [ { tid = msg.tid; at = msg.at; rest = msg.rest; aborted = false; via = -1 } ]
         | None -> ());
         serving.(link) <- false;
         in_service.(link) <- None;
@@ -362,6 +393,7 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
       end
     | Link_degrades { link; factor; at = _ } ->
       if alive.(link) then begin
+        if trace_on then Trace.emit ~t (Trace.Fault { link; kind = "degrades" });
         degrade_factor.(link) <- degrade_factor.(link) *. factor;
         serialize.(link) <- base_serialize.(link) *. degrade_factor.(link);
         latency.(link) <- base_latency.(link) *. degrade_factor.(link);
@@ -370,6 +402,7 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
       end
     | Link_recovers { link; at = _ } ->
       if not alive.(link) || degrade_factor.(link) <> 1. then begin
+        if trace_on then Trace.emit ~t (Trace.Fault { link; kind = "recovers" });
         alive.(link) <- true;
         degrade_factor.(link) <- 1.;
         serialize.(link) <- base_serialize.(link);
@@ -400,12 +433,23 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
         apply_fault t f
       | Ready tid ->
         finish_time := Float.max !finish_time t;
+        if trace_on then
+          Trace.emit ~t
+            (Trace.Deps_ready
+               {
+                 tid;
+                 cause = (if ready_cause.(tid) >= 0 then Some ready_cause.(tid) else None);
+               });
         launch tid t
       | Link_free (link, s) ->
         (* A stale serial is the ghost of a service aborted by a link death;
            it carries no state and must not stretch the finish time. *)
         if s = serial.(link) then begin
           finish_time := Float.max !finish_time t;
+          if trace_on then (
+            match in_service.(link) with
+            | Some m -> Trace.emit ~t (Trace.Service_end { tid = m.tid; link })
+            | None -> ());
           serving.(link) <- false;
           in_service.(link) <- None;
           match Queue.take_opt queue.(link) with
@@ -419,10 +463,16 @@ let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
           | [] -> assert false
           | [ last ] ->
             msg.at <- last;
+            if trace_on then
+              Trace.emit ~t
+                (Trace.Arrived { tid = msg.tid; node = last; link = msg.via });
             complete msg.tid t
           | arrived :: rest ->
             msg.at <- arrived;
             msg.rest <- rest;
+            if trace_on then
+              Trace.emit ~t
+                (Trace.Arrived { tid = msg.tid; node = arrived; link = msg.via });
             enqueue_hop msg t ~complete
         end);
       loop ()

@@ -43,7 +43,9 @@ let validate_acyclic t =
     t.transfers;
   if !ok then Ok () else Error "dependency does not point to an earlier transfer"
 
-let of_schedule ~chunk_size (sched : Schedule.t) =
+let default_tag_of (s : Schedule.send) = Printf.sprintf "chunk%d" s.chunk
+
+let of_schedule ?(tag_of = default_tag_of) ~chunk_size (sched : Schedule.t) =
   let b = builder () in
   (* Sends are already sorted by start time, so every delivery of a chunk to
      a node appears before any send that forwards it. A send depends on all
@@ -57,9 +59,7 @@ let of_schedule ~chunk_size (sched : Schedule.t) =
         Option.value ~default:[] (Hashtbl.find_opt delivered (s.src, s.chunk))
       in
       let id =
-        add b
-          ~tag:(Printf.sprintf "chunk%d" s.chunk)
-          ~deps ~src:s.src ~dst:s.dst ~size:chunk_size ()
+        add b ~tag:(tag_of s) ~deps ~src:s.src ~dst:s.dst ~size:chunk_size ()
       in
       let at_dst =
         Option.value ~default:[] (Hashtbl.find_opt delivered (s.dst, s.chunk))

@@ -52,10 +52,13 @@ val validate_acyclic : t -> (unit, string) result
 (** Check the dependency graph has no cycles (a cyclic program would
     deadlock the simulator). *)
 
-val of_schedule : chunk_size:float -> Schedule.t -> t
+val of_schedule : ?tag_of:(Schedule.send -> string) -> chunk_size:float -> Schedule.t -> t
 (** Re-express a synthesized schedule as a program: each send becomes a
     single-hop transfer of [chunk_size] bytes depending on every earlier
     send that delivered its chunk to the source (all of them, so the
     converge-then-forward structure of time-mirrored reduction phases is
     preserved). This is how synthesized algorithms are evaluated under the
-    same simulator backend as the baselines (§V-C). *)
+    same simulator backend as the baselines (§V-C). [tag_of] names each
+    transfer (default ["chunk%d"]); `tacos trace` uses it to carry the
+    collective phase so the critical-path analyzer can attribute the
+    makespan per phase. *)
