@@ -1,0 +1,96 @@
+(* Hierarchical (process-group) synthesis vs flat TACOS: synthesis
+   wall-clock and end-to-end simulated collective time on Torus 3D,
+   2D-Switch and 3D-RFS fabrics from 64 to 1024 NPUs. The hierarchical
+   rows decompose with `Plan.Auto` (inter phase on the bottleneck
+   dimension) and dedupe isomorphic groups through the registry
+   fingerprint, so a fabric of G identical groups costs one intra
+   synthesis regardless of G. *)
+
+open Tacos_topology
+open Tacos_collective
+open Exp_common
+module Units = Tacos_util.Units
+module Group = Tacos_groups.Group
+module Plan = Tacos_groups.Plan
+
+let torus dims = ("torus", Builders.torus dims)
+
+let switch2d (s0, s1) =
+  ( "2d-switch",
+    Builders.two_level_switch ~bw:(Units.gbps 300., Units.gbps 25.) (s0, s1) )
+
+let rfs dims =
+  ( "3d-rfs",
+    Builders.rfs3d ~bw:(Units.gbps 200., Units.gbps 100., Units.gbps 50.) dims )
+
+let fabrics =
+  let base = [ torus [| 4; 4; 4 |]; switch2d (16, 4); rfs (2, 4, 8) ] in
+  let default =
+    [ torus [| 8; 8; 4 |]; torus [| 8; 8; 8 |]; switch2d (32, 8); rfs (4, 8, 8) ]
+  in
+  let large = [ torus [| 16; 8; 8 |]; switch2d (32, 32); rfs (4, 8, 32) ] in
+  match scale with
+  | Small -> base
+  | Default -> base @ default
+  | Large -> base @ default @ large
+
+let size = 64e6
+
+let measure (family, topo) =
+  let n = Topology.num_npus topo in
+  let spec = Spec.make ~buffer_size:size ~pattern:Pattern.All_reduce ~npus:n () in
+  let t0 = Unix.gettimeofday () in
+  let flat = Synth.synthesize topo spec in
+  let flat_wall = Unix.gettimeofday () -. t0 in
+  let flat_time = simulate_schedule topo flat in
+  let groups =
+    match Plan.decompose topo Plan.Auto with
+    | Ok gs -> gs
+    | Error e -> failwith (Printf.sprintf "hierarchy: %s: %s" family e)
+  in
+  let t1 = Unix.gettimeofday () in
+  let (plan : Plan.t), obs = with_obs (fun () -> Plan.synthesize topo spec ~groups) in
+  let hier_wall = Unix.gettimeofday () -. t1 in
+  let hier_time = simulate_schedule topo plan.Plan.result in
+  let speedup = flat_wall /. hier_wall in
+  let ratio = hier_time /. flat_time in
+  record ~exp:"hierarchy"
+    [
+      ("topology", Json.String family);
+      ("npus", Json.Number (float_of_int n));
+      ("flat_synthesis_seconds", Json.Number flat_wall);
+      ("hier_synthesis_seconds", Json.Number hier_wall);
+      ("synthesis_speedup", Json.Number speedup);
+      ("flat_simulated_seconds", Json.Number flat_time);
+      ("hier_simulated_seconds", Json.Number hier_time);
+      ("time_ratio", Json.Number ratio);
+      ("groups", Json.Number (float_of_int plan.Plan.groups));
+      ("group_size", Json.Number (float_of_int plan.Plan.group_size));
+      ("syntheses", Json.Number (float_of_int plan.Plan.syntheses));
+      ("dedup_hits", Json.Number (float_of_int plan.Plan.dedup_hits));
+      ("obs", obs);
+    ];
+  [
+    Printf.sprintf "%s %s" family (Topology.name topo);
+    string_of_int n;
+    Units.time_pp flat_wall;
+    Units.time_pp hier_wall;
+    Printf.sprintf "%.1fx" speedup;
+    Units.time_pp flat_time;
+    Units.time_pp hier_time;
+    Printf.sprintf "%.2f" ratio;
+    Printf.sprintf "%d/%d" plan.Plan.syntheses (plan.Plan.syntheses + plan.Plan.dedup_hits);
+  ]
+
+let run () =
+  section "bench hierarchy: flat vs process-group synthesis (64 MB All-Reduce)";
+  let rows = List.map measure fabrics in
+  Tacos_util.Table.print
+    ~header:
+      [
+        "fabric"; "NPUs"; "flat synth"; "hier synth"; "speedup"; "flat time";
+        "hier time"; "ratio"; "synth/parts";
+      ]
+    rows;
+  note "ratio = hierarchical / flat simulated collective time (lower is better)";
+  flush_bench ~exp:"hierarchy"

@@ -27,6 +27,7 @@ let experiments =
     ("resilience", "Synthesis on broken fabrics (fault injection)", Resilience.run);
     ("midflight", "Mid-flight faults: replay vs repair vs re-synthesis", Midflight.run);
     ("overlap", "Bucketed comm/compute overlap", Overlap.run);
+    ("hierarchy", "Flat vs hierarchical (process-group) synthesis", Hierarchy.run);
     (* Last, so a full run compares everything it just regenerated. *)
     ("regress", "Regression guard: fresh BENCH rows vs committed baselines", Regress.run);
   ]

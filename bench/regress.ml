@@ -2,7 +2,7 @@
    against the committed baselines under bench/baselines/ and exit non-zero
    when a tracked metric regresses beyond tolerance.
 
-     dune exec bench/main.exe -- fig18 fig19 midflight regress
+     dune exec bench/main.exe -- fig18 fig19 midflight hierarchy regress
 
    Only *deterministic* fields are compared — simulated makespans, synthesis
    round counts, utilizations, repair strategies — never wall-clock timings
@@ -54,6 +54,19 @@ let specs =
           ("full_completion_seconds", Lower_better);
           ("repair_strategy", Exact);
           ("repair_verified", Exact);
+        ];
+    };
+    {
+      exp = "hierarchy";
+      keys = [ "topology"; "npus" ];
+      metrics =
+        [
+          ("flat_simulated_seconds", Lower_better);
+          ("hier_simulated_seconds", Lower_better);
+          ("groups", Exact);
+          ("group_size", Exact);
+          ("syntheses", Exact);
+          ("dedup_hits", Exact);
         ];
     };
   ]

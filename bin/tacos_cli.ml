@@ -60,6 +60,22 @@ let trials_arg =
   let doc = "Randomized synthesis restarts; the best schedule is kept." in
   Arg.(value & opt int 1 & info [ "trials" ] ~docv:"N" ~doc)
 
+let groups_arg =
+  let doc =
+    "Hierarchical synthesis over process groups: partition the fabric by \
+     hierarchy dimension $(docv) (or let 'auto' pick the bottleneck \
+     dimension), synthesize intra-group and inter-group phases on the \
+     sub-fabrics — isomorphic groups cost one synthesis — and compose one \
+     full-fabric schedule."
+  in
+  Arg.(value & opt (some string) None & info [ "groups" ] ~docv:"DIM|auto" ~doc)
+
+(* Derive the partition a [--groups] argument names, as a [result]. *)
+let parse_groups topo gstr =
+  match Tacos_groups.Plan.grouping_of_string gstr with
+  | Error e -> Error e
+  | Ok grouping -> Tacos_groups.Plan.decompose topo grouping
+
 let fail fmt = Printf.ksprintf (fun msg -> `Error (false, msg)) fmt
 
 let with_setup topo_str alpha_us bw_gbps f =
@@ -102,7 +118,7 @@ let synthesize_cmd =
       & info [ "program" ] ~docv:"NPU"
           ~doc:"Print the lowered per-NPU send/recv program of $(docv).")
   in
-  let run topo_str alpha bw size_str pattern_str chunks seed trials domains ten events json svg program =
+  let run topo_str alpha bw size_str pattern_str chunks seed trials domains groups ten events json svg program =
     with_setup topo_str alpha bw (fun topo ->
         match Parse.parse_size size_str with
         | Error e -> fail "%s" e
@@ -115,15 +131,42 @@ let synthesize_cmd =
                 ~npus:(Topology.num_npus topo) ()
             in
             let synthesize () =
-              if pattern = Pattern.All_to_all then Tacos.Alltoall.synthesize ~seed topo spec
-              else Synth.synthesize ~seed ~trials ~domains topo spec
+              match groups with
+              | Some gstr -> (
+                match parse_groups topo gstr with
+                | Error e -> Error e
+                | Ok gs ->
+                  let plan = Tacos_groups.Plan.synthesize ~seed ~trials topo spec ~groups:gs in
+                  Ok (plan.Tacos_groups.Plan.result, Some plan))
+              | None ->
+                Ok
+                  ( (if pattern = Pattern.All_to_all then
+                       Tacos.Alltoall.synthesize ~seed topo spec
+                     else Synth.synthesize ~seed ~trials ~domains topo spec),
+                    None )
             in
             match synthesize () with
             | exception Synth.Stuck msg -> fail "synthesis stuck: %s" msg
             | exception Synth.Unsupported msg -> fail "unsupported: %s" msg
-            | result ->
+            | Error e -> fail "--groups: %s" e
+            | Ok (result, plan) ->
               Format.printf "topology:        %a@." Topology.pp topo;
               Format.printf "collective:      %a@." Spec.pp spec;
+              (match plan with
+              | Some p ->
+                Format.printf "groups:          %d x %d NPUs, %d syntheses, %d dedup hits@."
+                  p.Tacos_groups.Plan.groups p.Tacos_groups.Plan.group_size
+                  p.Tacos_groups.Plan.syntheses p.Tacos_groups.Plan.dedup_hits;
+                List.iter
+                  (fun (i : Tacos_groups.Plan.phase_info) ->
+                    Format.printf
+                      "  %-21s %3d parts, %d synthesized, makespan %s, wall %s@."
+                      i.Tacos_groups.Plan.phase i.Tacos_groups.Plan.parts
+                      i.Tacos_groups.Plan.syntheses
+                      (Units.time_pp i.Tacos_groups.Plan.makespan)
+                      (Units.time_pp i.Tacos_groups.Plan.wall_seconds))
+                  p.Tacos_groups.Plan.phase_infos
+              | None -> ());
               Format.printf "collective time: %s@." (Units.time_pp result.Synth.collective_time);
               Format.printf "bandwidth:       %s@."
                 (Units.bandwidth_pp (size /. result.Synth.collective_time));
@@ -190,8 +233,8 @@ let synthesize_cmd =
     Term.(
       ret
         (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
-       $ chunks_arg $ seed_arg $ trials_arg $ domains_arg $ render_ten
-       $ list_events $ json_out $ svg_out $ program_of))
+       $ chunks_arg $ seed_arg $ trials_arg $ domains_arg $ groups_arg
+       $ render_ten $ list_events $ json_out $ svg_out $ program_of))
   in
   Cmd.v (Cmd.info "synthesize" ~doc:"Synthesize a topology-aware collective algorithm") term
 
@@ -255,43 +298,61 @@ let tune_cmd =
       & info [ "candidates" ] ~docv:"K1,K2,..."
           ~doc:"Chunks-per-NPU granularities to try.")
   in
-  let run topo_str alpha bw size_str pattern_str seed candidates =
+  let run topo_str alpha bw size_str pattern_str seed candidates groups =
     with_setup topo_str alpha bw (fun topo ->
         match Parse.parse_size size_str with
         | Error e -> fail "%s" e
         | Ok size -> (
           match Parse.parse_pattern pattern_str (Topology.num_npus topo) with
           | Error e -> fail "%s" e
-          | Ok pattern ->
-            let rows = ref [] in
-            List.iter
-              (fun k ->
-                let choice =
-                  Tacos.Tuner.tune ~seed ~candidates:[ k ] topo ~pattern ~size
-                in
-                rows :=
-                  [
-                    string_of_int k;
-                    Units.time_pp choice.Tacos.Tuner.simulated_time;
-                    Units.bandwidth_pp (size /. choice.Tacos.Tuner.simulated_time);
-                  ]
-                  :: !rows)
-              candidates;
-            let best = Tacos.Tuner.tune ~seed ~candidates topo ~pattern ~size in
-            Format.printf "%s of %s on %a@." (Pattern.name pattern)
-              (Units.bytes_pp size) Topology.pp topo;
-            Table.print ~header:[ "chunks/NPU"; "simulated time"; "bandwidth" ]
-              (List.rev !rows);
-            Format.printf "best: %d chunks/NPU (%s)@."
-              best.Tacos.Tuner.chunks_per_npu
-              (Units.time_pp best.Tacos.Tuner.simulated_time);
-            `Ok ()))
+          | Ok pattern -> (
+            (* With --groups, every candidate granularity is synthesized
+               hierarchically through the group planner. *)
+            let backend =
+              match groups with
+              | None -> Ok None
+              | Some gstr ->
+                Result.map
+                  (fun gs ->
+                    Some
+                      (fun ~seed topo spec ->
+                        (Tacos_groups.Plan.synthesize ~seed topo spec ~groups:gs)
+                          .Tacos_groups.Plan.result))
+                  (parse_groups topo gstr)
+            in
+            match backend with
+            | Error e -> fail "--groups: %s" e
+            | Ok synthesize ->
+              let rows = ref [] in
+              List.iter
+                (fun k ->
+                  let choice =
+                    Tacos.Tuner.tune ~seed ~candidates:[ k ] ?synthesize topo
+                      ~pattern ~size
+                  in
+                  rows :=
+                    [
+                      string_of_int k;
+                      Units.time_pp choice.Tacos.Tuner.simulated_time;
+                      Units.bandwidth_pp (size /. choice.Tacos.Tuner.simulated_time);
+                    ]
+                    :: !rows)
+                candidates;
+              let best = Tacos.Tuner.tune ~seed ~candidates ?synthesize topo ~pattern ~size in
+              Format.printf "%s of %s on %a@." (Pattern.name pattern)
+                (Units.bytes_pp size) Topology.pp topo;
+              Table.print ~header:[ "chunks/NPU"; "simulated time"; "bandwidth" ]
+                (List.rev !rows);
+              Format.printf "best: %d chunks/NPU (%s)@."
+                best.Tacos.Tuner.chunks_per_npu
+                (Units.time_pp best.Tacos.Tuner.simulated_time);
+              `Ok ())))
   in
   let term =
     Term.(
       ret
         (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
-       $ seed_arg $ candidates_arg))
+       $ seed_arg $ candidates_arg $ groups_arg))
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Sweep chunk granularities and report the fastest")

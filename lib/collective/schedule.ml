@@ -21,7 +21,13 @@ let make sends =
       if s.start < 0. || s.finish < s.start then
         invalid_arg "Schedule.make: bad send interval")
     sends;
-  let sends = List.stable_sort (fun a b -> compare (a.start, a.finish) (b.start, b.finish)) sends in
+  let sends =
+    List.stable_sort
+      (fun a b ->
+        let c = Float.compare a.start b.start in
+        if c <> 0 then c else Float.compare a.finish b.finish)
+      sends
+  in
   let makespan = List.fold_left (fun acc s -> Float.max acc s.finish) 0. sends in
   { sends; makespan }
 
@@ -49,6 +55,16 @@ let reverse t =
 let concat a b =
   let b = shift b a.makespan in
   make (a.sends @ b.sends)
+
+let union a b =
+  let cmp x y =
+    let c = Float.compare x.start y.start in
+    if c <> 0 then c else Float.compare x.finish y.finish
+  in
+  {
+    sends = List.merge cmp a.sends b.sends;
+    makespan = Float.max a.makespan b.makespan;
+  }
 
 let phase_of_send ~reduce_scatter s =
   (* A send of the concatenated All-Reduce belongs to the All-Gather phase

@@ -45,6 +45,13 @@ val concat : t -> t -> t
 (** [concat a b] runs [b] after [a] ([b] shifted by [a.makespan]) — how
     All-Reduce is assembled from Reduce-Scatter and All-Gather. *)
 
+val union : t -> t -> t
+(** [union a b] overlays two schedules as-is (no shifting): the sends of
+    both, sorted, with the larger makespan. O(n) — it merges the two
+    already-sorted send lists instead of re-sorting, so composing many
+    parts stays linear. The caller is responsible for the parts being
+    disjoint in link occupancy where they overlap in time. *)
+
 val phase_of_send : reduce_scatter:t -> send -> string
 (** Which phase of a {!concat}-assembled All-Reduce a send belongs to:
     ["all-gather"] when it starts at or after the Reduce-Scatter makespan

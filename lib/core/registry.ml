@@ -34,35 +34,100 @@ let key topo (spec : Spec.t) =
 
 let disk_path t k = Option.map (fun d -> Filename.concat d (k ^ ".json")) t.dir
 
-(* All-Reduce schedules lose their phase split through JSON, and the
-   phase-split validator needs it; trust entries we wrote ourselves (they
-   were validated before saving) and re-validate everything else. *)
-let validate_any topo (spec : Spec.t) schedule =
+module Json = Tacos_util.Json
+
+(* Cache entries embed the synthesis provenance next to the send list —
+   [Schedule.of_json] ignores unknown fields, so the files stay valid
+   MSCCL-style algorithm files — and a disk hit restores it instead of
+   reporting zero-time stats. The reduce-scatter makespan additionally
+   recovers an All-Reduce's phase split (every send strictly before it is
+   reduce-scatter, cf. [Schedule.phase_of_send]). *)
+let provenance_fields (result : Synthesizer.result) =
+  let stats = result.stats in
+  ( "synthesis_stats",
+    Json.Object
+      [
+        ("wall_seconds", Json.Number stats.Synthesizer.wall_seconds);
+        ("rounds", Json.Number (float_of_int stats.Synthesizer.rounds));
+        ("matches", Json.Number (float_of_int stats.Synthesizer.matches));
+        ("trials", Json.Number (float_of_int stats.Synthesizer.trials));
+      ] )
+  ::
+  (match result.phases with
+  | Some (rs, _) -> [ ("reduce_scatter_makespan", Json.Number rs.Schedule.makespan) ]
+  | None -> [])
+
+let restore_stats doc =
+  match Json.member "synthesis_stats" doc with
+  | None -> { Synthesizer.wall_seconds = 0.; rounds = 0; matches = 0; trials = 0 }
+  | Some s ->
+    let num name = Option.bind (Json.member name s) Json.to_float in
+    let int name = Option.value ~default:0 (Option.map int_of_float (num name)) in
+    {
+      Synthesizer.wall_seconds = Option.value ~default:0. (num "wall_seconds");
+      rounds = int "rounds";
+      matches = int "matches";
+      trials = int "trials";
+    }
+
+let restore_phases (spec : Spec.t) (schedule : Schedule.t) doc =
   match spec.pattern with
-  | Pattern.All_reduce -> Ok ()
+  | Pattern.All_reduce -> (
+    match Option.bind (Json.member "reduce_scatter_makespan" doc) Json.to_float with
+    | Some rs_makespan ->
+      let eps = Schedule.eps_for rs_makespan in
+      let rs, ag =
+        List.partition
+          (fun (s : Schedule.send) -> s.start +. eps < rs_makespan)
+          schedule.Schedule.sends
+      in
+      Some (Schedule.make rs, Schedule.make ag)
+    | None -> None)
+  | _ -> None
+
+(* With a restored phase split, All-Reduce entries validate like everything
+   else; a foreign file without one is trusted as before (the split cannot
+   be reconstructed from the send list alone). *)
+let validate_any topo (spec : Spec.t) schedule phases =
+  match (spec.pattern, phases) with
+  | Pattern.All_reduce, Some (rs, ag) ->
+    Schedule.validate_all_reduce topo spec ~reduce_scatter:rs ~all_gather:ag
+  | Pattern.All_reduce, None -> Ok ()
   | _ -> Schedule.validate topo spec schedule
 
 let load_from_disk t topo spec k =
   match disk_path t k with
   | Some path when Sys.file_exists path -> (
-    match Schedule.of_json (In_channel.with_open_text path In_channel.input_all) with
-    | Ok schedule when Result.is_ok (validate_any topo spec schedule) ->
-      Some
-        {
-          Synthesizer.spec;
-          schedule;
-          collective_time = schedule.Schedule.makespan;
-          phases = None;
-          stats = { Synthesizer.wall_seconds = 0.; rounds = 0; matches = 0; trials = 0 };
-        }
-    | _ -> None)
+    let text = In_channel.with_open_text path In_channel.input_all in
+    match Schedule.of_json text with
+    | Ok schedule -> (
+      let doc = Result.value ~default:Json.Null (Json.parse text) in
+      let phases = restore_phases spec schedule doc in
+      match validate_any topo spec schedule phases with
+      | Ok () ->
+        Some
+          {
+            Synthesizer.spec;
+            schedule;
+            collective_time = schedule.Schedule.makespan;
+            phases;
+            stats = restore_stats doc;
+          }
+      | Error _ -> None)
+    | Error _ -> None)
   | _ -> None
 
 let save_to_disk t spec (result : Synthesizer.result) k =
   match disk_path t k with
   | Some path ->
-    Out_channel.with_open_text path (fun oc ->
-        output_string oc (Schedule.to_json ~spec result.Synthesizer.schedule))
+    let text = Schedule.to_json ~spec result.Synthesizer.schedule in
+    let text =
+      match Json.parse text with
+      | Ok (Json.Object fields) ->
+        Json.encode (Json.Object (fields @ provenance_fields result))
+      | _ -> text
+    in
+    Out_channel.with_open_text path (fun oc -> output_string oc text)
   | None -> ()
 
 let find_or_synthesize ?(seed = 42) t topo (spec : Spec.t) =

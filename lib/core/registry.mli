@@ -26,8 +26,15 @@ val find_or_synthesize :
   ?seed:int -> t -> Topology.t -> Spec.t -> Synthesizer.result * [ `Hit | `Miss ]
 (** Return the cached schedule for this (topology, spec) or synthesize,
     cache, and return it. Routed patterns (All-to-All, Gather, Scatter) go
-    through {!Router}, everything else through {!Synthesizer}. The result of
-    a disk hit carries zero synthesis time in its stats and no phase split. *)
+    through {!Router}, everything else through {!Synthesizer}. Disk entries
+    persist their provenance — the synthesis stats and, for All-Reduce, the
+    reduce-scatter makespan — as extra JSON fields next to the send list
+    (which {!Tacos_collective.Schedule.of_json} ignores, so the files remain
+    plain algorithm files); a disk hit restores the original stats and the
+    All-Reduce phase split, and entries carrying a split are re-validated
+    with {!Tacos_collective.Schedule.validate_all_reduce} on load. Foreign
+    All-Reduce files without provenance load with zeroed stats, no split,
+    and no validation, as before. *)
 
 val entries : t -> int
 (** Number of in-memory entries. *)

@@ -15,17 +15,23 @@ let simulated_time topo (result : Synthesizer.result) =
   in
   (Tacos_sim.Engine.run topo program).Tacos_sim.Engine.finish_time
 
-let tune ?(seed = 42) ?(candidates = [ 1; 2; 4; 8; 16 ]) topo ~pattern ~size =
+let tune ?(seed = 42) ?(candidates = [ 1; 2; 4; 8; 16 ]) ?synthesize topo ~pattern
+    ~size =
   if candidates = [] then invalid_arg "Tuner.tune: no candidates";
   let npus = Topology.num_npus topo in
+  let synthesize =
+    match synthesize with
+    | Some f -> f
+    | None ->
+      fun ~seed topo spec ->
+        (match (spec : Spec.t).pattern with
+        | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ ->
+          Router.synthesize ~seed topo spec
+        | _ -> Synthesizer.synthesize ~seed topo spec)
+  in
   let evaluate chunks_per_npu =
     let spec = Spec.make ~chunks_per_npu ~buffer_size:size ~pattern ~npus () in
-    let result =
-      match pattern with
-      | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ ->
-        Router.synthesize ~seed topo spec
-      | _ -> Synthesizer.synthesize ~seed topo spec
-    in
+    let result = synthesize ~seed topo spec in
     { chunks_per_npu; result; simulated_time = simulated_time topo result }
   in
   List.fold_left

@@ -20,6 +20,7 @@ type choice = {
 val tune :
   ?seed:int ->
   ?candidates:int list ->
+  ?synthesize:(seed:int -> Topology.t -> Spec.t -> Synthesizer.result) ->
   Topology.t ->
   pattern:Pattern.t ->
   size:float ->
@@ -27,7 +28,10 @@ val tune :
 (** [tune topo ~pattern ~size] tries [candidates] (default
     [[1; 2; 4; 8; 16]]) and returns the best choice by simulated collective
     time. Patterns routed by {!Router} (All-to-All, Gather, Scatter) are
-    tuned through it transparently. *)
+    tuned through it transparently. [synthesize] swaps the backend the
+    candidates are synthesized with — the hierarchical group planner
+    ([Tacos_groups.Plan]) plugs in here; the default dispatches to
+    {!Router}/{!Synthesizer} as above. *)
 
 val simulated_time : Topology.t -> Synthesizer.result -> float
 (** Replay a synthesis result under the simulator backend (the paper's

@@ -1,0 +1,17 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_collective
+
+let lift (group : Group.t) ~chunk_map ~offset (schedule : Schedule.t) =
+  List.map
+    (fun (s : Schedule.send) ->
+      {
+        Schedule.chunk = chunk_map s.chunk;
+        edge = group.link_map.(s.edge);
+        src = group.members.(s.src);
+        dst = group.members.(s.dst);
+        start = s.start +. offset;
+        finish = s.finish +. offset;
+      })
+    schedule.Schedule.sends
+
+let assemble phases = Schedule.make (List.concat phases)

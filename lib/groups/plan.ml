@@ -1,0 +1,370 @@
+(* Namespaces of the substrate libraries. *)
+open Tacos_topology
+open Tacos_collective
+module Obs = Tacos_obs.Obs
+module Synthesizer = Tacos.Synthesizer
+module Registry = Tacos.Registry
+
+type grouping = Dim of int | Auto | Partition of int array list
+
+let grouping_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Ok Auto
+  | t -> (
+    match int_of_string_opt t with
+    | Some d when d >= 0 -> Ok (Dim d)
+    | _ -> Error (Printf.sprintf "bad grouping %S: expected \"auto\" or a dimension index" s))
+
+let decompose topo grouping =
+  let derive () =
+    match grouping with
+    | Dim d -> Group.of_dim topo ~dim:d
+    | Auto -> (
+      match Group.auto_dim topo with
+      | Some d -> Group.of_dim topo ~dim:d
+      | None ->
+        invalid_arg
+          "no usable hierarchy dimension (topology records none, or every split is degenerate)")
+    | Partition parts -> Group.of_partition topo parts
+  in
+  match derive () with
+  | groups -> (
+    match Group.validate topo groups with
+    | Ok () -> Ok groups
+    | Error e -> Error e)
+  | exception Invalid_argument e -> Error e
+
+type phase_info = {
+  phase : string;
+  parts : int;
+  syntheses : int;
+  dedup_hits : int;
+  wall_seconds : float;
+  makespan : float;
+}
+
+type t = {
+  groups : int;
+  group_size : int;
+  result : Synthesizer.result;
+  phase_infos : phase_info list;
+  syntheses : int;
+  dedup_hits : int;
+}
+
+(* --- obs --------------------------------------------------------------- *)
+
+let c_groups = Obs.counter "groups.groups"
+let c_phases = Obs.counter "groups.phases"
+let c_syntheses = Obs.counter "groups.syntheses"
+let c_dedup = Obs.counter "groups.dedup_hits"
+let t_phase_synth = Obs.timer "groups.phase_synth_seconds"
+let t_validate = Obs.timer "groups.validate_seconds"
+let t_lift = Obs.timer "groups.lift_seconds"
+let t_assemble = Obs.timer "groups.assemble_seconds"
+
+(* --- deduped sub-synthesis --------------------------------------------- *)
+
+let sub_key (group : Group.t) (spec : Spec.t) =
+  Printf.sprintf "%s|%s-n%d-c%d-b%.17g"
+    (Registry.fingerprint group.Group.topo)
+    (Pattern.name spec.Spec.pattern)
+    spec.Spec.npus spec.Spec.chunks_per_npu spec.Spec.buffer_size
+
+type ctx = {
+  cache : (string, Synthesizer.result) Hashtbl.t;
+  seed : int;
+  trials : int;
+  prefer_cheap_links : bool;
+}
+
+let synth_sub ctx (group : Group.t) spec =
+  let k = sub_key group spec in
+  match Hashtbl.find_opt ctx.cache k with
+  | Some r ->
+    Obs.incr c_dedup;
+    (r, `Hit)
+  | None ->
+    let r =
+      Obs.time t_phase_synth (fun () ->
+          Synthesizer.synthesize ~seed:ctx.seed ~trials:ctx.trials
+            ~prefer_cheap_links:ctx.prefer_cheap_links group.Group.topo spec)
+    in
+    Obs.incr c_syntheses;
+    Hashtbl.add ctx.cache k r;
+    (r, `Miss)
+
+(* One phase: synthesize (deduped) each part, lift every part's schedule to
+   start at [offset], and account. Returns the lifted sends, the phase's
+   completion time, and its info row. *)
+let run_phase ctx ~phase ~offset elements =
+  let parts =
+    List.map
+      (fun (group, spec, chunk_map) ->
+        let r, outcome = synth_sub ctx group spec in
+        (group, chunk_map, r, outcome))
+      elements
+  in
+  let finish =
+    List.fold_left
+      (fun acc (_, _, (r : Synthesizer.result), _) ->
+        Float.max acc (offset +. r.schedule.Schedule.makespan))
+      offset parts
+  in
+  let sends =
+    Obs.time t_lift (fun () ->
+        List.concat_map
+          (fun (group, chunk_map, (r : Synthesizer.result), _) ->
+            Compose.lift group ~chunk_map ~offset r.schedule)
+          parts)
+  in
+  let syntheses, dedup_hits, wall =
+    List.fold_left
+      (fun (s, d, w) (_, _, (r : Synthesizer.result), outcome) ->
+        match outcome with
+        | `Miss -> (s + 1, d, w +. r.stats.Synthesizer.wall_seconds)
+        | `Hit -> (s, d + 1, w))
+      (0, 0, 0.) parts
+  in
+  let info =
+    {
+      phase;
+      parts = List.length parts;
+      syntheses;
+      dedup_hits;
+      wall_seconds = wall;
+      makespan = finish -. offset;
+    }
+  in
+  Obs.incr c_phases;
+  Obs.trace "groups.phase"
+    [
+      ("phase", Tacos_util.Json.String phase);
+      ("parts", Tacos_util.Json.Number (float_of_int info.parts));
+      ("syntheses", Tacos_util.Json.Number (float_of_int syntheses));
+      ("dedup_hits", Tacos_util.Json.Number (float_of_int dedup_hits));
+      ("wall_seconds", Tacos_util.Json.Number wall);
+      ("makespan", Tacos_util.Json.Number info.makespan);
+    ];
+  (sends, finish, info)
+
+(* --- decomposition ----------------------------------------------------- *)
+
+let synthesize ?(seed = 42) ?(trials = 1) ?(prefer_cheap_links = true) topo
+    (spec : Spec.t) ~groups =
+  (match Obs.time t_validate (fun () -> Group.validate topo groups) with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Plan.synthesize: invalid partition: " ^ e));
+  let n = Topology.num_npus topo in
+  if spec.Spec.npus <> n then
+    invalid_arg
+      (Printf.sprintf "Plan.synthesize: spec is for %d NPUs, topology has %d"
+         spec.Spec.npus n);
+  let gs = Array.of_list groups in
+  let g = Array.length gs in
+  let m = Array.length gs.(0).Group.members in
+  let slices = Group.slices topo groups in
+  let k = spec.Spec.chunks_per_npu in
+  let b = spec.Spec.buffer_size in
+  Obs.add c_groups g;
+  let ctx = { cache = Hashtbl.create 16; seed; trials; prefer_cheap_links } in
+
+  (* Chunk maps, local id → global id. Owner-based global chunk ids are
+     [owner * k + slot]. A group's local rank [lo] holds — after the inter
+     phase, equivalently holds initially mapped through its slice — the
+     chunks owned by the rank-[lo] member of every group, which is what the
+     intra map enumerates; note it depends only on the rank, not on which
+     group is being lifted, so one closure (and one synthesis) serves all
+     isomorphic groups. *)
+  let intra_map lc =
+    let lo = lc / (g * k) and j = lc mod (g * k) in
+    let g' = j / k and s = j mod k in
+    (gs.(g').Group.members.(lo) * k) + s
+  in
+  let slice_map (slice : Group.t) lc =
+    let lo = lc / k and s = lc mod k in
+    (slice.Group.members.(lo) * k) + s
+  in
+  let identity c = c in
+
+  (* Sub-specs. Intra phases see every group's share of the vector (buffer
+     [b], [g * k] chunks per rank); inter phases see one group's share
+     ([b / m], [k] chunks per rank); both give the global chunk size
+     [b / (n * k)]. Rooted patterns keep the whole buffer and [k] chunks. *)
+  let intra_spec pattern =
+    Spec.make ~chunks_per_npu:(g * k) ~buffer_size:b ~pattern ~npus:m ()
+  in
+  let inter_spec pattern =
+    Spec.make ~chunks_per_npu:k
+      ~buffer_size:(b /. float_of_int m)
+      ~pattern ~npus:g ()
+  in
+  let rooted_spec pattern npus =
+    Spec.make ~chunks_per_npu:k ~buffer_size:b ~pattern ~npus ()
+  in
+  let intra_elems pattern =
+    List.map (fun gr -> (gr, intra_spec pattern, intra_map)) groups
+  in
+  let inter_elems pattern =
+    List.map (fun sl -> (sl, inter_spec pattern, slice_map sl)) slices
+  in
+  (* Local coordinates of a root NPU: its group index and local rank. *)
+  let locate root =
+    let found = ref None in
+    Array.iteri
+      (fun gi (grp : Group.t) ->
+        Array.iteri (fun ri v -> if v = root then found := Some (gi, ri)) grp.members)
+      gs;
+    match !found with
+    | Some loc -> loc
+    | None -> invalid_arg (Printf.sprintf "Plan.synthesize: root %d not in any group" root)
+  in
+
+  let finish schedule phases infos =
+    let wall = List.fold_left (fun acc (i : phase_info) -> acc +. i.wall_seconds) 0. infos in
+    let syntheses = List.fold_left (fun acc (i : phase_info) -> acc + i.syntheses) 0 infos in
+    let dedup_hits = List.fold_left (fun acc (i : phase_info) -> acc + i.dedup_hits) 0 infos in
+    {
+      groups = g;
+      group_size = m;
+      result =
+        {
+          Synthesizer.spec;
+          schedule;
+          collective_time = schedule.Schedule.makespan;
+          phases;
+          stats =
+            {
+              Synthesizer.wall_seconds = wall;
+              rounds = 0;
+              matches = Schedule.num_sends schedule;
+              trials;
+            };
+        };
+      phase_infos = infos;
+      syntheses;
+      dedup_hits;
+    }
+  in
+
+  match spec.Spec.pattern with
+  | Pattern.All_gather ->
+    let s1, t1, i1 = run_phase ctx ~phase:"inter-all-gather" ~offset:0. (inter_elems Pattern.All_gather) in
+    let s2, _, i2 = run_phase ctx ~phase:"intra-all-gather" ~offset:t1 (intra_elems Pattern.All_gather) in
+    finish (Obs.time t_assemble (fun () -> Compose.assemble [ s1; s2 ])) None [ i1; i2 ]
+  | Pattern.Reduce_scatter ->
+    let s1, t1, i1 = run_phase ctx ~phase:"intra-reduce-scatter" ~offset:0. (intra_elems Pattern.Reduce_scatter) in
+    let s2, _, i2 = run_phase ctx ~phase:"inter-reduce-scatter" ~offset:t1 (inter_elems Pattern.Reduce_scatter) in
+    finish (Obs.time t_assemble (fun () -> Compose.assemble [ s1; s2 ])) None [ i1; i2 ]
+  | Pattern.Broadcast root ->
+    let g0, r0 = locate root in
+    let slice = List.nth slices r0 in
+    let s1, t1, i1 =
+      run_phase ctx ~phase:"inter-broadcast" ~offset:0.
+        [ (slice, rooted_spec (Pattern.Broadcast g0) g, identity) ]
+    in
+    let s2, _, i2 =
+      run_phase ctx ~phase:"intra-broadcast" ~offset:t1
+        (List.map (fun gr -> (gr, rooted_spec (Pattern.Broadcast r0) m, identity)) groups)
+    in
+    finish (Obs.time t_assemble (fun () -> Compose.assemble [ s1; s2 ])) None [ i1; i2 ]
+  | Pattern.Reduce root ->
+    let g0, r0 = locate root in
+    let slice = List.nth slices r0 in
+    let s1, t1, i1 =
+      run_phase ctx ~phase:"intra-reduce" ~offset:0.
+        (List.map (fun gr -> (gr, rooted_spec (Pattern.Reduce r0) m, identity)) groups)
+    in
+    let s2, _, i2 =
+      run_phase ctx ~phase:"inter-reduce" ~offset:t1
+        [ (slice, rooted_spec (Pattern.Reduce g0) g, identity) ]
+    in
+    finish (Obs.time t_assemble (fun () -> Compose.assemble [ s1; s2 ])) None [ i1; i2 ]
+  | Pattern.All_reduce ->
+    let s1, t1, i1 =
+      run_phase ctx ~phase:"intra-reduce-scatter" ~offset:0.
+        (intra_elems Pattern.Reduce_scatter)
+    in
+    (* Inter All-Reduce per slice, each carrying its own (RS, AG) split.
+       The slice All-Gathers are barrier-aligned at the slowest slice
+       Reduce-Scatter so the composed schedule has one global RS|AG
+       boundary for validate_all_reduce; delaying an AG phase is always
+       causally safe. *)
+    let parts =
+      List.map
+        (fun sl ->
+          let r, outcome = synth_sub ctx sl (inter_spec Pattern.All_reduce) in
+          let rs, ag =
+            match r.Synthesizer.phases with
+            | Some (rs, ag) -> (rs, ag)
+            | None -> assert false (* the synthesizer always splits All-Reduce *)
+          in
+          (sl, r, rs, ag, outcome))
+        slices
+    in
+    let max_rs =
+      List.fold_left
+        (fun acc (_, _, (rs : Schedule.t), _, _) -> Float.max acc rs.Schedule.makespan)
+        0. parts
+    in
+    let rs_sends =
+      Obs.time t_lift (fun () ->
+          List.concat_map
+            (fun (sl, _, rs, _, _) ->
+              Compose.lift sl ~chunk_map:(slice_map sl) ~offset:t1 rs)
+            parts)
+    in
+    let t2 = ref (t1 +. max_rs) in
+    let ag_sends =
+      List.concat_map
+        (fun (sl, _, (rs : Schedule.t), (ag : Schedule.t), _) ->
+          let offset = t1 +. max_rs -. rs.Schedule.makespan in
+          t2 := Float.max !t2 (offset +. ag.Schedule.makespan);
+          Compose.lift sl ~chunk_map:(slice_map sl) ~offset ag)
+        parts
+    in
+    let syntheses, dedup_hits, wall =
+      List.fold_left
+        (fun (s, d, w) (_, (r : Synthesizer.result), _, _, outcome) ->
+          match outcome with
+          | `Miss -> (s + 1, d, w +. r.stats.Synthesizer.wall_seconds)
+          | `Hit -> (s, d + 1, w))
+        (0, 0, 0.) parts
+    in
+    let i2 =
+      {
+        phase = "inter-all-reduce";
+        parts = List.length parts;
+        syntheses;
+        dedup_hits;
+        wall_seconds = wall;
+        makespan = !t2 -. t1;
+      }
+    in
+    Obs.incr c_phases;
+    Obs.trace "groups.phase"
+      [
+        ("phase", Tacos_util.Json.String i2.phase);
+        ("parts", Tacos_util.Json.Number (float_of_int i2.parts));
+        ("syntheses", Tacos_util.Json.Number (float_of_int syntheses));
+        ("dedup_hits", Tacos_util.Json.Number (float_of_int dedup_hits));
+        ("wall_seconds", Tacos_util.Json.Number wall);
+        ("makespan", Tacos_util.Json.Number i2.makespan);
+      ];
+    let s3, _, i3 =
+      run_phase ctx ~phase:"intra-all-gather" ~offset:!t2 (intra_elems Pattern.All_gather)
+    in
+    (* Every all-gather send starts at or after [t1 + max_rs], i.e. no
+       earlier than any reduce-scatter send, so the composed schedule is
+       the O(n) ordered union of the two halves — no third full sort. *)
+    let rs_part, ag_part, composed =
+      Obs.time t_assemble (fun () ->
+          let rs_part = Schedule.make (s1 @ rs_sends) in
+          let ag_part = Schedule.make (ag_sends @ s3) in
+          (rs_part, ag_part, Schedule.union rs_part ag_part))
+    in
+    finish composed (Some (rs_part, ag_part)) [ i1; i2; i3 ]
+  | (Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _) as p ->
+    raise
+      (Synthesizer.Unsupported
+         (Printf.sprintf "Plan.synthesize: no group decomposition for %s" (Pattern.name p)))

@@ -294,6 +294,38 @@ let test_registry_disk_roundtrip () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Sys.rmdir dir
 
+let test_registry_disk_preserves_provenance () =
+  (* A disk hit restores the synthesis stats and the All-Reduce phase split
+     instead of zero-time stats and no phases. *)
+  let dir = Filename.temp_file "tacos-reg" "" in
+  Sys.remove dir;
+  let topo = unit_mesh [| 3; 3 |] in
+  let s = spec Pattern.All_reduce 9 in
+  let reg1 = Tacos.Registry.create ~dir () in
+  let first, _ = Tacos.Registry.find_or_synthesize reg1 topo s in
+  let reg2 = Tacos.Registry.create ~dir () in
+  let second, h = Tacos.Registry.find_or_synthesize reg2 topo s in
+  Alcotest.(check bool) "disk hit" true (h = `Hit);
+  Alcotest.(check bool) "wall-clock restored" true
+    (second.stats.wall_seconds = first.stats.wall_seconds
+    && second.stats.wall_seconds > 0.);
+  Alcotest.(check int) "rounds restored" first.stats.rounds second.stats.rounds;
+  Alcotest.(check int) "matches restored" first.stats.matches second.stats.matches;
+  (match (first.phases, second.phases) with
+  | Some (rs1, ag1), Some (rs2, ag2) ->
+    Alcotest.check time "reduce-scatter makespan" rs1.Schedule.makespan
+      rs2.Schedule.makespan;
+    Alcotest.(check int) "reduce-scatter sends" (Schedule.num_sends rs1)
+      (Schedule.num_sends rs2);
+    Alcotest.(check int) "all-gather sends" (Schedule.num_sends ag1)
+      (Schedule.num_sends ag2);
+    (match Schedule.validate_all_reduce topo s ~reduce_scatter:rs2 ~all_gather:ag2 with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "restored phases invalid: %s" e)
+  | _ -> Alcotest.fail "phase split lost through the disk cache");
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
 let test_registry_fingerprint_distinguishes () =
   let a = unit_ring 6 in
   let b = unit_ring ~bidirectional:false 6 in
@@ -445,6 +477,8 @@ let () =
         [
           Alcotest.test_case "in-memory cache" `Quick test_registry_memory_cache;
           Alcotest.test_case "disk round trip" `Quick test_registry_disk_roundtrip;
+          Alcotest.test_case "disk preserves provenance" `Quick
+            test_registry_disk_preserves_provenance;
           Alcotest.test_case "fingerprints" `Quick test_registry_fingerprint_distinguishes;
           Alcotest.test_case "re-synthesis after link failure" `Quick
             test_resynthesis_after_link_failure;

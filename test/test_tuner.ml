@@ -1,0 +1,81 @@
+(* Tests for the chunk-granularity tuner: determinism under a fixed seed,
+   the winner is the argmin of the per-candidate simulated times, and the
+   pluggable synthesis backend is honored. *)
+
+open Tacos_topology
+open Tacos_collective
+module Tuner = Tacos.Tuner
+
+let link = Link.make ~alpha:1e-6 ~beta:(1. /. 50e9)
+let topo () = Builders.mesh ~link [| 3; 3 |]
+let candidates = [ 1; 2; 4 ]
+
+let test_deterministic_under_seed () =
+  let tune () =
+    Tuner.tune ~seed:7 ~candidates (topo ()) ~pattern:Pattern.All_gather ~size:4e6
+  in
+  let a = tune () and b = tune () in
+  Alcotest.(check int) "same winner" a.Tuner.chunks_per_npu b.Tuner.chunks_per_npu;
+  Alcotest.(check (float 0.)) "same simulated time" a.Tuner.simulated_time
+    b.Tuner.simulated_time;
+  Alcotest.(check (float 0.)) "same makespan"
+    a.Tuner.result.Tacos.Synthesizer.collective_time
+    b.Tuner.result.Tacos.Synthesizer.collective_time
+
+let test_winner_is_argmin () =
+  let topo = topo () in
+  let best = Tuner.tune ~candidates topo ~pattern:Pattern.All_reduce ~size:4e6 in
+  (* Re-evaluate every candidate in isolation: the tuner's pick must match
+     the smallest simulated time (and be one of the candidates). *)
+  let times =
+    List.map
+      (fun k ->
+        let solo = Tuner.tune ~candidates:[ k ] topo ~pattern:Pattern.All_reduce ~size:4e6 in
+        (k, solo.Tuner.simulated_time))
+      candidates
+  in
+  let min_time = List.fold_left (fun acc (_, t) -> Float.min acc t) infinity times in
+  Alcotest.(check bool) "winner among candidates" true
+    (List.mem_assoc best.Tuner.chunks_per_npu times);
+  Alcotest.(check (float 1e-12)) "winner time is the minimum" min_time
+    best.Tuner.simulated_time;
+  Alcotest.(check (float 1e-12)) "winner matches its solo evaluation"
+    (List.assoc best.Tuner.chunks_per_npu times)
+    best.Tuner.simulated_time
+
+let test_routed_patterns_tune () =
+  let best = Tuner.tune ~candidates:[ 1; 2 ] (topo ()) ~pattern:Pattern.All_to_all ~size:1e6 in
+  Alcotest.(check bool) "positive simulated time" true (best.Tuner.simulated_time > 0.)
+
+let test_custom_backend_used () =
+  let calls = ref 0 in
+  let synthesize ~seed topo spec =
+    incr calls;
+    Tacos.Synthesizer.synthesize ~seed topo spec
+  in
+  let best =
+    Tuner.tune ~candidates ~synthesize (topo ()) ~pattern:Pattern.All_gather ~size:1e6
+  in
+  Alcotest.(check int) "one synthesis per candidate" (List.length candidates) !calls;
+  Alcotest.(check bool) "still picks a winner" true (best.Tuner.simulated_time > 0.)
+
+let test_rejects_empty_candidates () =
+  Alcotest.check_raises "no candidates" (Invalid_argument "Tuner.tune: no candidates")
+    (fun () ->
+      ignore (Tuner.tune ~candidates:[] (topo ()) ~pattern:Pattern.All_gather ~size:1e6))
+
+let () =
+  Alcotest.run "tuner"
+    [
+      ( "tune",
+        [
+          Alcotest.test_case "deterministic under fixed seed" `Quick
+            test_deterministic_under_seed;
+          Alcotest.test_case "winner is argmin of simulated time" `Quick
+            test_winner_is_argmin;
+          Alcotest.test_case "routed patterns tune" `Quick test_routed_patterns_tune;
+          Alcotest.test_case "custom backend honored" `Quick test_custom_backend_used;
+          Alcotest.test_case "empty candidates rejected" `Quick
+            test_rejects_empty_candidates;
+        ] );
+    ]
