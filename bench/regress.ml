@@ -67,6 +67,11 @@ let specs =
           ("group_size", Exact);
           ("syntheses", Exact);
           ("dedup_hits", Exact);
+          (* Parallel column: determinism flag and trial count are exact
+             everywhere; the wall-clock columns themselves are machine
+             dependent and deliberately untracked. *)
+          ("par_trials", Exact);
+          ("par_identical", Exact);
         ];
     };
   ]

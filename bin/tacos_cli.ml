@@ -60,6 +60,14 @@ let trials_arg =
   let doc = "Randomized synthesis restarts; the best schedule is kept." in
   Arg.(value & opt int 1 & info [ "trials" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "Parallel OCaml domains for synthesis: randomized trials and (with \
+     --groups) per-phase sub-syntheses fan out on one shared worker pool. \
+     Results are bit-identical to --domains 1."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let groups_arg =
   let doc =
     "Hierarchical synthesis over process groups: partition the fabric by \
@@ -99,11 +107,6 @@ let synthesize_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the synthesized schedule as JSON to $(docv) ('-' for stdout).")
   in
-  let domains_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "domains" ] ~docv:"N" ~doc:"Parallel domains for the randomized trials.")
-  in
   let svg_out =
     Arg.(
       value
@@ -136,7 +139,10 @@ let synthesize_cmd =
                 match parse_groups topo gstr with
                 | Error e -> Error e
                 | Ok gs ->
-                  let plan = Tacos_groups.Plan.synthesize ~seed ~trials topo spec ~groups:gs in
+                  let plan =
+                    Tacos_groups.Plan.synthesize ~seed ~trials ~domains topo spec
+                      ~groups:gs
+                  in
                   Ok (plan.Tacos_groups.Plan.result, Some plan))
               | None ->
                 Ok
@@ -298,7 +304,7 @@ let tune_cmd =
       & info [ "candidates" ] ~docv:"K1,K2,..."
           ~doc:"Chunks-per-NPU granularities to try.")
   in
-  let run topo_str alpha bw size_str pattern_str seed candidates groups =
+  let run topo_str alpha bw size_str pattern_str seed domains candidates groups =
     with_setup topo_str alpha bw (fun topo ->
         match Parse.parse_size size_str with
         | Error e -> fail "%s" e
@@ -316,7 +322,8 @@ let tune_cmd =
                   (fun gs ->
                     Some
                       (fun ~seed topo spec ->
-                        (Tacos_groups.Plan.synthesize ~seed topo spec ~groups:gs)
+                        (Tacos_groups.Plan.synthesize ~seed ~domains topo spec
+                           ~groups:gs)
                           .Tacos_groups.Plan.result))
                   (parse_groups topo gstr)
             in
@@ -327,8 +334,8 @@ let tune_cmd =
               List.iter
                 (fun k ->
                   let choice =
-                    Tacos.Tuner.tune ~seed ~candidates:[ k ] ?synthesize topo
-                      ~pattern ~size
+                    Tacos.Tuner.tune ~seed ~domains ~candidates:[ k ] ?synthesize
+                      topo ~pattern ~size
                   in
                   rows :=
                     [
@@ -338,7 +345,10 @@ let tune_cmd =
                     ]
                     :: !rows)
                 candidates;
-              let best = Tacos.Tuner.tune ~seed ~candidates ?synthesize topo ~pattern ~size in
+              let best =
+                Tacos.Tuner.tune ~seed ~domains ~candidates ?synthesize topo
+                  ~pattern ~size
+              in
               Format.printf "%s of %s on %a@." (Pattern.name pattern)
                 (Units.bytes_pp size) Topology.pp topo;
               Table.print ~header:[ "chunks/NPU"; "simulated time"; "bandwidth" ]
@@ -352,7 +362,7 @@ let tune_cmd =
     Term.(
       ret
         (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
-       $ seed_arg $ candidates_arg $ groups_arg))
+       $ seed_arg $ domains_arg $ candidates_arg $ groups_arg))
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Sweep chunk granularities and report the fastest")

@@ -1,15 +1,47 @@
 (* Namespaces of the substrate libraries. *)
 open Tacos_topology
 open Tacos_collective
+module Obs = Tacos_obs.Obs
 
-type t = { dir : string option; table : (string, Synthesizer.result) Hashtbl.t }
+(* A synthesis in flight: waiters block on [t.cond] until [outcome] is
+   published. Errors are published too, so every joined waiter re-raises
+   the owner's exception instead of hanging. *)
+type flight = { mutable outcome : (Synthesizer.result, exn) result option }
+
+type t = {
+  dir : string option;
+  lock : Mutex.t;
+  cond : Condition.t;
+  table : (string, Synthesizer.result) Hashtbl.t;
+  inflight : (string, flight) Hashtbl.t;
+}
+
+let c_inflight_joins = Obs.counter "registry.inflight_joins"
+
+(* mkdir -p. Tolerates concurrent creation: another process winning the
+   race leaves the directory in place, which is all we need. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && parent <> "" then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _ when Sys.file_exists dir -> ()
+  end
 
 let create ?dir () =
-  (match dir with
-  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
-  | _ -> ());
-  { dir; table = Hashtbl.create 16 }
+  Option.iter mkdir_p dir;
+  {
+    dir;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    table = Hashtbl.create 16;
+    inflight = Hashtbl.create 8;
+  }
 
+(* Full-width (128-bit) digest of the canonical edge buffer. The
+   predecessor truncated this to [Hashtbl.hash] — 30 bits — which
+   collides with near-certainty after ~2^15 topologies and then serves a
+   schedule for the wrong fabric off the in-memory hit path. *)
 let fingerprint topo =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (string_of_int (Topology.num_npus topo));
@@ -23,14 +55,20 @@ let fingerprint topo =
        (fun (a : Topology.edge) (b : Topology.edge) ->
          compare (a.src, a.dst, a.link) (b.src, b.dst, b.link))
        (Topology.edges topo));
-  Printf.sprintf "%08x" (Hashtbl.hash (Buffer.contents buf) land 0xFFFFFFFF)
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let key topo (spec : Spec.t) =
-  Printf.sprintf "%s-%s-n%d-c%d-b%.0f" (fingerprint topo)
+(* The spec half of a cache key. [%.17g] round-trips any float, so
+   near-equal buffer sizes (0.4 vs 0.5 bytes both printed "0" by the old
+   [%.0f]) can no longer alias. [Plan.sub_key] builds on this same
+   function so the two key builders cannot drift apart again. *)
+let spec_key (spec : Spec.t) =
+  Printf.sprintf "%s-n%d-c%d-b%.17g"
     (String.map
        (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_')
        (Pattern.name spec.pattern))
     spec.npus spec.chunks_per_npu spec.buffer_size
+
+let key topo spec = fingerprint topo ^ "-" ^ spec_key spec
 
 let disk_path t k = Option.map (fun d -> Filename.concat d (k ^ ".json")) t.dir
 
@@ -130,24 +168,79 @@ let save_to_disk t spec (result : Synthesizer.result) k =
     Out_channel.with_open_text path (fun oc -> output_string oc text)
   | None -> ()
 
-let find_or_synthesize ?(seed = 42) t topo (spec : Spec.t) =
+(* Single-flight lookup. Under [t.lock], a request either hits the
+   completed table, joins an in-flight synthesis for the same key (and
+   blocks until the owner publishes), or claims ownership by installing
+   a [flight]. The owner runs disk load / synthesis *outside* the lock —
+   syntheses take seconds; lookups must not serialize behind them — then
+   publishes under the lock and broadcasts. N concurrent identical
+   requests therefore run exactly one synthesis; the N-1 joiners are
+   counted under [registry.inflight_joins] and report [`Hit]. *)
+let find_or_synthesize ?(seed = 42) ?(domains = 1) t topo (spec : Spec.t) =
   let k = key topo spec in
-  match Hashtbl.find_opt t.table k with
-  | Some result -> (result, `Hit)
-  | None -> (
-    match load_from_disk t topo spec k with
+  let claim () =
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt t.table k with
     | Some result ->
-      Hashtbl.replace t.table k result;
-      (result, `Hit)
-    | None ->
-      let result =
-        match spec.pattern with
-        | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ ->
-          Router.synthesize ~seed topo spec
-        | _ -> Synthesizer.synthesize ~seed topo spec
-      in
-      Hashtbl.replace t.table k result;
-      save_to_disk t spec result k;
-      (result, `Miss))
+      Mutex.unlock t.lock;
+      `Cached result
+    | None -> (
+      match Hashtbl.find_opt t.inflight k with
+      | Some flight ->
+        Obs.incr c_inflight_joins;
+        let rec wait () =
+          match flight.outcome with
+          | None ->
+            Condition.wait t.cond t.lock;
+            wait ()
+          | Some outcome -> outcome
+        in
+        let outcome = wait () in
+        Mutex.unlock t.lock;
+        (match outcome with
+        | Ok result -> `Cached result
+        | Error e -> raise e)
+      | None ->
+        let flight = { outcome = None } in
+        Hashtbl.add t.inflight k flight;
+        Mutex.unlock t.lock;
+        `Owner flight)
+  in
+  match claim () with
+  | `Cached result -> (result, `Hit)
+  | `Owner flight -> (
+    let publish outcome =
+      Mutex.lock t.lock;
+      flight.outcome <- Some outcome;
+      (match outcome with
+      | Ok result -> Hashtbl.replace t.table k result
+      | Error _ -> ());
+      Hashtbl.remove t.inflight k;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock
+    in
+    match
+      match load_from_disk t topo spec k with
+      | Some result -> (result, `Hit)
+      | None ->
+        let result =
+          match spec.pattern with
+          | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ ->
+            Router.synthesize ~seed topo spec
+          | _ -> Synthesizer.synthesize ~seed ~domains topo spec
+        in
+        save_to_disk t spec result k;
+        (result, `Miss)
+    with
+    | (result, outcome) ->
+      publish (Ok result);
+      (result, outcome)
+    | exception e ->
+      publish (Error e);
+      raise e)
 
-let entries t = Hashtbl.length t.table
+let entries t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n

@@ -8,33 +8,61 @@ open Tacos_collective
     then reuses the schedule for every matching collective call. This
     registry keys schedules by a structural topology fingerprint plus the
     collective spec, holds them in memory, and optionally persists them as
-    the JSON algorithm files of {!Tacos_collective.Schedule.to_json}. *)
+    the JSON algorithm files of {!Tacos_collective.Schedule.to_json}.
+
+    The registry is domain-safe: all table access is mutex-protected, and
+    lookups are {e single-flight} — N concurrent requests for the same key
+    run exactly one synthesis while the other N−1 block until it
+    publishes (each join is counted under the [registry.inflight_joins]
+    obs counter and reported as [`Hit]). Distinct keys synthesize
+    concurrently without serializing behind each other. *)
 
 type t
 
 val create : ?dir:string -> unit -> t
 (** An empty registry. With [dir], cache entries are also written to (and
-    on miss, looked up from) [dir] as one JSON file per entry; the directory
-    is created if needed. *)
+    on miss, looked up from) [dir] as one JSON file per entry; the
+    directory is created if needed, [mkdir -p]-style (missing parents are
+    created too). *)
 
 val fingerprint : Topology.t -> string
-(** Structural hash of a topology: NPU count plus every link's endpoints and
-    α-β parameters (link ids and names excluded). Two topologies with equal
-    fingerprints accept each other's schedules. *)
+(** Structural digest of a topology: NPU count plus every link's endpoints
+    and α-β parameters (link ids and names excluded), hashed full-width
+    (128-bit MD5, hex-encoded). Two topologies with equal fingerprints
+    accept each other's schedules. *)
+
+val spec_key : Spec.t -> string
+(** The spec half of a cache key: sanitized pattern name, NPU count,
+    chunk count, and the buffer size printed with [%.17g] (round-trips
+    any float, so near-equal buffer sizes never alias). Shared with
+    [Tacos_groups.Plan]'s sub-synthesis keys so the builders cannot
+    drift. *)
 
 val find_or_synthesize :
-  ?seed:int -> t -> Topology.t -> Spec.t -> Synthesizer.result * [ `Hit | `Miss ]
+  ?seed:int ->
+  ?domains:int ->
+  t ->
+  Topology.t ->
+  Spec.t ->
+  Synthesizer.result * [ `Hit | `Miss ]
 (** Return the cached schedule for this (topology, spec) or synthesize,
     cache, and return it. Routed patterns (All-to-All, Gather, Scatter) go
-    through {!Router}, everything else through {!Synthesizer}. Disk entries
-    persist their provenance — the synthesis stats and, for All-Reduce, the
-    reduce-scatter makespan — as extra JSON fields next to the send list
-    (which {!Tacos_collective.Schedule.of_json} ignores, so the files remain
+    through {!Router}, everything else through {!Synthesizer} (with
+    [domains] forwarded, spreading synthesis trials over the shared
+    {!Tacos_util.Pool}). Disk entries persist their provenance — the
+    synthesis stats and, for All-Reduce, the reduce-scatter makespan — as
+    extra JSON fields next to the send list (which
+    {!Tacos_collective.Schedule.of_json} ignores, so the files remain
     plain algorithm files); a disk hit restores the original stats and the
     All-Reduce phase split, and entries carrying a split are re-validated
     with {!Tacos_collective.Schedule.validate_all_reduce} on load. Foreign
     All-Reduce files without provenance load with zeroed stats, no split,
-    and no validation, as before. *)
+    and no validation, as before.
+
+    Safe to call concurrently from many domains; identical concurrent
+    requests trigger exactly one synthesis (single-flight). If the
+    synthesis raises, every joined waiter re-raises the same exception
+    and the key is released for retry. *)
 
 val entries : t -> int
 (** Number of in-memory entries. *)

@@ -4,6 +4,7 @@ open Tacos_collective
 module Rng = Tacos_util.Rng
 module Fheap = Tacos_util.Fheap
 module Ivec = Tacos_util.Ivec
+module Pool = Tacos_util.Pool
 module Obs = Tacos_obs.Obs
 module Trace = Tacos_obs.Trace
 
@@ -386,25 +387,11 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = 
             trial ~prefer_cheap_links (Rng.create seeds.(i)) topo spec))
   in
   let results =
+    (* Trials run on the shared pool so trial- and group-parallelism draw
+       from one worker budget; results are consumed in index order, so the
+       merge below never depends on execution interleaving. *)
     if domains = 1 || trials = 1 then Array.init trials run_trial
-    else begin
-      let workers = min domains trials in
-      let spawned =
-        Array.init workers (fun w ->
-            Domain.spawn (fun () ->
-                (* Worker w takes trials w, w+workers, w+2*workers, ... *)
-                let rec collect i acc =
-                  if i >= trials then List.rev acc
-                  else collect (i + workers) ((i, run_trial i) :: acc)
-                in
-                collect w []))
-      in
-      let all = Array.make trials None in
-      Array.iter
-        (fun d -> List.iter (fun (i, r) -> all.(i) <- Some r) (Domain.join d))
-        spawned;
-      Array.map Option.get all
-    end
+    else Pool.map (Pool.global ~size:domains ()) run_trial trials
   in
   let rounds = ref 0 and matches = ref 0 in
   Array.iter
@@ -428,30 +415,47 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = 
     stats = { wall_seconds; rounds = !rounds; matches = !matches; trials };
   }
 
-let synthesize_goal ?(seed = 42) ?(trials = 1) ?(prefer_cheap_links = true) topo goal =
+let synthesize_goal ?(seed = 42) ?(trials = 1) ?(domains = 1)
+    ?(prefer_cheap_links = true) topo goal =
   if trials <= 0 then
     invalid_arg "Synthesizer.synthesize_goal: trials must be positive";
+  if domains <= 0 then
+    invalid_arg "Synthesizer.synthesize_goal: domains must be positive";
   validate_goal topo goal;
   let t0 = Unix.gettimeofday () in
   let master = Rng.create seed in
-  let rounds = ref 0 and matches = ref 0 in
-  let best = ref None in
-  for i = 0 to trials - 1 do
-    let rng = Rng.create (Int64.to_int (Rng.bits64 master)) in
-    let sched, r, m =
-      Obs.with_trial i (fun () ->
-          Trace.with_span "trial" (fun () ->
+  let seeds = Array.init trials (fun _ -> Int64.to_int (Rng.bits64 master)) in
+  ignore (Topology.edges topo);
+  let run_trial i =
+    Obs.with_trial i (fun () ->
+        Trace.with_span "trial" (fun () ->
+            let ((sched, _, _) as r) =
               Obs.time obs_trial_timer (fun () ->
-                  synthesize_pull ~prefer_cheap_links rng topo goal)))
-    in
-    Obs.observe obs_trial_makespan sched.Schedule.makespan;
-    rounds := !rounds + r;
-    matches := !matches + m;
-    match !best with
-    | Some b when b.Schedule.makespan <= sched.Schedule.makespan -> ()
-    | _ -> best := Some sched
-  done;
-  let schedule = Option.get !best in
+                  synthesize_pull ~prefer_cheap_links (Rng.create seeds.(i)) topo
+                    goal)
+            in
+            Obs.observe obs_trial_makespan sched.Schedule.makespan;
+            r))
+  in
+  let results =
+    if domains = 1 || trials = 1 then Array.init trials run_trial
+    else Pool.map (Pool.global ~size:domains ()) run_trial trials
+  in
+  let rounds = ref 0 and matches = ref 0 in
+  Array.iter
+    (fun (_, r, m) ->
+      rounds := !rounds + r;
+      matches := !matches + m)
+    results;
+  (* Lowest makespan wins; ties break to the earliest trial index, exactly
+     as the sequential loop did. *)
+  let best = ref 0 in
+  Array.iteri
+    (fun i (sched, _, _) ->
+      let best_sched, _, _ = results.(!best) in
+      if sched.Schedule.makespan < best_sched.Schedule.makespan then best := i)
+    results;
+  let schedule, _, _ = results.(!best) in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   (schedule, { wall_seconds; rounds = !rounds; matches = !matches; trials })
 

@@ -76,10 +76,13 @@ val synthesize :
     makespan. Supported patterns: All-Gather, Broadcast, Reduce-Scatter,
     Reduce, All-Reduce.
 
-    [domains] (default 1) spreads the trials over that many parallel OCaml
-    domains — the multicore counterpart of the paper's 64-thread synthesis
-    runs; results are deterministic for a given [seed] regardless of
-    [domains].
+    [domains] (default 1) spreads the trials over the shared
+    {!Tacos_util.Pool} (grown to at least [domains] workers) — the
+    multicore counterpart of the paper's 64-thread synthesis runs. Trial
+    seeds are pre-drawn and results are merged in trial order, so the
+    outcome is bit-identical for a given [seed] regardless of [domains].
+    The pool is shared with [Tacos_groups.Plan]'s sub-synthesis fan-out,
+    so trial- and group-parallelism draw from one worker budget.
 
     [prefer_cheap_links] (default [true]) is the §IV-F heterogeneous-network
     heuristic: idle links are matched cheapest-first. Turning it off matches
@@ -106,13 +109,16 @@ val goal_of_spec : Spec.t -> goal
 val synthesize_goal :
   ?seed:int ->
   ?trials:int ->
+  ?domains:int ->
   ?prefer_cheap_links:bool ->
   Topology.t ->
   goal ->
   Schedule.t * stats
 (** [synthesize_goal topo goal] runs the pull-based matching loop directly on
     a positional goal: [trials] (default 1) randomized syntheses from [seed]
-    (default 42), keeping the smallest makespan. Duplicate precondition
+    (default 42), keeping the smallest makespan. [domains] parallelizes the
+    trials on the shared pool with the same determinism guarantee as
+    {!synthesize}. Duplicate precondition
     entries are tolerated (repair goals merge phase preconditions with kept
     deliveries). Raises [Stuck] when some postcondition is unreachable from
     every holder of its chunk, [Invalid_argument] on out-of-range NPU/chunk

@@ -15,9 +15,10 @@ let simulated_time topo (result : Synthesizer.result) =
   in
   (Tacos_sim.Engine.run topo program).Tacos_sim.Engine.finish_time
 
-let tune ?(seed = 42) ?(candidates = [ 1; 2; 4; 8; 16 ]) ?synthesize topo ~pattern
-    ~size =
+let tune ?(seed = 42) ?(domains = 1) ?(candidates = [ 1; 2; 4; 8; 16 ])
+    ?synthesize topo ~pattern ~size =
   if candidates = [] then invalid_arg "Tuner.tune: no candidates";
+  if domains <= 0 then invalid_arg "Tuner.tune: domains must be positive";
   let npus = Topology.num_npus topo in
   let synthesize =
     match synthesize with
@@ -27,7 +28,7 @@ let tune ?(seed = 42) ?(candidates = [ 1; 2; 4; 8; 16 ]) ?synthesize topo ~patte
         (match (spec : Spec.t).pattern with
         | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ ->
           Router.synthesize ~seed topo spec
-        | _ -> Synthesizer.synthesize ~seed topo spec)
+        | _ -> Synthesizer.synthesize ~seed ~domains topo spec)
   in
   let evaluate chunks_per_npu =
     let spec = Spec.make ~chunks_per_npu ~buffer_size:size ~pattern ~npus () in

@@ -19,6 +19,7 @@ type choice = {
 
 val tune :
   ?seed:int ->
+  ?domains:int ->
   ?candidates:int list ->
   ?synthesize:(seed:int -> Topology.t -> Spec.t -> Synthesizer.result) ->
   Topology.t ->
@@ -28,8 +29,11 @@ val tune :
 (** [tune topo ~pattern ~size] tries [candidates] (default
     [[1; 2; 4; 8; 16]]) and returns the best choice by simulated collective
     time. Patterns routed by {!Router} (All-to-All, Gather, Scatter) are
-    tuned through it transparently. [synthesize] swaps the backend the
-    candidates are synthesized with — the hierarchical group planner
+    tuned through it transparently. [domains] (default 1) is forwarded to
+    the default {!Synthesizer} backend (parallel trials on the shared
+    pool); a custom [synthesize] backend receives only [seed] and should
+    capture its own parallelism settings. [synthesize] swaps the backend
+    the candidates are synthesized with — the hierarchical group planner
     ([Tacos_groups.Plan]) plugs in here; the default dispatches to
     {!Router}/{!Synthesizer} as above. *)
 

@@ -4,6 +4,7 @@ open Tacos_collective
 module Obs = Tacos_obs.Obs
 module Synthesizer = Tacos.Synthesizer
 module Registry = Tacos.Registry
+module Pool = Tacos_util.Pool
 
 type grouping = Dim of int | Auto | Partition of int array list
 
@@ -58,6 +59,7 @@ let c_groups = Obs.counter "groups.groups"
 let c_phases = Obs.counter "groups.phases"
 let c_syntheses = Obs.counter "groups.syntheses"
 let c_dedup = Obs.counter "groups.dedup_hits"
+let c_inflight_joins = Obs.counter "groups.inflight_joins"
 let t_phase_synth = Obs.timer "groups.phase_synth_seconds"
 let t_validate = Obs.timer "groups.validate_seconds"
 let t_lift = Obs.timer "groups.lift_seconds"
@@ -65,46 +67,109 @@ let t_assemble = Obs.timer "groups.assemble_seconds"
 
 (* --- deduped sub-synthesis --------------------------------------------- *)
 
+(* Sub-synthesis cache key: full-width topology fingerprint plus the
+   registry's spec key — one shared builder ([Registry.spec_key]), so the
+   two cannot drift apart again. *)
 let sub_key (group : Group.t) (spec : Spec.t) =
-  Printf.sprintf "%s|%s-n%d-c%d-b%.17g"
-    (Registry.fingerprint group.Group.topo)
-    (Pattern.name spec.Spec.pattern)
-    spec.Spec.npus spec.Spec.chunks_per_npu spec.Spec.buffer_size
+  Registry.fingerprint group.Group.topo ^ "|" ^ Registry.spec_key spec
 
 type ctx = {
   cache : (string, Synthesizer.result) Hashtbl.t;
+  inflight : (string, Synthesizer.result Pool.future) Hashtbl.t;
+  lock : Mutex.t;
+  pool : Pool.t option;  (** [Some] iff [domains > 1] *)
+  domains : int;
   seed : int;
   trials : int;
   prefer_cheap_links : bool;
 }
 
-let synth_sub ctx (group : Group.t) spec =
+(* A phase element's sub-synthesis, split into a start half (dispatch) and
+   a join half (collect) so a phase can start every distinct sub-synthesis
+   on the pool before collecting any. Starts are issued sequentially by
+   the coordinating domain, so which element owns a key (and which ones
+   dedup against it) is a function of element order alone — the `Hit/`Miss
+   attribution, and with it every phase_info row, is bit-identical to the
+   sequential path. *)
+type sub_handle =
+  | Ready of Synthesizer.result * [ `Hit | `Miss ]
+      (** served from cache, or computed inline (sequential path) *)
+  | Join of Synthesizer.result Pool.future
+      (** single-flight dedup against another element's in-flight synthesis *)
+  | Own of string * Synthesizer.result Pool.future
+      (** this element runs the synthesis; publish under the key on join *)
+
+let run_synth ctx (group : Group.t) spec =
+  Obs.time t_phase_synth (fun () ->
+      Synthesizer.synthesize ~seed:ctx.seed ~trials:ctx.trials
+        ~domains:ctx.domains ~prefer_cheap_links:ctx.prefer_cheap_links
+        group.Group.topo spec)
+
+let start_sub ctx (group : Group.t) spec =
   let k = sub_key group spec in
-  match Hashtbl.find_opt ctx.cache k with
-  | Some r ->
+  match ctx.pool with
+  | None -> (
+    match Hashtbl.find_opt ctx.cache k with
+    | Some r -> Ready (r, `Hit)
+    | None ->
+      let r = run_synth ctx group spec in
+      Hashtbl.add ctx.cache k r;
+      Ready (r, `Miss))
+  | Some pool -> (
+    Mutex.lock ctx.lock;
+    match Hashtbl.find_opt ctx.cache k with
+    | Some r ->
+      Mutex.unlock ctx.lock;
+      Ready (r, `Hit)
+    | None -> (
+      match Hashtbl.find_opt ctx.inflight k with
+      | Some fut ->
+        Mutex.unlock ctx.lock;
+        Obs.incr c_inflight_joins;
+        Join fut
+      | None ->
+        let fut = Pool.submit pool (fun () -> run_synth ctx group spec) in
+        Hashtbl.add ctx.inflight k fut;
+        Mutex.unlock ctx.lock;
+        Own (k, fut)))
+
+let join_sub ctx handle =
+  match handle with
+  | Ready (r, `Hit) ->
     Obs.incr c_dedup;
     (r, `Hit)
-  | None ->
-    let r =
-      Obs.time t_phase_synth (fun () ->
-          Synthesizer.synthesize ~seed:ctx.seed ~trials:ctx.trials
-            ~prefer_cheap_links:ctx.prefer_cheap_links group.Group.topo spec)
-    in
+  | Ready (r, `Miss) ->
     Obs.incr c_syntheses;
-    Hashtbl.add ctx.cache k r;
     (r, `Miss)
+  | Join fut ->
+    let r = Pool.await (Option.get ctx.pool) fut in
+    Obs.incr c_dedup;
+    (r, `Hit)
+  | Own (k, fut) ->
+    let r = Pool.await (Option.get ctx.pool) fut in
+    Mutex.lock ctx.lock;
+    Hashtbl.replace ctx.cache k r;
+    Hashtbl.remove ctx.inflight k;
+    Mutex.unlock ctx.lock;
+    Obs.incr c_syntheses;
+    (r, `Miss)
+
+(* Start every element of a phase, then collect in element order. *)
+let synth_parts ctx elements =
+  let handles =
+    List.map (fun (group, spec, _) -> start_sub ctx group spec) elements
+  in
+  List.map2
+    (fun (group, _, chunk_map) handle ->
+      let r, outcome = join_sub ctx handle in
+      (group, chunk_map, r, outcome))
+    elements handles
 
 (* One phase: synthesize (deduped) each part, lift every part's schedule to
    start at [offset], and account. Returns the lifted sends, the phase's
    completion time, and its info row. *)
 let run_phase ctx ~phase ~offset elements =
-  let parts =
-    List.map
-      (fun (group, spec, chunk_map) ->
-        let r, outcome = synth_sub ctx group spec in
-        (group, chunk_map, r, outcome))
-      elements
-  in
+  let parts = synth_parts ctx elements in
   let finish =
     List.fold_left
       (fun acc (_, _, (r : Synthesizer.result), _) ->
@@ -150,8 +215,9 @@ let run_phase ctx ~phase ~offset elements =
 
 (* --- decomposition ----------------------------------------------------- *)
 
-let synthesize ?(seed = 42) ?(trials = 1) ?(prefer_cheap_links = true) topo
-    (spec : Spec.t) ~groups =
+let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1)
+    ?(prefer_cheap_links = true) topo (spec : Spec.t) ~groups =
+  if domains <= 0 then invalid_arg "Plan.synthesize: domains must be positive";
   (match Obs.time t_validate (fun () -> Group.validate topo groups) with
   | Ok () -> ()
   | Error e -> invalid_arg ("Plan.synthesize: invalid partition: " ^ e));
@@ -167,7 +233,22 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(prefer_cheap_links = true) topo
   let k = spec.Spec.chunks_per_npu in
   let b = spec.Spec.buffer_size in
   Obs.add c_groups g;
-  let ctx = { cache = Hashtbl.create 16; seed; trials; prefer_cheap_links } in
+  (* Phases stay sequential — only the sub-syntheses *within* a phase fan
+     out — so cross-phase cache hits land exactly where the sequential path
+     puts them. *)
+  let pool = if domains = 1 then None else Some (Pool.global ~size:domains ()) in
+  let ctx =
+    {
+      cache = Hashtbl.create 16;
+      inflight = Hashtbl.create 8;
+      lock = Mutex.create ();
+      pool;
+      domains;
+      seed;
+      trials;
+      prefer_cheap_links;
+    }
+  in
 
   (* Chunk maps, local id → global id. Owner-based global chunk ids are
      [owner * k + slot]. A group's local rank [lo] holds — after the inter
@@ -292,15 +373,17 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(prefer_cheap_links = true) topo
        causally safe. *)
     let parts =
       List.map
-        (fun sl ->
-          let r, outcome = synth_sub ctx sl (inter_spec Pattern.All_reduce) in
+        (fun (sl, _, r, outcome) ->
           let rs, ag =
-            match r.Synthesizer.phases with
+            match (r : Synthesizer.result).Synthesizer.phases with
             | Some (rs, ag) -> (rs, ag)
             | None -> assert false (* the synthesizer always splits All-Reduce *)
           in
           (sl, r, rs, ag, outcome))
-        slices
+        (synth_parts ctx
+           (List.map
+              (fun sl -> (sl, inter_spec Pattern.All_reduce, slice_map sl))
+              slices))
     in
     let max_rs =
       List.fold_left

@@ -65,6 +65,7 @@ type t = {
 val synthesize :
   ?seed:int ->
   ?trials:int ->
+  ?domains:int ->
   ?prefer_cheap_links:bool ->
   Topology.t ->
   Spec.t ->
@@ -75,4 +76,15 @@ val synthesize :
     are dedup hits. Raises [Invalid_argument] when the partition fails
     {!Group.validate} or the spec's NPU count mismatches the topology,
     [Tacos.Synthesizer.Unsupported] for patterns without a group decomposition
-    (All-to-All, Gather, Scatter), and propagates [Tacos.Synthesizer.Stuck]. *)
+    (All-to-All, Gather, Scatter), and propagates [Tacos.Synthesizer.Stuck].
+
+    [domains] (default 1) fans each phase's distinct sub-syntheses out on
+    the shared {!Tacos_util.Pool} (grown to at least [domains] workers) and
+    passes [domains] down to each flat synthesis, so group- and
+    trial-parallelism draw from one worker budget. Concurrent identical
+    sub-problems are single-flight: the first element to need a key runs
+    the synthesis, later elements join its in-flight future (counted under
+    the [groups.inflight_joins] obs counter and reported as dedup hits).
+    Sub-results are composed in element order and phases stay sequential,
+    so the composed schedule, phase splits, and every phase_info row
+    (wall-clock aside) are bit-identical to [~domains:1]. *)

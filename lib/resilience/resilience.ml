@@ -61,8 +61,9 @@ let simulated_time topo (result : Synth.result) =
   let program = Program.of_schedule ~chunk_size result.Synth.schedule in
   (Engine.run topo program).Engine.finish_time
 
-let synthesize ?(seed = 42) ?(trials = 1) ?(budget_ms = infinity) ?(max_retries = 3)
-    ?(baselines = Algo.all) ?(faults = []) topo spec =
+let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(budget_ms = infinity)
+    ?(max_retries = 3) ?(baselines = Algo.all) ?(faults = []) topo spec =
+  if domains <= 0 then invalid_arg "Resilience.synthesize: domains must be positive";
   let t0 = Unix.gettimeofday () in
   let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1e3 in
   let fail stage message ~connectivity ~disconnecting =
@@ -86,7 +87,7 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(budget_ms = infinity) ?(max_retries 
        fabric — reseeding cannot help, so it drops straight to baselines). *)
     let attempt s =
       if spec.Spec.pattern = Pattern.All_to_all then Tacos.Alltoall.synthesize ~seed:s degraded spec
-      else Synth.synthesize ~seed:s ~trials degraded spec
+      else Synth.synthesize ~seed:s ~trials ~domains degraded spec
     in
     let finish ~retries ~rungs plan =
       let simulated_time =
@@ -194,7 +195,8 @@ let classify topo faults (result : Synth.result) =
   else if Hashtbl.length used_slow > 0 then Degraded_timing { links = ids used_slow }
   else Intact
 
-let analyze ?(seed = 42) ?(trials = 1) ?budget_ms topo faults (result : Synth.result) =
+let analyze ?(seed = 42) ?(trials = 1) ?(domains = 1) ?budget_ms topo faults
+    (result : Synth.result) =
   let health = classify topo faults result in
   let degraded = Fault.apply topo faults in
   (* Replay the healthy schedule's transfers on the degraded fabric: the
@@ -208,7 +210,9 @@ let analyze ?(seed = 42) ?(trials = 1) ?budget_ms topo faults (result : Synth.re
     | exception Engine.Simulation_error _ -> None
     | exception Failure _ -> None
   in
-  let resynth = synthesize ~seed ~trials ?budget_ms ~faults topo result.Synth.spec in
+  let resynth =
+    synthesize ~seed ~trials ~domains ?budget_ms ~faults topo result.Synth.spec
+  in
   let resynth_time =
     match resynth with Ok o -> Some o.simulated_time | Error _ -> None
   in
@@ -254,7 +258,7 @@ let suffix_completion ~at degraded ~chunk_size schedule =
    with [precondition] the chunk positions at the phase's start. Keeps every
    send that finished by [at] and re-synthesizes only the unmet
    postconditions, seeding the goal with the actual chunk positions. *)
-let repair_pull ~seed ~trials ~at ~connectivity ~disconnecting topo faults
+let repair_pull ~seed ~trials ~domains ~at ~connectivity ~disconnecting topo faults
     ~num_chunks ~chunk_size ~precondition ~postcondition phase_sched =
   let eps = Schedule.eps_for at in
   let kept, dropped =
@@ -288,7 +292,7 @@ let repair_pull ~seed ~trials ~at ~connectivity ~disconnecting topo faults
   else begin
     let degraded = Fault.apply topo faults in
     match
-      Synth.synthesize_goal ~seed ~trials degraded
+      Synth.synthesize_goal ~seed ~trials ~domains degraded
         { Synth.num_chunks; chunk_size; precondition = positions; postcondition = unmet }
     with
     | schedule, (stats : Synth.stats) ->
@@ -324,8 +328,8 @@ let repair_pull ~seed ~trials ~at ~connectivity ~disconnecting topo faults
 (* Fall through to the full fallback ladder when the suffix cannot be
    patched in isolation (combining phase in flight: kept partial sums are
    not expressible as chunk positions). *)
-let repair_full ~seed ~trials ~budget_ms ~at topo faults spec reason =
-  match synthesize ~seed ~trials ?budget_ms ~faults topo spec with
+let repair_full ~seed ~trials ~domains ~budget_ms ~at topo faults spec reason =
+  match synthesize ~seed ~trials ~domains ?budget_ms ~faults topo spec with
   | Ok outcome ->
     Obs.incr obs_repair_full;
     let verified =
@@ -342,7 +346,7 @@ let repair_full ~seed ~trials ~budget_ms ~at topo faults spec reason =
       }
   | Error f -> Error f
 
-let repair ?(seed = 42) ?(trials = 1) ?budget_ms ~at topo faults
+let repair ?(seed = 42) ?(trials = 1) ?(domains = 1) ?budget_ms ~at topo faults
     (result : Synth.result) =
   if not (at >= 0.) then invalid_arg "Resilience.repair: fault time must be >= 0";
   match Fault.validate topo faults with
@@ -362,11 +366,11 @@ let repair ?(seed = 42) ?(trials = 1) ?budget_ms ~at topo faults
     let num_chunks = Spec.num_chunks spec in
     let chunk_size = Spec.chunk_size spec in
     let pull ~precondition ~postcondition phase_sched =
-      repair_pull ~seed ~trials ~at ~connectivity ~disconnecting topo faults
+      repair_pull ~seed ~trials ~domains ~at ~connectivity ~disconnecting topo faults
         ~num_chunks ~chunk_size ~precondition ~postcondition phase_sched
     in
     let full reason =
-      repair_full ~seed ~trials ~budget_ms ~at topo faults spec reason
+      repair_full ~seed ~trials ~domains ~budget_ms ~at topo faults spec reason
     in
     (match spec.Spec.pattern with
     | Pattern.All_gather | Pattern.Broadcast _ ->

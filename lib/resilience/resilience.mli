@@ -64,6 +64,7 @@ val failure_to_json : failure -> Tacos_util.Json.t
 val synthesize :
   ?seed:int ->
   ?trials:int ->
+  ?domains:int ->
   ?budget_ms:float ->
   ?max_retries:int ->
   ?baselines:Algo.t list ->
@@ -77,7 +78,9 @@ val synthesize :
     disconnecting fault. [budget_ms] (default unlimited) bounds the
     *retry* phase wall clock; [max_retries] defaults to 3; [baselines]
     defaults to {!Tacos_baselines.Algo.all}. All-to-All specs dispatch to
-    {!Tacos.Alltoall}. Never raises [Stuck]/[Unsupported]. *)
+    {!Tacos.Alltoall}. [domains] (default 1) parallelizes each attempt's
+    trials on the shared {!Tacos_util.Pool}; the ladder's outcome stays
+    deterministic for a given [seed]. Never raises [Stuck]/[Unsupported]. *)
 
 val simulated_time : Topology.t -> Synth.result -> float
 (** Replay a synthesized schedule under the congestion-aware engine on the
@@ -115,6 +118,7 @@ type analysis = {
 val analyze :
   ?seed:int ->
   ?trials:int ->
+  ?domains:int ->
   ?budget_ms:float ->
   Topology.t ->
   Fault.t list ->
@@ -164,6 +168,7 @@ val strategy_name : strategy -> string
 val repair :
   ?seed:int ->
   ?trials:int ->
+  ?domains:int ->
   ?budget_ms:float ->
   at:float ->
   Topology.t ->

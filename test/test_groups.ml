@@ -128,6 +128,74 @@ let test_obs_metrics () =
       Alcotest.(check int) "groups.phases" 3 (Obs.value (Obs.counter "groups.phases"));
       Alcotest.(check int) "groups.syntheses" 3 (Obs.value (Obs.counter "groups.syntheses")))
 
+(* Parallel hierarchical synthesis must be a pure wall-clock optimization:
+   at every domain count the composed schedule, the phase split, and the
+   per-phase accounting (ownership of syntheses vs dedup hits included)
+   match the sequential run bit for bit. Exercised with trials > 1 so both
+   fan-out axes (sub-syntheses and randomized trials) share the pool. *)
+let test_parallel_plan_bit_identical () =
+  let topo = torus3d () in
+  let groups = groups_exn topo (Plan.Dim 0) in
+  List.iter
+    (fun pattern ->
+      let s = spec pattern topo in
+      let seq = Plan.synthesize ~seed:13 ~trials:3 ~domains:1 topo s ~groups in
+      List.iter
+        (fun d ->
+          let par = Plan.synthesize ~seed:13 ~trials:3 ~domains:d topo s ~groups in
+          let label fmt =
+            Printf.ksprintf
+              (fun m -> Printf.sprintf "%s d=%d: %s" (Pattern.name pattern) d m)
+              fmt
+          in
+          Alcotest.(check bool) (label "composed sends identical") true
+            (seq.Plan.result.Tacos.Synthesizer.schedule.Schedule.sends
+            = par.Plan.result.Tacos.Synthesizer.schedule.Schedule.sends);
+          Alcotest.(check bool) (label "phase split identical") true
+            (match
+               ( seq.Plan.result.Tacos.Synthesizer.phases,
+                 par.Plan.result.Tacos.Synthesizer.phases )
+             with
+            | Some (rs1, ag1), Some (rs2, ag2) ->
+              rs1.Schedule.sends = rs2.Schedule.sends
+              && ag1.Schedule.sends = ag2.Schedule.sends
+            | None, None -> true
+            | _ -> false);
+          Alcotest.(check int) (label "syntheses") seq.Plan.syntheses
+            par.Plan.syntheses;
+          Alcotest.(check int) (label "dedup hits") seq.Plan.dedup_hits
+            par.Plan.dedup_hits;
+          (* phase_infos minus the machine-dependent wall_seconds column *)
+          let fingerprint (i : Plan.phase_info) =
+            (i.Plan.phase, i.Plan.parts, i.Plan.syntheses, i.Plan.dedup_hits,
+             i.Plan.makespan)
+          in
+          Alcotest.(check bool) (label "phase accounting identical") true
+            (List.map fingerprint seq.Plan.phase_infos
+            = List.map fingerprint par.Plan.phase_infos);
+          check_valid topo par)
+        [ 2; 4 ])
+    [ Pattern.All_gather; Pattern.All_reduce ]
+
+(* The single-flight table is what keeps parallel dedup exact: concurrent
+   identical sub-syntheses join the owner's in-flight future instead of
+   re-running, surfaced by the groups.inflight_joins counter staying within
+   the sequential dedup accounting. *)
+let test_parallel_obs_metrics () =
+  let topo = torus3d () in
+  let groups = groups_exn topo (Plan.Dim 0) in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable (fun () ->
+      ignore
+        (Plan.synthesize ~domains:4 topo (spec Pattern.All_reduce topo) ~groups);
+      Alcotest.(check int) "groups.syntheses unchanged at d=4" 3
+        (Obs.value (Obs.counter "groups.syntheses"));
+      let joins = Obs.value (Obs.counter "groups.inflight_joins") in
+      let hits = Obs.value (Obs.counter "groups.dedup_hits") in
+      Alcotest.(check bool) "inflight joins are dedup hits" true
+        (joins >= 0 && joins <= hits))
+
 let test_auto_dim_prefers_bottleneck () =
   (* The 25 GB/s scale-out dimension of the 2D switch and the 50 GB/s
      switch dimension of 3D-RFS must host the inter phase. *)
@@ -242,6 +310,13 @@ let () =
         [
           Alcotest.test_case "one synthesis per fingerprint" `Quick test_dedup_counts;
           Alcotest.test_case "obs counters" `Quick test_obs_metrics;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "parallel plan bit-identical" `Quick
+            test_parallel_plan_bit_identical;
+          Alcotest.test_case "single-flight obs counters" `Quick
+            test_parallel_obs_metrics;
         ] );
       ( "partitions",
         [

@@ -145,6 +145,42 @@ let test_domains_deterministic () =
     (Schedule.num_sends serial.schedule)
     (Schedule.num_sends parallel.schedule)
 
+let same_sends label (a : Schedule.t) (b : Schedule.t) =
+  Alcotest.(check bool) label true (a.Schedule.sends = b.Schedule.sends)
+
+let same_phases label a b =
+  match (a, b) with
+  | Some (rs1, ag1), Some (rs2, ag2) ->
+    same_sends (label ^ " (reduce-scatter)") rs1 rs2;
+    same_sends (label ^ " (all-gather)") ag1 ag2
+  | None, None -> ()
+  | _ -> Alcotest.failf "%s: phase split present on one side only" label
+
+let test_domains_bit_identical () =
+  (* Not just the same makespan: the schedule and phase split must be
+     bit-identical however many domains the trials spread over. *)
+  let topo = unit_mesh [| 3; 3 |] in
+  let s = spec Pattern.All_reduce 9 in
+  let reference = Synth.synthesize ~seed:7 ~trials:5 ~domains:1 topo s in
+  List.iter
+    (fun k ->
+      let par = Synth.synthesize ~seed:7 ~trials:5 ~domains:k topo s in
+      same_sends (Printf.sprintf "sends at domains=%d" k) reference.Synth.schedule
+        par.Synth.schedule;
+      same_phases (Printf.sprintf "phases at domains=%d" k) reference.Synth.phases
+        par.Synth.phases)
+    [ 2; 4 ]
+
+let test_goal_domains_bit_identical () =
+  let topo = unit_mesh [| 3; 3 |] in
+  let goal = Synth.goal_of_spec (spec Pattern.All_gather 9) in
+  let ref_sched, _ = Synth.synthesize_goal ~seed:11 ~trials:4 ~domains:1 topo goal in
+  List.iter
+    (fun k ->
+      let par, _ = Synth.synthesize_goal ~seed:11 ~trials:4 ~domains:k topo goal in
+      same_sends (Printf.sprintf "goal sends at domains=%d" k) ref_sched par)
+    [ 2; 4 ]
+
 let test_random_link_order_still_valid () =
   (* The §IV-F priority is a quality heuristic, never a correctness one. *)
   let topo = unit_mesh [| 3; 2 |] in
@@ -335,6 +371,150 @@ let test_registry_fingerprint_distinguishes () =
   Alcotest.(check string) "same structure matches" (Tacos.Registry.fingerprint a)
     (Tacos.Registry.fingerprint c)
 
+let test_registry_fingerprint_full_width () =
+  (* Regression for the 30-bit fingerprint: the registry used to identify a
+     topology by [Hashtbl.hash] of its canonical edge buffer, truncated to
+     30 bits — so two distinct fabrics could collide and the in-memory hit
+     path would silently serve a schedule synthesized for the wrong one.
+     Search out such a colliding pair and check the full-width digest keeps
+     them apart (and the registry synthesizes both). *)
+  let old_buffer a =
+    (* The canonical edge buffer of a 2-NPU bidirectional pair with α = a,
+       β = 0, exactly as [Registry.fingerprint] serializes it. *)
+    Printf.sprintf "2;0>1:%.17g:%.17g;1>0:%.17g:%.17g" a 0. a 0.
+  in
+  let old_fingerprint a =
+    Printf.sprintf "%08x" (Hashtbl.hash (old_buffer a) land 0xFFFFFFFF)
+  in
+  let seen = Hashtbl.create 65536 in
+  let collision = ref None in
+  let i = ref 1 in
+  (* [Hashtbl.hash] has 30 output bits, so a birthday collision among a few
+     hundred thousand candidates is a near-certainty (~41k expected). *)
+  while !collision = None && !i <= 400_000 do
+    let a = float_of_int !i in
+    let h = old_fingerprint a in
+    (match Hashtbl.find_opt seen h with
+    | Some j when old_buffer j <> old_buffer a -> collision := Some (j, a)
+    | _ -> Hashtbl.add seen h a);
+    incr i
+  done;
+  match !collision with
+  | None -> Alcotest.fail "no 30-bit collision found in 400k candidates"
+  | Some (a1, a2) ->
+    let topo_of a =
+      let topo = Topology.create 2 in
+      Topology.add_bidir topo 0 1 (Link.make ~alpha:a ~beta:0.);
+      topo
+    in
+    let t1 = topo_of a1 and t2 = topo_of a2 in
+    Alcotest.(check string) "old fingerprints collide (regression premise)"
+      (old_fingerprint a1) (old_fingerprint a2);
+    Alcotest.(check bool) "full-width fingerprints differ" true
+      (Tacos.Registry.fingerprint t1 <> Tacos.Registry.fingerprint t2);
+    let reg = Tacos.Registry.create () in
+    let s = spec Pattern.All_gather 2 in
+    let r1, m1 = Tacos.Registry.find_or_synthesize reg t1 s in
+    let r2, m2 = Tacos.Registry.find_or_synthesize reg t2 s in
+    Alcotest.(check bool) "both topologies synthesize" true
+      (m1 = `Miss && m2 = `Miss);
+    Alcotest.(check int) "two distinct entries" 2 (Tacos.Registry.entries reg);
+    (* The schedules really are fabric-specific: α = a is the makespan. *)
+    Alcotest.check time "first schedule timed for its fabric" a1 r1.Synth.collective_time;
+    Alcotest.check time "second schedule timed for its fabric" a2 r2.Synth.collective_time
+
+let test_registry_key_buffer_precision () =
+  (* Regression for the [b%.0f] cache key: 0.4- and 0.5-byte buffers both
+     printed "b0" and aliased onto one entry, so the second lookup returned
+     a schedule timed for the wrong chunk size. *)
+  let topo = Topology.create 2 in
+  Topology.add_bidir topo 0 1 (Link.make ~alpha:0. ~beta:1.);
+  let s1 = spec ~buffer_size:0.4 Pattern.All_gather 2 in
+  let s2 = spec ~buffer_size:0.5 Pattern.All_gather 2 in
+  Alcotest.(check bool) "spec keys differ" true
+    (Tacos.Registry.spec_key s1 <> Tacos.Registry.spec_key s2);
+  let reg = Tacos.Registry.create () in
+  let r1, m1 = Tacos.Registry.find_or_synthesize reg topo s1 in
+  let r2, m2 = Tacos.Registry.find_or_synthesize reg topo s2 in
+  Alcotest.(check bool) "both sizes synthesize" true (m1 = `Miss && m2 = `Miss);
+  Alcotest.(check int) "two entries" 2 (Tacos.Registry.entries reg);
+  Alcotest.(check bool) "schedules timed for their own buffer size" true
+    (r1.Synth.collective_time <> r2.Synth.collective_time)
+
+let test_registry_nested_cache_dir () =
+  (* Regression for the single non-recursive [Sys.mkdir]: a nested cache
+     dir (--cache-dir out/cache/v1) used to raise [Sys_error]. *)
+  let base = Filename.temp_file "tacos-reg" "" in
+  Sys.remove base;
+  let dir = Filename.concat (Filename.concat base "cache") "v1" in
+  let topo = unit_ring 6 in
+  let s = spec Pattern.All_gather 6 in
+  let reg1 = Tacos.Registry.create ~dir () in
+  let first, m = Tacos.Registry.find_or_synthesize reg1 topo s in
+  Alcotest.(check bool) "first is a miss" true (m = `Miss);
+  Alcotest.(check bool) "nested dir exists" true (Sys.is_directory dir);
+  let reg2 = Tacos.Registry.create ~dir () in
+  let second, h = Tacos.Registry.find_or_synthesize reg2 topo s in
+  Alcotest.(check bool) "disk hit through nested dir" true (h = `Hit);
+  Alcotest.check time "same makespan" first.Synth.collective_time
+    second.Synth.collective_time;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir;
+  Sys.rmdir (Filename.dirname dir);
+  Sys.rmdir base
+
+let test_registry_single_flight_stress () =
+  (* Hammer one registry from 4 domains with identical and distinct specs:
+     exactly one synthesis per distinct key, no table corruption, and every
+     caller sees the same schedule for a given key. *)
+  let reg = Tacos.Registry.create () in
+  let topo = unit_mesh [| 3; 3 |] in
+  ignore (Topology.edges topo);
+  let specs =
+    [|
+      spec Pattern.All_gather 9;
+      spec Pattern.Reduce_scatter 9;
+      spec ~chunks_per_npu:2 Pattern.All_gather 9;
+    |]
+  in
+  let iters = 6 in
+  let worker w =
+    let out = ref [] in
+    for it = 0 to iters - 1 do
+      for si = 0 to Array.length specs - 1 do
+        (* Rotate the visiting order per domain and iteration so identical
+           keys race from different domains in different interleavings. *)
+        let si = (si + w + it) mod Array.length specs in
+        let r, m = Tacos.Registry.find_or_synthesize reg topo specs.(si) in
+        out := (si, r.Synth.collective_time, m) :: !out
+      done
+    done;
+    !out
+  in
+  let spawned = Array.init 4 (fun w -> Domain.spawn (fun () -> worker w)) in
+  let all = List.concat_map Domain.join (Array.to_list spawned) in
+  Alcotest.(check int) "every lookup answered"
+    (4 * iters * Array.length specs)
+    (List.length all);
+  for si = 0 to Array.length specs - 1 do
+    let rows = List.filter (fun (i, _, _) -> i = si) all in
+    let misses = List.filter (fun (_, _, m) -> m = `Miss) rows in
+    Alcotest.(check int)
+      (Printf.sprintf "exactly one synthesis for key %d" si)
+      1 (List.length misses);
+    match rows with
+    | (_, t0, _) :: rest ->
+      List.iter
+        (fun (_, t, _) ->
+          Alcotest.check time
+            (Printf.sprintf "consistent schedule for key %d" si)
+            t0 t)
+        rest
+    | [] -> Alcotest.fail "no lookups recorded"
+  done;
+  Alcotest.(check int) "one entry per distinct key" (Array.length specs)
+    (Tacos.Registry.entries reg)
+
 let test_resynthesis_after_link_failure () =
   (* Failure injection: kill a link, re-synthesize, still valid — and the
      degraded fabric is slower. *)
@@ -467,6 +647,10 @@ let () =
           Alcotest.test_case "tuner covers routed patterns" `Quick
             test_tuner_routes_router_patterns;
           Alcotest.test_case "domains deterministic" `Quick test_domains_deterministic;
+          Alcotest.test_case "parallel trials bit-identical" `Quick
+            test_domains_bit_identical;
+          Alcotest.test_case "parallel goal trials bit-identical" `Quick
+            test_goal_domains_bit_identical;
           Alcotest.test_case "random link order still valid" `Quick
             test_random_link_order_still_valid;
           Alcotest.test_case "reference agrees on ring" `Quick
@@ -480,6 +664,13 @@ let () =
           Alcotest.test_case "disk preserves provenance" `Quick
             test_registry_disk_preserves_provenance;
           Alcotest.test_case "fingerprints" `Quick test_registry_fingerprint_distinguishes;
+          Alcotest.test_case "full-width fingerprint (30-bit collision)" `Quick
+            test_registry_fingerprint_full_width;
+          Alcotest.test_case "key keeps buffer precision" `Quick
+            test_registry_key_buffer_precision;
+          Alcotest.test_case "nested cache dir" `Quick test_registry_nested_cache_dir;
+          Alcotest.test_case "single-flight under 4 domains" `Quick
+            test_registry_single_flight_stress;
           Alcotest.test_case "re-synthesis after link failure" `Quick
             test_resynthesis_after_link_failure;
           Alcotest.test_case "without_links bad id" `Quick
