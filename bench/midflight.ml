@@ -136,6 +136,116 @@ let measure name topo pattern frac =
         strategy;
       ]
 
+(* --- multi-epoch timelines ------------------------------------------------ *)
+
+(* Fault sequences: 1, 2 or 3 link kills landing at successive instants of
+   one collective, each repaired incrementally on top of the previous repair
+   (Resilience.repair_timeline). Victims are picked like [pick_victim] —
+   still-scheduled-after-the-fault, cumulative kill set keeps the fabric
+   strongly connected — so every timeline is deterministic and survivable. *)
+let epoch_fractions = function 1 -> [ 0.4 ] | 2 -> [ 0.3; 0.55 ] | _ -> [ 0.3; 0.55; 0.75 ]
+
+let pick_victims topo (healthy : Synth.result) ~ats =
+  let sends = healthy.Synth.schedule.Schedule.sends in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | at :: rest -> (
+      let already = List.map snd acc in
+      let ok (s : Schedule.send) =
+        s.Schedule.start > at
+        && (not (List.mem s.Schedule.edge already))
+        && Topology.is_strongly_connected
+             (Fault.apply topo
+                (List.map (fun e -> Fault.Kill_link e) (s.Schedule.edge :: already)))
+      in
+      match List.find_opt ok sends with
+      | Some s -> go ((at, s.Schedule.edge) :: acc) rest
+      | None -> None)
+  in
+  go [] ats
+
+let measure_multi name topo pattern epochs =
+  let sp =
+    Spec.make ~chunks_per_npu:2 ~buffer_size:size ~pattern
+      ~npus:(Topology.num_npus topo) ()
+  in
+  let healthy = Synth.synthesize topo sp in
+  let chunk_size = Spec.chunk_size sp in
+  let healthy_time =
+    (Engine.run topo (Program.of_schedule ~chunk_size healthy.Synth.schedule))
+      .Engine.finish_time
+  in
+  let ats = List.map (fun f -> f *. healthy_time) (epoch_fractions epochs) in
+  match pick_victims topo healthy ~ats with
+  | None ->
+    note "%s %s x%d: no connected-surviving victim sequence; skipped" name
+      (Pattern.name pattern) epochs;
+    None
+  | Some victims -> (
+    let events =
+      List.map (fun (at, edge) -> (at, [ Fault.Kill_link edge ])) victims
+    in
+    let outcome, obs =
+      with_obs (fun () ->
+          let tr = Resilience.repair_timeline ~events topo healthy in
+          (* Read while the registry is still enabled: how much matching work
+             the whole timeline cost, and whether it reused the cached TEN. *)
+          ( tr,
+            Obs.value (Obs.counter "synth.matches"),
+            Obs.value (Obs.counter "synth.repair_ten_reuse") ))
+    in
+    let tr, repair_matches, ten_reuse = outcome in
+    match tr with
+    | Error f ->
+      note "%s %s x%d: timeline repair failed at stage %s; skipped" name
+        (Pattern.name pattern) epochs f.Resilience.stage;
+      None
+    | Ok tr ->
+      let strategies =
+        String.concat "+"
+          (List.map
+             (fun (e : Resilience.epoch) ->
+               Resilience.strategy_name e.Resilience.repaired.Resilience.strategy)
+             tr.Resilience.epochs)
+      in
+      let verified =
+        match tr.Resilience.verified with Ok () -> true | Error _ -> false
+      in
+      let healthy_matches = healthy.Synth.stats.Synth.matches in
+      let fewer_matches = repair_matches < healthy_matches * epochs in
+      record ~exp:"midflight_multi"
+        [
+          ("topology", Json.String name);
+          ("pattern", Json.String (Pattern.name pattern));
+          ("buffer_bytes", Json.Number size);
+          ("epochs", Json.Number (float_of_int epochs));
+          ( "at_seconds",
+            Json.Array (List.map (fun (at, _) -> Json.Number at) victims) );
+          ( "victim_links",
+            Json.Array
+              (List.map (fun (_, e) -> Json.Number (float_of_int e)) victims) );
+          ("healthy_seconds", Json.Number healthy_time);
+          ("completion_seconds", Json.Number tr.Resilience.completion_time);
+          ("strategies", Json.String strategies);
+          ("verified", Json.Bool verified);
+          ("healthy_matches", Json.Number (float_of_int healthy_matches));
+          ("repair_matches", Json.Number (float_of_int repair_matches));
+          ("repair_fewer_matches", Json.Bool fewer_matches);
+          ("ten_reused", Json.Bool (ten_reuse > 0));
+          ("obs", obs);
+        ];
+      Some
+        [
+          name;
+          Pattern.name pattern;
+          string_of_int epochs;
+          Units.time_pp healthy_time;
+          Units.time_pp tr.Resilience.completion_time ^ (if verified then "" else " !");
+          strategies;
+          Printf.sprintf "%d/%d%s" repair_matches (healthy_matches * epochs)
+            (if fewer_matches then "" else " !");
+        ])
+
 let run () =
   section "Mid-flight faults — replay vs incremental repair vs full re-synthesis";
   let rows = ref [] in
@@ -154,4 +264,21 @@ let run () =
     !rows;
   note "completion times are absolute (fault lands mid-collective)";
   note "wall speedup: full re-synthesis wall-clock / suffix-repair wall-clock";
-  flush_bench ~exp:"midflight"
+  flush_bench ~exp:"midflight";
+  section "Multi-epoch fault timelines — incremental repair across fault sequences";
+  let rows = ref [] in
+  List.iter
+    (fun ((name, topo), pattern) ->
+      List.iter
+        (fun epochs ->
+          match measure_multi name topo pattern epochs with
+          | Some row -> rows := !rows @ [ row ]
+          | None -> ())
+        [ 1; 2; 3 ])
+    (cases ());
+  Table.print
+    ~header:
+      [ "Topology"; "pattern"; "epochs"; "healthy"; "completion"; "strategies"; "matches" ]
+    !rows;
+  note "matches: timeline-repair link matches / healthy matches x epochs (repair searches less)";
+  flush_bench ~exp:"midflight_multi"

@@ -57,6 +57,19 @@ let specs =
         ];
     };
     {
+      exp = "midflight_multi";
+      keys = [ "topology"; "pattern"; "buffer_bytes"; "epochs" ];
+      metrics =
+        [
+          ("healthy_seconds", Lower_better);
+          ("completion_seconds", Lower_better);
+          ("strategies", Exact);
+          ("verified", Exact);
+          ("repair_fewer_matches", Exact);
+          ("ten_reused", Exact);
+        ];
+    };
+    {
       exp = "hierarchy";
       keys = [ "topology"; "npus" ];
       metrics =

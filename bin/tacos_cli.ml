@@ -496,9 +496,61 @@ let parse_at s =
   | Some v when v < 0. -> Error "fault time must be non-negative"
   | Some v -> Ok (if pct then `Fraction (v /. 100.) else `Seconds v)
 
+(* An explicit per-epoch fault list: comma-separated kill-link=N, kill-npu=N,
+   degrade=NxF tokens, as in "--at 40%:kill-link=3,degrade=7x2". *)
+let parse_fault_spec s =
+  let parse_token tok =
+    let sub_after i = String.sub tok (i + 1) (String.length tok - i - 1) in
+    match String.index_opt tok '=' with
+    | Some i when String.sub tok 0 i = "kill-link" -> (
+      match int_of_string_opt (sub_after i) with
+      | Some n -> Ok (Fault.Kill_link n)
+      | None -> Error (Printf.sprintf "bad link id in %S" tok))
+    | Some i when String.sub tok 0 i = "kill-npu" -> (
+      match int_of_string_opt (sub_after i) with
+      | Some n -> Ok (Fault.Kill_npu n)
+      | None -> Error (Printf.sprintf "bad NPU id in %S" tok))
+    | Some i when String.sub tok 0 i = "degrade" -> (
+      let v = sub_after i in
+      match String.index_opt v 'x' with
+      | Some j -> (
+        match
+          ( int_of_string_opt (String.sub v 0 j),
+            float_of_string_opt (String.sub v (j + 1) (String.length v - j - 1)) )
+        with
+        | Some link, Some factor -> Ok (Fault.Degrade_link { link; factor })
+        | _ -> Error (Printf.sprintf "bad degrade spec %S (want degrade=NxF)" tok))
+      | None -> Error (Printf.sprintf "bad degrade spec %S (want degrade=NxF)" tok))
+    | _ ->
+      Error
+        (Printf.sprintf
+           "bad fault spec %S (kill-link=N, kill-npu=N or degrade=NxF)" tok)
+  in
+  List.fold_left
+    (fun acc tok ->
+      match (acc, parse_token (String.trim tok)) with
+      | Error _, _ -> acc
+      | _, Error e -> Error e
+      | Ok fs, Ok f -> Ok (fs @ [ f ]))
+    (Ok [])
+    (String.split_on_char ',' s)
+
+(* One "--at T[:SPEC]" event: the time, plus its own fault list when the
+   colon form is used (required when giving a multi-epoch timeline). *)
+let parse_event s =
+  match String.index_opt s ':' with
+  | None -> Result.map (fun at -> (at, None)) (parse_at s)
+  | Some i -> (
+    match parse_at (String.sub s 0 i) with
+    | Error e -> Error e
+    | Ok at ->
+      Result.map
+        (fun faults -> (at, Some faults))
+        (parse_fault_spec (String.sub s (i + 1) (String.length s - i - 1))))
+
 (* The mid-flight three-way comparison: replay-through-the-fault vs suffix
    repair vs full re-synthesis, all timed from the same fault instant. *)
-let midflight_run ~seed ~trials ~budget ~json topo spec size faults at_spec =
+let midflight_run ~seed ~trials ~domains ~budget ~json topo spec size faults at_spec =
   match Synth.synthesize ~seed ~trials topo spec with
   | exception Synth.Stuck msg -> fail "healthy synthesis stuck: %s" msg
   | exception Synth.Unsupported msg ->
@@ -527,7 +579,10 @@ let midflight_run ~seed ~trials ~budget ~json topo spec size faults at_spec =
       Format.printf "replay:       %s (reroute in the engine, no re-planning)@."
         (Units.time_pp t)
     | Error why -> Format.printf "replay:       FAILS — %s@." why);
-    let repair = Resilience.repair ~seed ~trials ?budget_ms:budget ~at topo faults healthy in
+    let repair =
+      Resilience.repair ~seed ~trials ~domains ?budget_ms:budget ~at topo faults
+        healthy
+    in
     (match repair with
     | Ok r ->
       Format.printf "repair:       %s via %s (synthesized in %s)%s@."
@@ -538,7 +593,10 @@ let midflight_run ~seed ~trials ~budget ~json topo spec size faults at_spec =
         | Ok () -> ""
         | Error e -> Printf.sprintf " [INVALID: %s]" e)
     | Error f -> Format.printf "repair:       NONE — %a@." Resilience.pp_failure f);
-    let full = Resilience.synthesize ~seed ~trials ?budget_ms:budget ~faults topo spec in
+    let full =
+      Resilience.synthesize ~seed ~trials ~domains ?budget_ms:budget ~faults topo
+        spec
+    in
     (match full with
     | Ok o ->
       Format.printf "resynthesis:  %s (full, synthesized in %s)@."
@@ -602,6 +660,118 @@ let midflight_run ~seed ~trials ~budget ~json topo spec size faults at_spec =
         Format.printf "report written to %s@." file));
     `Ok ()
 
+(* A multi-epoch fault timeline: each "--at T:SPEC" lands its own fault list
+   mid-flight and the composite is incrementally re-repaired at every epoch
+   (Resilience.repair_timeline). *)
+let multiflight_run ~seed ~trials ~domains ~budget ~json topo spec size
+    events_spec =
+  match Synth.synthesize ~seed ~trials topo spec with
+  | exception Synth.Stuck msg -> fail "healthy synthesis stuck: %s" msg
+  | exception Synth.Unsupported msg ->
+    fail "--at needs a synthesizer-supported pattern: %s" msg
+  | healthy ->
+    let chunk_size = Spec.chunk_size spec in
+    let healthy_time =
+      (Engine.run topo (Sim_program.of_schedule ~chunk_size healthy.Synth.schedule))
+        .Engine.finish_time
+    in
+    let events =
+      List.map
+        (fun (at_spec, faults) ->
+          ( (match at_spec with
+            | `Seconds v -> v
+            | `Fraction f -> f *. healthy_time),
+            faults ))
+        events_spec
+    in
+    Format.printf "healthy:      %s simulated; %d fault epochs@."
+      (Units.time_pp healthy_time) (List.length events);
+    List.iter
+      (fun (at, faults) ->
+        Format.printf "epoch:        %s — %s@." (Units.time_pp at)
+          (String.concat ", " (List.map Fault.to_string faults)))
+      events;
+    (match
+       Resilience.repair_timeline ~seed ~trials ~domains ?budget_ms:budget
+         ~events topo healthy
+     with
+    | exception Invalid_argument msg -> fail "%s" msg
+    | Error f ->
+      fail "timeline repair failed: %s"
+        (Format.asprintf "%a" Resilience.pp_failure f)
+    | Ok tr ->
+      List.iter
+        (fun (e : Resilience.epoch) ->
+          let r = e.Resilience.repaired in
+          Format.printf "repair @@ %s: %s → completes %s (synthesized in %s)%s@."
+            (Units.time_pp e.Resilience.at)
+            (Resilience.strategy_name r.Resilience.strategy)
+            (Units.time_pp r.Resilience.completion_time)
+            (Units.time_pp r.Resilience.synth_wall_seconds)
+            (match r.Resilience.verified with
+            | Ok () -> ""
+            | Error e -> Printf.sprintf " [INVALID: %s]" e))
+        tr.Resilience.epochs;
+      Format.printf "final:        %s, %d sends, %s@."
+        (Units.time_pp tr.Resilience.completion_time)
+        (Schedule.num_sends tr.Resilience.schedule)
+        (match tr.Resilience.verified with
+        | Ok () -> "composite verified end to end"
+        | Error e -> "INVALID: " ^ e);
+      (match json with
+      | None -> ()
+      | Some dest ->
+        let doc =
+          Json.Object
+            [
+              ("topology", Json.String (Topology.name topo));
+              ("pattern", Json.String (Pattern.name spec.Spec.pattern));
+              ("buffer_bytes", Json.Number size);
+              ("seed", Json.Number (float_of_int seed));
+              ("healthy_seconds", Json.Number healthy_time);
+              ( "epochs",
+                Json.Array
+                  (List.map
+                     (fun (e : Resilience.epoch) ->
+                       let r = e.Resilience.repaired in
+                       Json.Object
+                         [
+                           ("at_seconds", Json.Number e.Resilience.at);
+                           ( "faults",
+                             Json.Array (List.map Fault.to_json e.Resilience.faults) );
+                           ( "strategy",
+                             Json.String
+                               (Resilience.strategy_name r.Resilience.strategy) );
+                           ( "completion_seconds",
+                             Json.Number r.Resilience.completion_time );
+                           ( "synth_wall_seconds",
+                             Json.Number r.Resilience.synth_wall_seconds );
+                           ( "verified",
+                             Json.Bool
+                               (match r.Resilience.verified with
+                               | Ok () -> true
+                               | Error _ -> false) );
+                         ])
+                     tr.Resilience.epochs) );
+              ("completion_seconds", Json.Number tr.Resilience.completion_time);
+              ("sends", Json.Number (float_of_int (Schedule.num_sends tr.Resilience.schedule)));
+              ( "verified",
+                Json.Bool
+                  (match tr.Resilience.verified with Ok () -> true | Error _ -> false)
+              );
+            ]
+        in
+        let text = Json.encode doc in
+        match dest with
+        | "-" -> print_endline text
+        | file ->
+          let oc = open_out file in
+          output_string oc text;
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "report written to %s@." file);
+      `Ok ())
+
 let faults_cmd =
   let fail_links_arg =
     Arg.(
@@ -643,15 +813,19 @@ let faults_cmd =
   in
   let at_arg =
     Arg.(
-      value & opt (some string) None
-      & info [ "at" ] ~docv:"T"
-          ~doc:"Land the faults mid-flight at $(docv) (seconds, or N% of the \
-                healthy schedule's simulated time) and compare \
-                replay-through-the-fault vs incremental repair vs full \
-                re-synthesis.")
+      value & opt_all string []
+      & info [ "at" ] ~docv:"T[:SPEC]"
+          ~doc:"Land faults mid-flight at $(docv) (seconds, or N% of the \
+                healthy schedule's simulated time). Given once without a \
+                spec, the randomly sampled faults land there and \
+                replay-through-the-fault, incremental repair and full \
+                re-synthesis are compared. Repeat with explicit per-epoch \
+                fault specs — e.g. --at 30%:kill-link=3 --at \
+                60%:kill-npu=2,degrade=7x4 — to repair a whole fault \
+                timeline incrementally, epoch by epoch.")
   in
-  let run topo_str alpha bw size_str pattern_str chunks seed trials fail_links
-      fail_npus degrade degrade_factor budget at_str json =
+  let run topo_str alpha bw size_str pattern_str chunks seed trials domains
+      fail_links fail_npus degrade degrade_factor budget at_strs json =
     with_setup topo_str alpha bw (fun topo ->
         match Parse.parse_size size_str with
         | Error e -> fail "%s" e
@@ -675,10 +849,20 @@ let faults_cmd =
               kills @ npus @ slow
             with
             | exception Invalid_argument msg -> fail "%s" msg
-            | faults when at_str <> None -> (
-              match parse_at (Option.get at_str) with
+            | faults when at_strs <> [] -> (
+              let parsed =
+                List.fold_left
+                  (fun acc s ->
+                    match (acc, parse_event s) with
+                    | Error _, _ -> acc
+                    | _, Error e -> Error e
+                    | Ok evs, Ok ev -> Ok (evs @ [ ev ]))
+                  (Ok []) at_strs
+              in
+              match parsed with
               | Error e -> fail "%s" e
-              | Ok at_spec ->
+              | Ok [ (at_spec, None) ] ->
+                (* Legacy single-event form: the sampled faults land at T. *)
                 Format.printf "topology:     %a@." Topology.pp topo;
                 Format.printf "collective:   %a@." Spec.pp spec;
                 if faults = [] then Format.printf "faults:       none@."
@@ -686,8 +870,24 @@ let faults_cmd =
                   List.iter
                     (fun f -> Format.printf "fault:        %a@." Fault.pp f)
                     faults;
-                midflight_run ~seed ~trials ~budget ~json topo spec size faults
-                  at_spec)
+                midflight_run ~seed ~trials ~domains ~budget ~json topo spec size
+                  faults at_spec
+              | Ok events when List.exists (fun (_, fs) -> fs = None) events ->
+                fail
+                  "a fault timeline needs each --at to carry its faults: --at \
+                   T:kill-link=N,..."
+              | Ok _ when faults <> [] ->
+                fail
+                  "--fail-links/--fail-npus/--degrade cannot combine with an \
+                   explicit --at T:SPEC timeline"
+              | Ok events ->
+                let events =
+                  List.map (fun (at, fs) -> (at, Option.get fs)) events
+                in
+                Format.printf "topology:     %a@." Topology.pp topo;
+                Format.printf "collective:   %a@." Spec.pp spec;
+                multiflight_run ~seed ~trials ~domains ~budget ~json topo spec
+                  size events)
             | faults ->
               Obs.enable ();
               Obs.reset ();
@@ -816,8 +1016,9 @@ let faults_cmd =
     Term.(
       ret
         (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
-       $ chunks_arg $ seed_arg $ trials_arg $ fail_links_arg $ fail_npus_arg
-       $ degrade_arg $ degrade_factor_arg $ budget_arg $ at_arg $ json_out))
+       $ chunks_arg $ seed_arg $ trials_arg $ domains_arg $ fail_links_arg
+       $ fail_npus_arg $ degrade_arg $ degrade_factor_arg $ budget_arg $ at_arg
+       $ json_out))
   in
   Cmd.v
     (Cmd.info "faults"

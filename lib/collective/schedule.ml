@@ -75,7 +75,22 @@ let phase_of_send ~reduce_scatter s =
 
 (* --- validation ------------------------------------------------------- *)
 
-let validate_positioned topo ~precondition ~postcondition ~num_chunks ~chunk_size t =
+(* [forbidden] lists (link id, dead-from time) pairs: any send that overlaps
+   a link's dead interval is illegal. Mid-flight repair validates composite
+   (kept prefix + patches) schedules on the *healthy* topology this way —
+   kept sends legitimately rode the link before it died. *)
+let check_forbidden ~eps forbidden s =
+  List.find_map
+    (fun (link, from) ->
+      if s.edge = link && s.finish > from +. eps then
+        Some
+          (Printf.sprintf "send of chunk %d rides link %d after it died at %g"
+             s.chunk link from)
+      else None)
+    forbidden
+
+let validate_positioned topo ?(forbidden = []) ~precondition ~postcondition
+    ~num_chunks ~chunk_size t =
   let eps = eps_for t.makespan in
   let npus = Topology.num_npus topo in
   let chunks = num_chunks in
@@ -99,6 +114,9 @@ let validate_positioned topo ~precondition ~postcondition ~num_chunks ~chunk_siz
             (Bad
                (Printf.sprintf "send %d->%d does not match link %d (%d->%d)" s.src
                   s.dst s.edge e.Topology.src e.Topology.dst));
+        (match check_forbidden ~eps forbidden s with
+        | Some msg -> raise (Bad msg)
+        | None -> ());
         let cost = Link.cost e.Topology.link chunk_size in
         if s.finish -. s.start < cost -. eps then
           raise
@@ -161,6 +179,143 @@ let validate_all_reduce topo spec ~reduce_scatter ~all_gather =
         | Error e -> Error ("all-gather phase: " ^ e)
         | Ok () -> Ok ()))
   | _ -> Error "Schedule.validate_all_reduce: spec is not All-Reduce"
+
+(* Reduction-aware validation in positional form. The plan is split
+   structurally: [combining] sends move *partial sums* (the source's
+   accumulated contributions are spent and merged into the destination —
+   exact, disjoint set union), [pull] sends replicate *fully reduced* values.
+   The replay applies events in chronological order (a merge finishing at t
+   can feed a send starting at t), so multi-epoch composites — kept healthy
+   prefix plus per-epoch repair patches, all in one schedule pair — validate
+   in a single pass. *)
+let validate_reduction topo ?(forbidden = []) ~contributions ~postcondition
+    ~num_chunks ~chunk_size ~combining ~pull () =
+  let module Iset = Set.Make (Int) in
+  let eps = eps_for (Float.max combining.makespan pull.makespan) in
+  let npus = Topology.num_npus topo in
+  let exception Bad of string in
+  try
+    if num_chunks <= 0 then raise (Bad "num_chunks must be positive");
+    let contributors = Array.make num_chunks Iset.empty in
+    let absorbed = Array.make_matrix npus num_chunks Iset.empty in
+    List.iter
+      (fun (v, c) ->
+        if v < 0 || v >= npus || c < 0 || c >= num_chunks then
+          raise (Bad (Printf.sprintf "contribution (%d, %d) out of range" v c));
+        contributors.(c) <- Iset.add v contributors.(c);
+        absorbed.(v).(c) <- Iset.add v absorbed.(v).(c))
+      contributions;
+    (* Physical legality of the union: links exist and match endpoints,
+       durations cover the α-β cost, one chunk per link at a time, no send
+       overlaps a dead interval. *)
+    let all_sends =
+      List.merge
+        (fun a b -> Float.compare a.start b.start)
+        combining.sends pull.sends
+    in
+    let last_free = Hashtbl.create 64 in
+    List.iter
+      (fun s ->
+        if s.chunk < 0 || s.chunk >= num_chunks then
+          raise (Bad (Printf.sprintf "send of unknown chunk %d" s.chunk));
+        let e =
+          try Topology.edge topo s.edge
+          with Invalid_argument _ ->
+            raise (Bad (Printf.sprintf "send over unknown link %d" s.edge))
+        in
+        if e.Topology.src <> s.src || e.Topology.dst <> s.dst then
+          raise
+            (Bad
+               (Printf.sprintf "send %d->%d does not match link %d (%d->%d)" s.src
+                  s.dst s.edge e.Topology.src e.Topology.dst));
+        (match check_forbidden ~eps forbidden s with
+        | Some msg -> raise (Bad msg)
+        | None -> ());
+        if s.finish -. s.start < Link.cost e.Topology.link chunk_size -. eps then
+          raise
+            (Bad
+               (Printf.sprintf "send of chunk %d on link %d shorter than its α-β cost"
+                  s.chunk s.edge));
+        (match Hashtbl.find_opt last_free s.edge with
+        | Some free when s.start < free -. eps ->
+          raise (Bad (Printf.sprintf "link %d carries two chunks at once" s.edge))
+        | _ -> ());
+        Hashtbl.replace last_free s.edge s.finish)
+      all_sends;
+    (* Semantic replay. A combining send snapshots (and spends) the source's
+       partial at its start and merges it into the destination at its finish;
+       a pull send requires the source to hold the fully reduced value at its
+       start and replicates it at its finish. Finishes sort before starts at
+       equal times. *)
+    let events =
+      List.concat_map
+        (fun s -> [ (s.start, 1, `Combine_start, s); (s.finish, 0, `Combine_finish, s) ])
+        combining.sends
+      @ List.concat_map
+          (fun s -> [ (s.start, 1, `Pull_start, s); (s.finish, 0, `Pull_finish, s) ])
+          pull.sends
+    in
+    let events =
+      List.sort
+        (fun (ta, pa, _, _) (tb, pb, _, _) ->
+          let c = Float.compare ta tb in
+          if c <> 0 then c else compare pa pb)
+        events
+    in
+    let in_flight : (int * float, Iset.t) Hashtbl.t = Hashtbl.create 64 in
+    let key (s : send) = (s.edge, s.start) in
+    List.iter
+      (fun (_, _, kind, s) ->
+        let c = s.chunk in
+        match kind with
+        | `Combine_start ->
+          Hashtbl.replace in_flight (key s) absorbed.(s.src).(c);
+          absorbed.(s.src).(c) <- Iset.empty
+        | `Combine_finish ->
+          let carried =
+            match Hashtbl.find_opt in_flight (key s) with
+            | Some set ->
+              Hashtbl.remove in_flight (key s);
+              set
+            | None -> Iset.empty
+          in
+          let clash = Iset.inter carried absorbed.(s.dst).(c) in
+          if not (Iset.is_empty clash) then
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "NPU %d absorbs the contribution of rank %d to chunk %d twice"
+                    s.dst (Iset.min_elt clash) c));
+          absorbed.(s.dst).(c) <- Iset.union carried absorbed.(s.dst).(c)
+        | `Pull_start ->
+          if not (Iset.equal absorbed.(s.src).(c) contributors.(c)) then
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "NPU %d forwards chunk %d at %g holding a partial copy (%d of \
+                     %d contributions)"
+                    s.src c s.start
+                    (Iset.cardinal absorbed.(s.src).(c))
+                    (Iset.cardinal contributors.(c))))
+        | `Pull_finish -> absorbed.(s.dst).(c) <- contributors.(c))
+      events;
+    List.iter
+      (fun (d, c) ->
+        if d < 0 || d >= npus || c < 0 || c >= num_chunks then
+          raise (Bad (Printf.sprintf "postcondition (%d, %d) out of range" d c));
+        if not (Iset.equal absorbed.(d).(c) contributors.(c)) then
+          raise
+            (Bad
+               (Printf.sprintf
+                  "postcondition unmet: NPU %d holds %d of %d contributions to \
+                   chunk %d"
+                  d
+                  (Iset.cardinal absorbed.(d).(c))
+                  (Iset.cardinal contributors.(c))
+                  c)))
+      postcondition;
+    Ok ()
+  with Bad msg -> Error msg
 
 (* --- analyses ---------------------------------------------------------- *)
 

@@ -61,6 +61,7 @@ val phase_of_send : reduce_scatter:t -> send -> string
 
 val validate_positioned :
   Topology.t ->
+  ?forbidden:(int * float) list ->
   precondition:(int * int) list ->
   postcondition:(int * int) list ->
   num_chunks:int ->
@@ -70,7 +71,35 @@ val validate_positioned :
 (** The validator of {!validate} against explicit [(npu, chunk)] position
     lists instead of a {!Spec.t}-derived pre/postcondition — the form used by
     mid-flight schedule repair, where the "precondition" is wherever the
-    chunks actually were when the fault landed. Non-combining semantics. *)
+    chunks actually were when the fault landed. Non-combining semantics.
+    [forbidden] lists [(link, dead_from)] pairs: a send overlapping a link's
+    dead interval fails validation, which lets composite repaired schedules
+    (kept prefix + patches) validate on the {e healthy} topology. *)
+
+val validate_reduction :
+  Topology.t ->
+  ?forbidden:(int * float) list ->
+  contributions:(int * int) list ->
+  postcondition:(int * int) list ->
+  num_chunks:int ->
+  chunk_size:float ->
+  combining:t ->
+  pull:t ->
+  unit ->
+  (unit, string) result
+(** Reduction-aware positional validation — the validator mid-flight repair
+    of combining collectives uses. [contributions] lists [(npu, chunk)]:
+    which ranks contribute an input to each chunk (each NPU starts holding
+    exactly its own contribution). The plan is structural: [combining] sends
+    move partial sums — the source's accumulated contribution set is spent at
+    the send's start and merged (checked disjoint, so no contribution is
+    absorbed twice) into the destination at its finish; [pull] sends
+    replicate fully-reduced values — the source must hold every contribution
+    when the send starts. Both schedules share one clock, so kept prefixes
+    and repair patches from several fault epochs validate as one composite.
+    Physical legality (links exist, α-β durations, one chunk per link at a
+    time, [forbidden] intervals) is checked over the union. The
+    [postcondition] requires the named NPUs to hold the fully reduced chunk. *)
 
 val validate : Topology.t -> Spec.t -> t -> (unit, string) result
 (** Check physical legality and semantic correctness:

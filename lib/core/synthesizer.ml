@@ -7,6 +7,8 @@ module Ivec = Tacos_util.Ivec
 module Pool = Tacos_util.Pool
 module Obs = Tacos_obs.Obs
 module Trace = Tacos_obs.Trace
+module Ten = Tacos_ten.Ten
+module Iset = Set.Make (Int)
 
 let obs_rounds = Obs.counter "synth.rounds"
 let obs_matches = Obs.counter "synth.matches"
@@ -16,6 +18,11 @@ let obs_idle_links = Obs.histogram "synth.idle_links"
 let obs_scan_len = Obs.histogram "synth.pick_scan_len"
 let obs_trial_makespan = Obs.histogram "synth.trial_makespan"
 let obs_trial_timer = Obs.timer "synth.trial_seconds"
+
+(* Bumped once per trial that runs over a caller-cached {!Ten.Expansion}
+   instead of re-materializing the per-link arrays — the counter mid-flight
+   repair uses to prove it reuses the healthy synthesis's TEN state. *)
+let obs_ten_reuse = Obs.counter "synth.repair_ten_reuse"
 
 type stats = { wall_seconds : float; rounds : int; matches : int; trials : int }
 
@@ -33,12 +40,22 @@ exception Stuck of string
 (* A synthesis goal in positional form: where the chunks are and where they
    must end up, untied from any collective pattern. Specs lower to goals
    ([goal_of_spec]); mid-flight repair builds goals directly from the chunk
-   positions observed at the fault time. *)
+   positions observed at the fault time.
+
+   Reduction state rides along as two extra fields. [contributors] lists the
+   ranks whose input each chunk reduces over (empty for a pure-movement
+   goal); [partials] lists in-flight partial sums — a copy at [npu] of
+   [chunk] that has absorbed exactly the contributions of [absorbed]. The
+   [precondition] then lists only *fully reduced* copies. Per chunk, the
+   active partials' absorbed sets must partition the contributor set not yet
+   covered by a full copy — the invariant reduction replay maintains. *)
 type goal = {
   num_chunks : int;
   chunk_size : float;
   precondition : (int * int) list;
   postcondition : (int * int) list;
+  contributors : (int * int) list;
+  partials : (int * int * int list) list;
 }
 
 let goal_of_spec spec =
@@ -47,25 +64,29 @@ let goal_of_spec spec =
     chunk_size = Spec.chunk_size spec;
     precondition = Spec.precondition spec;
     postcondition = Spec.postcondition spec;
+    contributors = [];
+    partials = [];
   }
 
-let validate_goal topo goal =
-  let n = Topology.num_npus topo in
+let validate_goal ~num_npus:n goal =
   if goal.num_chunks <= 0 then
     invalid_arg "Synthesizer: goal.num_chunks must be positive";
   if not (goal.chunk_size > 0.) then
     invalid_arg "Synthesizer: goal.chunk_size must be positive";
-  let check_pairs what pairs =
-    List.iter
-      (fun (d, c) ->
-        if d < 0 || d >= n then
-          invalid_arg (Printf.sprintf "Synthesizer: goal %s names NPU %d" what d);
-        if c < 0 || c >= goal.num_chunks then
-          invalid_arg (Printf.sprintf "Synthesizer: goal %s names chunk %d" what c))
-      pairs
+  let check_pair what (d, c) =
+    if d < 0 || d >= n then
+      invalid_arg (Printf.sprintf "Synthesizer: goal %s names NPU %d" what d);
+    if c < 0 || c >= goal.num_chunks then
+      invalid_arg (Printf.sprintf "Synthesizer: goal %s names chunk %d" what c)
   in
-  check_pairs "precondition" goal.precondition;
-  check_pairs "postcondition" goal.postcondition
+  List.iter (check_pair "precondition") goal.precondition;
+  List.iter (check_pair "postcondition") goal.postcondition;
+  List.iter (check_pair "contributors") goal.contributors;
+  List.iter
+    (fun (v, c, absorbed) ->
+      check_pair "partials" (v, c);
+      List.iter (fun r -> check_pair "partials" (r, c)) absorbed)
+    goal.partials
 
 (* Fail fast on broken fabrics: a postcondition (d, c) is satisfiable iff
    some initial holder of c can reach d. Strong connectivity implies every
@@ -103,27 +124,71 @@ let unreachable_postconditions topo goal =
       | Some hs -> not (List.exists (fun h -> (reachable_from h).(d)) hs))
     goal.postcondition
 
+let stuck_on_unreachable unreachable =
+  let total = List.length unreachable in
+  let shown = List.filteri (fun i _ -> i < 6) unreachable in
+  let pairs =
+    String.concat ", "
+      (List.map (fun (d, c) -> Printf.sprintf "chunk %d -> NPU %d" c d) shown)
+  in
+  let suffix = if total > List.length shown then ", ..." else "" in
+  raise
+    (Stuck
+       (Printf.sprintf
+          "topology is not strongly connected: %d unreachable \
+           postcondition%s (%s%s)"
+          total
+          (if total = 1 then "" else "s")
+          pairs suffix))
+
 let check_feasible topo goal =
   if not (Topology.is_strongly_connected topo) then begin
     match unreachable_postconditions topo goal with
     | [] -> () (* e.g. Broadcast whose root reaches everyone *)
-    | unreachable ->
-      let total = List.length unreachable in
-      let shown = List.filteri (fun i _ -> i < 6) unreachable in
-      let pairs =
-        String.concat ", "
-          (List.map (fun (d, c) -> Printf.sprintf "chunk %d -> NPU %d" c d) shown)
-      in
-      let suffix = if total > List.length shown then ", ..." else "" in
-      raise
-        (Stuck
-           (Printf.sprintf
-              "topology is not strongly connected: %d unreachable \
-               postcondition%s (%s%s)"
-              total
-              (if total = 1 then "" else "s")
-              pairs suffix))
+    | unreachable -> stuck_on_unreachable unreachable
   end
+
+(* Feasibility on a masked fabric: the expansion's healthy link ids with the
+   [dead] subset removed. Reachability runs over the adjacency arrays, so a
+   renumbered degraded topology copy never needs to exist. *)
+let check_feasible_masked exp ~dead_mask goal =
+  let n = Ten.Expansion.num_npus exp in
+  let out_links = Ten.Expansion.out_links exp in
+  let dst = Ten.Expansion.dst exp in
+  let reach_cache = Hashtbl.create 8 in
+  let reachable_from s =
+    match Hashtbl.find_opt reach_cache s with
+    | Some seen -> seen
+    | None ->
+      let seen = Array.make n false in
+      let rec visit v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Array.iter
+            (fun e -> if not dead_mask.(e) then visit dst.(e))
+            out_links.(v)
+        end
+      in
+      visit s;
+      Hashtbl.add reach_cache s seen;
+      seen
+  in
+  let holders = Hashtbl.create 16 in
+  List.iter
+    (fun (v, c) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt holders c) in
+      Hashtbl.replace holders c (v :: prev))
+    goal.precondition;
+  match
+    List.filter
+      (fun (d, c) ->
+        match Hashtbl.find_opt holders c with
+        | None -> true
+        | Some hs -> not (List.exists (fun h -> (reachable_from h).(d)) hs))
+      goal.postcondition
+  with
+  | [] -> ()
+  | unreachable -> stuck_on_unreachable unreachable
 
 (* One synthesis trial of a pull-based (non-combining) pattern: All-Gather or
    Broadcast. This is Alg. 2 with Alg. 1 run at every event time.
@@ -135,21 +200,38 @@ let check_feasible topo goal =
    tie-break) and pick a random chunk from [holds(src) ∩ wants(dst)] — the
    same greedy maximal matching as iterating shuffled postconditions, found
    by scanning whichever of the two sets is smaller. *)
-let synthesize_pull ~prefer_cheap_links rng topo goal =
-  let n = Topology.num_npus topo in
+let synthesize_pull ~prefer_cheap_links ?reuse ?(dead = []) ?(slowed = []) rng
+    topo goal =
+  let exp =
+    match reuse with Some e -> e | None -> Ten.Expansion.prepare topo
+  in
+  let n = Ten.Expansion.num_npus exp in
   let num_chunks = goal.num_chunks in
   let chunk_size = goal.chunk_size in
-  let m = Topology.num_links topo in
+  let m = Ten.Expansion.num_links exp in
   if m = 0 && n > 1 then raise (Stuck "topology has no links");
-  check_feasible topo goal;
-  (* Per-link constants. *)
-  let src = Array.make m 0 and dst = Array.make m 0 and cost = Array.make m 0. in
+  (* Per-link constants. [src]/[dst] alias the expansion's arrays (read-only
+     here); the cost array is per-trial since [slowed] scales links. *)
+  let src = Ten.Expansion.src exp and dst = Ten.Expansion.dst exp in
+  let alpha = Ten.Expansion.alpha exp and beta = Ten.Expansion.beta exp in
+  let cost = Array.init m (fun e -> alpha.(e) +. (beta.(e) *. chunk_size)) in
   List.iter
-    (fun (e : Topology.edge) ->
-      src.(e.id) <- e.src;
-      dst.(e.id) <- e.dst;
-      cost.(e.id) <- Link.cost e.link chunk_size)
-    (Topology.edges topo);
+    (fun (e, factor) ->
+      if e < 0 || e >= m then invalid_arg "Synthesizer: slowed link out of range";
+      if not (factor >= 1.) then
+        invalid_arg "Synthesizer: slowdown factor must be >= 1";
+      cost.(e) <- cost.(e) *. factor)
+    slowed;
+  (match dead with
+  | [] -> check_feasible topo goal
+  | _ ->
+    let dead_mask = Array.make m false in
+    List.iter
+      (fun e ->
+        if e < 0 || e >= m then invalid_arg "Synthesizer: dead link out of range";
+        dead_mask.(e) <- true)
+      dead;
+    check_feasible_masked exp ~dead_mask goal);
   (* Chunk placement state. *)
   let arrival = Array.make_matrix n num_chunks infinity in
   let holds = Array.init n (fun _ -> Ivec.create ()) in
@@ -174,6 +256,10 @@ let synthesize_pull ~prefer_cheap_links rng topo goal =
       end)
     goal.postcondition;
   let link_free = Array.make m 0. in
+  (* A dead link is simply never free again — the idle-link gather skips it,
+     the event heap never schedules it, and (crucially) the RNG draw sequence
+     of the healthy path is untouched when the mask is empty. *)
+  List.iter (fun e -> link_free.(e) <- infinity) dead;
   let events = Fheap.create () in
   let sends = ref [] in
   let rounds = ref 0 and matches = ref 0 in
@@ -416,12 +502,16 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = 
   }
 
 let synthesize_goal ?(seed = 42) ?(trials = 1) ?(domains = 1)
-    ?(prefer_cheap_links = true) topo goal =
+    ?(prefer_cheap_links = true) ?reuse ?(dead = []) ?(slowed = []) topo goal =
   if trials <= 0 then
     invalid_arg "Synthesizer.synthesize_goal: trials must be positive";
   if domains <= 0 then
     invalid_arg "Synthesizer.synthesize_goal: domains must be positive";
-  validate_goal topo goal;
+  if goal.partials <> [] then
+    invalid_arg
+      "Synthesizer.synthesize_goal: goal carries partial sums; use \
+       synthesize_goal_plan";
+  validate_goal ~num_npus:(Topology.num_npus topo) goal;
   let t0 = Unix.gettimeofday () in
   let master = Rng.create seed in
   let seeds = Array.init trials (fun _ -> Int64.to_int (Rng.bits64 master)) in
@@ -431,8 +521,9 @@ let synthesize_goal ?(seed = 42) ?(trials = 1) ?(domains = 1)
         Trace.with_span "trial" (fun () ->
             let ((sched, _, _) as r) =
               Obs.time obs_trial_timer (fun () ->
-                  synthesize_pull ~prefer_cheap_links (Rng.create seeds.(i)) topo
-                    goal)
+                  if Option.is_some reuse then Obs.incr obs_ten_reuse;
+                  synthesize_pull ~prefer_cheap_links ?reuse ~dead ~slowed
+                    (Rng.create seeds.(i)) topo goal)
             in
             Obs.observe obs_trial_makespan sched.Schedule.makespan;
             r))
@@ -458,6 +549,285 @@ let synthesize_goal ?(seed = 42) ?(trials = 1) ?(domains = 1)
   let schedule, _, _ = results.(!best) in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   (schedule, { wall_seconds; rounds = !rounds; matches = !matches; trials })
+
+(* --- reduction-aware plan synthesis ------------------------------------ *)
+
+type plan = { combining : Schedule.t; pull : Schedule.t }
+
+(* Per-chunk reduction bookkeeping derived from a goal, after normalizing
+   partials that absorbed every contribution into precondition entries. *)
+type reduction_state = {
+  contrib : Iset.t array;  (* per chunk: contributing ranks *)
+  actives : (int * Iset.t) list array;  (* per chunk: live partial copies *)
+  full : (int * int) list;  (* fully-reduced copies, precondition form *)
+}
+
+let reduction_state_of_goal goal =
+  let contrib = Array.make goal.num_chunks Iset.empty in
+  List.iter
+    (fun (v, c) -> contrib.(c) <- Iset.add v contrib.(c))
+    goal.contributors;
+  let actives = Array.make goal.num_chunks [] in
+  let full = ref goal.precondition in
+  List.iter
+    (fun (v, c, absorbed) ->
+      let set = Iset.of_list absorbed in
+      if Iset.is_empty set then () (* spent copy: nothing left to move *)
+      else if Iset.equal set contrib.(c) then full := (v, c) :: !full
+      else if not (Iset.subset set contrib.(c)) then
+        invalid_arg
+          (Printf.sprintf
+             "Synthesizer: partial at NPU %d absorbed a non-contributor of \
+              chunk %d"
+             v c)
+      else
+        (* Co-located partials are one accumulator; the double-absorption
+           check below still sees the raw cardinalities. *)
+        match List.assoc_opt v actives.(c) with
+        | Some prev ->
+          if not (Iset.disjoint prev set) then
+            invalid_arg
+              (Printf.sprintf
+                 "Synthesizer: partial sums of chunk %d absorb a contribution \
+                  twice"
+                 c);
+          actives.(c) <-
+            (v, Iset.union prev set) :: List.remove_assoc v actives.(c)
+        | None -> actives.(c) <- (v, set) :: actives.(c))
+    goal.partials;
+  (* Merging co-located partials can complete an accumulator; promote it. *)
+  Array.iteri
+    (fun c live ->
+      let done_, still =
+        List.partition (fun (_, s) -> Iset.equal s contrib.(c)) live
+      in
+      List.iter (fun (v, _) -> full := (v, c) :: !full) done_;
+      actives.(c) <- still)
+    actives;
+  Array.iteri
+    (fun c live ->
+      (* The live partials must partition what full copies do not cover:
+         pairwise disjoint, and — when no full copy of c exists but c has
+         contributors and unmet postconditions — jointly exhaustive. *)
+      let union =
+        List.fold_left (fun acc (_, s) -> Iset.union acc s) Iset.empty live
+      in
+      let count = List.fold_left (fun acc (_, s) -> acc + Iset.cardinal s) 0 live in
+      if count <> Iset.cardinal union then
+        invalid_arg
+          (Printf.sprintf
+             "Synthesizer: partial sums of chunk %d absorb a contribution twice"
+             c);
+      let has_full = List.exists (fun (_, c') -> c' = c) !full in
+      if live <> [] && has_full then
+        invalid_arg
+          (Printf.sprintf
+             "Synthesizer: chunk %d has both a fully-reduced copy and live \
+              partial sums"
+             c);
+      if
+        live <> [] && (not has_full) && not (Iset.equal union contrib.(c))
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Synthesizer: partial sums of chunk %d do not cover its \
+              contributors"
+             c))
+    actives;
+  (* Deterministic order regardless of input list order. *)
+  Array.iteri
+    (fun c live ->
+      actives.(c) <- List.sort (fun (a, _) (b, _) -> compare a b) live)
+    actives;
+  { contrib; actives; full = !full }
+
+(* Choose where chunk [c]'s partials combine: the postcondition holder when
+   it is unique (Reduce-Scatter/Reduce repair — no spread follows), else the
+   live partial holding the most contributions (ties to the lowest NPU id),
+   which minimizes the data that must still move. *)
+let combine_dest goal state c =
+  match
+    List.filter_map (fun (v, c') -> if c' = c then Some v else None)
+      goal.postcondition
+  with
+  | [ v ] -> v
+  | _ -> (
+    match
+      List.fold_left
+        (fun best (v, set) ->
+          let k = Iset.cardinal set in
+          match best with
+          | Some (_, bk) when bk >= k -> best
+          | _ -> Some (v, k))
+        None state.actives.(c)
+    with
+    | Some (v, _) -> v
+    | None -> assert false (* only called with >= 2 live partials *))
+
+(* The relay closure of chunk [c]: the union of shortest in-edge paths from
+   every live partial holder to [dest], computed by BFS from [dest] over the
+   masked fabric's reversed adjacency. Every relay on a path is included, so
+   the mirrored pull goal below always has an adjacent holder/wanter pair to
+   match — the matching loop never relays on its own. *)
+let relay_closure exp ~dead_mask ~dest holders =
+  let n = Ten.Expansion.num_npus exp in
+  let in_links = Ten.Expansion.in_links exp in
+  let src = Ten.Expansion.src exp in
+  let next = Array.make n (-1) in
+  (* next.(u) = the node after u on u's path towards dest *)
+  let visited = Array.make n false in
+  visited.(dest) <- true;
+  let q = Queue.create () in
+  Queue.add dest q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun e ->
+        if (not dead_mask.(e)) && not visited.(src.(e)) then begin
+          visited.(src.(e)) <- true;
+          next.(src.(e)) <- v;
+          Queue.add src.(e) q
+        end)
+      in_links.(v)
+  done;
+  List.fold_left
+    (fun closure h ->
+      if not visited.(h) then
+        raise
+          (Stuck
+             (Printf.sprintf
+                "partial sum at NPU %d cannot reach combine destination %d" h
+                dest))
+      else begin
+        let rec walk v acc = if v = dest then acc else walk next.(v) (Iset.add v acc) in
+        walk h closure
+      end)
+    (Iset.singleton dest) holders
+
+let synthesize_goal_plan ?(seed = 42) ?(trials = 1) ?(domains = 1)
+    ?(prefer_cheap_links = true) ?reuse ?(dead = []) ?(slowed = []) topo goal =
+  if trials <= 0 then
+    invalid_arg "Synthesizer.synthesize_goal_plan: trials must be positive";
+  if domains <= 0 then
+    invalid_arg "Synthesizer.synthesize_goal_plan: domains must be positive";
+  validate_goal ~num_npus:(Topology.num_npus topo) goal;
+  let t0 = Unix.gettimeofday () in
+  let exp =
+    match reuse with Some e -> e | None -> Ten.Expansion.prepare topo
+  in
+  let m = Ten.Expansion.num_links exp in
+  let dead_mask = Array.make m false in
+  List.iter
+    (fun e ->
+      if e < 0 || e >= m then invalid_arg "Synthesizer: dead link out of range";
+      dead_mask.(e) <- true)
+    dead;
+  let state = reduction_state_of_goal goal in
+  (* Deterministic (RNG-free) combine structure, computed once: per chunk
+     with >= 2 live partials, a destination and the relay closure of nodes
+     whose (possibly empty) partials flow into it. *)
+  let dests = ref [] in
+  let combine_pre = ref [] and combine_post = ref [] in
+  Array.iteri
+    (fun c live ->
+      match live with
+      | [] | [ _ ] ->
+        (* 0 live: nothing to combine (pure movement or full copy exists).
+           1 live: by the partition invariant it holds every contribution —
+           normalization already promoted it to a full copy. *)
+        ()
+      | _ :: _ :: _ ->
+        let d = combine_dest goal state c in
+        let holders = List.map fst live in
+        let closure = relay_closure exp ~dead_mask ~dest:d holders in
+        dests := (d, c) :: !dests;
+        combine_pre := (d, c) :: !combine_pre;
+        Iset.iter
+          (fun v -> if v <> d then combine_post := (v, c) :: !combine_post)
+          closure)
+    state.actives;
+  (* The combine phase is a pull goal on the *reversed* fabric: broadcast
+     each chunk from its destination to the relay closure, then time-mirror
+     (§IV-E). In the mirror every closure node sends its accumulated partial
+     exactly once, and all its receives finish before that send starts — the
+     exact semantics [Schedule.validate_reduction] replays. *)
+  let combine_goal =
+    {
+      num_chunks = goal.num_chunks;
+      chunk_size = goal.chunk_size;
+      precondition = !combine_pre;
+      postcondition = !combine_post;
+      contributors = [];
+      partials = [];
+    }
+  in
+  (* The spread phase pulls fully-reduced copies — pre-existing ones plus
+     the combine destinations — to the still-unmet postconditions. *)
+  let spread_goal =
+    {
+      num_chunks = goal.num_chunks;
+      chunk_size = goal.chunk_size;
+      precondition = !dests @ state.full;
+      postcondition = goal.postcondition;
+      contributors = [];
+      partials = [];
+    }
+  in
+  (* Build the reversed view (and force lazy topology caches) before fanning
+     out over domains — [Expansion.reversed] memoizes into shared state. *)
+  let rexp = Ten.Expansion.reversed exp in
+  let rtopo = Ten.Expansion.topology rexp in
+  ignore (Topology.edges topo);
+  ignore (Topology.edges rtopo);
+  let master = Rng.create seed in
+  let seeds = Array.init trials (fun _ -> Int64.to_int (Rng.bits64 master)) in
+  let need_combine = !combine_post <> [] in
+  let run_trial i =
+    Obs.with_trial i (fun () ->
+        Trace.with_span "trial" (fun () ->
+            Obs.time obs_trial_timer (fun () ->
+                if Option.is_some reuse then Obs.incr obs_ten_reuse;
+                let rng = Rng.create seeds.(i) in
+                let combining, r1, m1 =
+                  if not need_combine then (Schedule.empty, 0, 0)
+                  else
+                    let s, r, m =
+                      synthesize_pull ~prefer_cheap_links ~reuse:rexp ~dead
+                        ~slowed rng rtopo combine_goal
+                    in
+                    (Schedule.reverse s, r, m)
+                in
+                let spread, r2, m2 =
+                  synthesize_pull ~prefer_cheap_links ~reuse:exp ~dead ~slowed
+                    rng topo spread_goal
+                in
+                let pull = Schedule.shift spread combining.Schedule.makespan in
+                let plan = { combining; pull } in
+                let makespan =
+                  Float.max combining.Schedule.makespan pull.Schedule.makespan
+                in
+                Obs.observe obs_trial_makespan makespan;
+                (plan, makespan, r1 + r2, m1 + m2))))
+  in
+  let results =
+    if domains = 1 || trials = 1 then Array.init trials run_trial
+    else Pool.map (Pool.global ~size:domains ()) run_trial trials
+  in
+  let rounds = ref 0 and matches = ref 0 in
+  Array.iter
+    (fun (_, _, r, m) ->
+      rounds := !rounds + r;
+      matches := !matches + m)
+    results;
+  let best = ref 0 in
+  Array.iteri
+    (fun i (_, makespan, _, _) ->
+      let _, best_ms, _, _ = results.(!best) in
+      if makespan < best_ms then best := i)
+    results;
+  let plan, _, _, _ = results.(!best) in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  (plan, { wall_seconds; rounds = !rounds; matches = !matches; trials })
 
 let verify topo result =
   match result.spec.Spec.pattern with

@@ -91,26 +91,42 @@ val synthesize :
 type goal = {
   num_chunks : int;
   chunk_size : float;  (** bytes per chunk *)
-  precondition : (int * int) list;  (** [(npu, chunk)] held at t = 0 *)
+  precondition : (int * int) list;
+      (** [(npu, chunk)] fully-formed copies held at t = 0 *)
   postcondition : (int * int) list;  (** [(npu, chunk)] required at the end *)
+  contributors : (int * int) list;
+      (** [(npu, chunk)]: the ranks whose input each chunk reduces over.
+          Empty for a pure-movement (non-combining) goal. *)
+  partials : (int * int * int list) list;
+      (** [(npu, chunk, absorbed)]: an in-flight partial sum — a copy of
+          [chunk] at [npu] that has absorbed exactly the contributions of the
+          ranks in [absorbed]. Per chunk, the live partials' absorbed sets
+          must be pairwise disjoint and (when no fully-reduced copy exists)
+          jointly cover the contributor set — the invariant reduction replay
+          maintains. Empty for non-combining goals. *)
 }
 (** A synthesis goal in positional form, untied from any collective pattern:
-    where the chunks are and where they must end up. This is the entry point
-    mid-flight schedule repair uses — the precondition lists the positions
-    chunks had actually reached when a fault landed, the postcondition the
-    still-unmet part of the collective. Non-combining (pull) semantics only. *)
+    where the chunks are, what reduction state they carry, and where they
+    must end up. This is the entry point mid-flight schedule repair uses —
+    the precondition lists the positions chunks had actually reached when a
+    fault landed, [partials] the reduction state replayed from the kept
+    sends, and the postcondition the still-unmet part of the collective. *)
 
 val goal_of_spec : Spec.t -> goal
 (** The goal a spec's pattern lowers to: {!Spec.precondition} /
-    {!Spec.postcondition} verbatim. For [All_reduce] this is the
-    Reduce-Scatter precondition against the All-Gather postcondition — not
-    directly synthesizable as one pull goal; split into phases instead. *)
+    {!Spec.postcondition} verbatim, with no reduction state. For [All_reduce]
+    this is the Reduce-Scatter precondition against the All-Gather
+    postcondition — not directly synthesizable as one pull goal; split into
+    phases instead. *)
 
 val synthesize_goal :
   ?seed:int ->
   ?trials:int ->
   ?domains:int ->
   ?prefer_cheap_links:bool ->
+  ?reuse:Tacos_ten.Ten.Expansion.t ->
+  ?dead:int list ->
+  ?slowed:(int * float) list ->
   Topology.t ->
   goal ->
   Schedule.t * stats
@@ -120,9 +136,56 @@ val synthesize_goal :
     trials on the shared pool with the same determinism guarantee as
     {!synthesize}. Duplicate precondition
     entries are tolerated (repair goals merge phase preconditions with kept
-    deliveries). Raises [Stuck] when some postcondition is unreachable from
+    deliveries).
+
+    [reuse] synthesizes over a cached {!Tacos_ten.Ten.Expansion} of [topo]
+    instead of re-materializing the per-link arrays (each reusing trial bumps
+    the [synth.repair_ten_reuse] counter). [dead] masks links out of the
+    search by their ids in [topo]'s (healthy) id space — the resulting
+    schedule never touches them, and an empty mask leaves the RNG draw
+    sequence bit-identical to the unmasked path. [slowed] scales the α-β
+    cost of links by a factor [>= 1] (degraded links). Together these let
+    repair plan on the degraded fabric while staying in healthy link ids.
+
+    Raises [Stuck] when some postcondition is unreachable from
     every holder of its chunk, [Invalid_argument] on out-of-range NPU/chunk
-    ids or nonpositive sizing. *)
+    ids, nonpositive sizing, or a goal carrying [partials] (those need
+    {!synthesize_goal_plan}). *)
+
+type plan = { combining : Schedule.t; pull : Schedule.t }
+(** A reduction-aware repair plan on one clock: [combining] sends move
+    partial sums (each source's accumulated contributions are spent into the
+    destination), [pull] sends replicate fully-reduced values, shifted to
+    start after [combining] completes. Validate with
+    {!Schedule.validate_reduction}; for non-combining goals [combining] is
+    empty and the plan degenerates to a pull schedule. *)
+
+val synthesize_goal_plan :
+  ?seed:int ->
+  ?trials:int ->
+  ?domains:int ->
+  ?prefer_cheap_links:bool ->
+  ?reuse:Tacos_ten.Ten.Expansion.t ->
+  ?dead:int list ->
+  ?slowed:(int * float) list ->
+  Topology.t ->
+  goal ->
+  plan * stats
+(** Reduction-aware synthesis: complete a goal whose chunks may carry
+    in-flight partial sums. Per chunk with two or more live partials, a
+    combine destination is chosen (the unique postcondition holder when there
+    is one — Reduce-Scatter/Reduce repair — else the partial holding the most
+    contributions), and the partials flow to it along a relay closure of
+    shortest paths, synthesized as a pull on the reversed fabric and
+    time-mirrored (§IV-E) — so every relay's receives finish before its one
+    send starts, the exact combining semantics. The pull phase then spreads
+    fully-reduced copies to the remaining postconditions. [seed], [trials],
+    [domains], [reuse], [dead] and [slowed] behave as in {!synthesize_goal};
+    the best trial is the smallest combined makespan. Raises [Stuck] when a
+    partial or postcondition is unreachable on the masked fabric,
+    [Invalid_argument] on malformed reduction state (a contribution absorbed
+    twice, live partials that do not cover the contributor set, or a chunk
+    with both a full copy and live partials). *)
 
 val verify : Topology.t -> result -> (unit, string) Stdlib.result
 (** Re-validate a synthesis result against its spec (physical legality +

@@ -135,6 +135,64 @@ let timeline ~at topo faults =
       (fun (link, factor) -> Tacos_sim.Engine.Link_degrades { link; factor; at })
       degraded
 
+let validate_events topo events =
+  let rec check prev_at dead = function
+    | [] -> Ok ()
+    | (at, faults) :: rest -> (
+      if not (at >= 0.) then
+        Error (Printf.sprintf "fault time %g is negative" at)
+      else if
+        (match prev_at with Some p -> not (at > p) | None -> false)
+      then
+        Error
+          (Printf.sprintf "fault times must be strictly increasing (%g after %g)"
+             at (Option.get prev_at))
+      else
+        match validate topo faults with
+        | Error msg -> Error (Printf.sprintf "at %g: %s" at msg)
+        | Ok () -> (
+          let newly = killed_links topo faults in
+          match List.find_opt (fun id -> List.mem id dead) newly with
+          | Some id ->
+            Error
+              (Printf.sprintf
+                 "at %g: link %d is already dead from an earlier fault" at id)
+          | None -> (
+            match
+              List.find_opt
+                (fun (id, _) -> List.mem id dead)
+                (degraded_links topo faults)
+            with
+            | Some (id, _) ->
+              Error
+                (Printf.sprintf
+                   "at %g: link %d cannot degrade, it is already dead" at id)
+            | None -> check (Some at) (newly @ dead) rest)))
+  in
+  check None [] events
+
+let timeline_events topo events =
+  (match validate_events topo events with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Fault.timeline_events: " ^ msg));
+  List.concat_map (fun (at, faults) -> timeline ~at topo faults) events
+
+let link_id_map topo faults =
+  (match validate topo faults with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Fault.link_id_map: " ^ msg));
+  let dead = killed_links topo faults in
+  let m = Topology.num_links topo in
+  let removed = Array.make m false in
+  List.iter (fun id -> removed.(id) <- true) dead;
+  (* [Topology.map_links] renumbers surviving links densely in healthy-id
+     order, so degraded id k is the k-th surviving healthy id. *)
+  let survivors = ref [] in
+  for id = m - 1 downto 0 do
+    if not removed.(id) then survivors := id :: !survivors
+  done;
+  Array.of_list !survivors
+
 (* --- deterministic samplers ---------------------------------------------- *)
 
 let sample_distinct rng ~universe ~what k =

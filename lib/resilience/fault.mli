@@ -53,6 +53,24 @@ val timeline : at:float -> Topology.t -> t list -> Tacos_sim.Engine.fault_event 
     ids, matching what [Engine.run ~faults] on the *healthy* topology
     expects. Raises [Invalid_argument] when {!validate} fails or [at < 0]. *)
 
+val validate_events : Topology.t -> (float * t list) list -> (unit, string) result
+(** Check a multi-epoch fault timeline: every time is non-negative, times are
+    strictly increasing, each epoch's faults pass {!validate}, and no epoch
+    kills or degrades a link an earlier epoch already removed ([Kill_npu]s
+    count through their incident links). *)
+
+val timeline_events :
+  Topology.t -> (float * t list) list -> Tacos_sim.Engine.fault_event list
+(** Lower a multi-epoch timeline [(at, faults); ...] to engine fault events —
+    {!timeline} per epoch, concatenated in epoch order. Raises
+    [Invalid_argument] when {!validate_events} fails. *)
+
+val link_id_map : Topology.t -> t list -> int array
+(** The degraded-to-healthy link-id map of {!apply}: element [k] is the
+    healthy id of the degraded topology's link [k] (surviving links are
+    renumbered densely in healthy-id order). Lets schedules synthesized on
+    the degraded copy be lifted back into the healthy id space. *)
+
 (** {1 Connectivity pre-check} *)
 
 type connectivity =

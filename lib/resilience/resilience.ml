@@ -1,5 +1,7 @@
 (* Namespaces of the substrate libraries. *)
 open Tacos_collective
+module Topology = Tacos_topology.Topology
+module Ten = Tacos_ten.Ten
 module Synth = Tacos.Synthesizer
 module Algo = Tacos_baselines.Algo
 module Engine = Tacos_sim.Engine
@@ -223,14 +225,25 @@ let analyze ?(seed = 42) ?(trials = 1) ?(domains = 1) ?budget_ms topo faults
   in
   { health; replay_time; resynth; resynth_time; advantage }
 
+
 (* --- mid-flight repair --------------------------------------------------- *)
 
 let obs_repair_suffix = Obs.counter "resilience.repair_suffix"
 let obs_repair_full = Obs.counter "resilience.repair_full"
 let obs_repair_complete = Obs.counter "resilience.repair_complete"
+let obs_epoch_total = Obs.counter "resilience.epoch.total"
+let obs_epoch_suffix = Obs.counter "resilience.epoch.suffix"
+let obs_epoch_full = Obs.counter "resilience.epoch.full"
+let obs_epoch_complete = Obs.counter "resilience.epoch.complete"
+let obs_epoch_failed = Obs.counter "resilience.epoch.failed"
 
 type strategy =
-  | Suffix of { kept_sends : int; replanned : int; schedule : Schedule.t }
+  | Suffix of {
+      kept_sends : int;
+      replanned : int;
+      schedule : Schedule.t;
+      plan : Synth.plan;
+    }
   | Complete_already
   | Full of { reason : string; outcome : outcome }
 
@@ -246,88 +259,193 @@ let strategy_name = function
   | Complete_already -> "complete"
   | Full _ -> "full"
 
-(* Simulate the repaired suffix (degraded-topology link ids, fault-relative
-   times) to get the absolute completion time of the patched collective. *)
+(* Simulate the repair patch (fault-relative times) on the degraded fabric to
+   get the absolute completion time of the patched collective. The engine
+   routes by endpoints, not link ids, so the patch's healthy-id-space
+   schedule simulates directly on the renumbered degraded topology. *)
 let suffix_completion ~at degraded ~chunk_size schedule =
   if Schedule.num_sends schedule = 0 then at
   else
     let program = Program.of_schedule ~chunk_size schedule in
     at +. (Engine.run degraded program).Engine.finish_time
 
-(* Repair the pull phase whose sends are [phase_sched] (absolute times),
-   with [precondition] the chunk positions at the phase's start. Keeps every
-   send that finished by [at] and re-synthesizes only the unmet
-   postconditions, seeding the goal with the actual chunk positions. *)
-let repair_pull ~seed ~trials ~domains ~at ~connectivity ~disconnecting topo faults
-    ~num_chunks ~chunk_size ~precondition ~postcondition phase_sched =
+(* The two phases of a repairable collective, on one absolute clock in
+   healthy link ids: [combining] moves partial sums, [pull] replicates
+   full copies. Kept prefixes and repair patches accumulate into the same
+   shape across epochs, so one reduction-aware validation covers the
+   composite end to end. *)
+type phase_split = { combining : Schedule.t; pull : Schedule.t }
+
+let phase_split_of (result : Synth.result) =
+  match result.Synth.spec.Spec.pattern with
+  | Pattern.All_gather | Pattern.Broadcast _ ->
+    Some { combining = Schedule.empty; pull = result.Synth.schedule }
+  | Pattern.Reduce_scatter | Pattern.Reduce _ ->
+    Some { combining = result.Synth.schedule; pull = Schedule.empty }
+  | Pattern.All_reduce -> (
+    match result.Synth.phases with
+    | Some (rs, ag) -> Some { combining = rs; pull = ag }
+    | None -> None)
+  | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ -> None
+
+(* Everything one repair epoch needs to know about the collective. The
+   [contributors] of every supported pattern are exactly its spec
+   precondition: each initial holder of a chunk contributes its copy (for
+   pure-movement patterns that single contribution *is* the full value, so
+   the reduction tracker degenerates to position tracking). [exp] is the
+   healthy fabric's cached TEN expansion, shared by every repair trial and
+   epoch. *)
+type ctx = {
+  topo : Topology.t;
+  exp : Ten.Expansion.t;
+  spec : Spec.t;
+  num_chunks : int;
+  chunk_size : float;
+  contributors : (int * int) list;
+  postcondition : (int * int) list;
+}
+
+let make_ctx ?reuse topo spec =
+  {
+    topo;
+    exp = (match reuse with Some e -> e | None -> Ten.Expansion.prepare topo);
+    spec;
+    num_chunks = Spec.num_chunks spec;
+    chunk_size = Spec.chunk_size spec;
+    contributors = Spec.precondition spec;
+    postcondition = Spec.postcondition spec;
+  }
+
+(* One reduction-aware repair epoch at time [at]:
+
+   1. keep every send of the current composite that finished by [at];
+   2. replay the kept prefix through the reduction tracker to recover
+      positions (full copies) and in-flight partial sums;
+   3. re-synthesize only the unmet remainder as a positional goal with
+      reduction state, over the healthy fabric's cached expansion with the
+      accumulated dead/slowed links masked;
+   4. validate the new composite (kept prefix + patch) end to end on the
+      healthy topology, with dead links forbidden from their kill times.
+
+   [dead]/[slowed]/[forbidden] are the *accumulated* fault state; [degraded]
+   the correspondingly degraded topology (for completion simulation only). *)
+let repair_step ~seed ~trials ~domains ~at ~dead ~slowed ~forbidden ~degraded
+    ctx split =
   let eps = Schedule.eps_for at in
-  let kept, dropped =
-    List.partition
-      (fun (s : Schedule.send) -> s.Schedule.finish <= at +. eps)
-      phase_sched.Schedule.sends
+  let keep (s : Schedule.send) = s.Schedule.finish <= at +. eps in
+  let kept_c = List.filter keep split.combining.Schedule.sends in
+  let kept_p = List.filter keep split.pull.Schedule.sends in
+  let kept_combining = Schedule.make kept_c in
+  let kept_pull = Schedule.make kept_p in
+  let tracker =
+    Reduction.create
+      ~num_npus:(Topology.num_npus ctx.topo)
+      ~num_chunks:ctx.num_chunks ~contributors:ctx.contributors
   in
-  let seen = Hashtbl.create 64 in
-  List.iter (fun (d, c) -> Hashtbl.replace seen (d, c) ()) precondition;
-  List.iter
-    (fun (s : Schedule.send) -> Hashtbl.replace seen (s.Schedule.dst, s.Schedule.chunk) ())
-    kept;
-  let positions = Hashtbl.fold (fun pos () acc -> pos :: acc) seen [] in
+  Reduction.replay tracker ~combining:kept_combining ~pull:kept_pull ~at;
   let unmet =
-    List.filter (fun (d, c) -> not (Hashtbl.mem seen (d, c))) postcondition
+    List.filter
+      (fun (d, c) -> not (Reduction.is_full tracker ~npu:d ~chunk:c))
+      ctx.postcondition
   in
   if unmet = [] then begin
     Obs.incr obs_repair_complete;
     let done_at =
-      List.fold_left (fun acc (s : Schedule.send) -> Float.max acc s.Schedule.finish)
-        0. kept
+      List.fold_left
+        (fun acc (s : Schedule.send) -> Float.max acc s.Schedule.finish)
+        0. (kept_c @ kept_p)
     in
-    Ok
-      {
-        strategy = Complete_already;
-        completion_time = done_at;
-        synth_wall_seconds = 0.;
-        verified = Ok ();
-      }
+    `Repaired
+      ( {
+          strategy = Complete_already;
+          completion_time = done_at;
+          synth_wall_seconds = 0.;
+          verified = Ok ();
+        },
+        { combining = kept_combining; pull = kept_pull } )
   end
   else begin
-    let degraded = Fault.apply topo faults in
-    match
-      Synth.synthesize_goal ~seed ~trials ~domains degraded
-        { Synth.num_chunks; chunk_size; precondition = positions; postcondition = unmet }
-    with
-    | schedule, (stats : Synth.stats) ->
+    let goal =
+      {
+        Synth.num_chunks = ctx.num_chunks;
+        chunk_size = ctx.chunk_size;
+        precondition = Reduction.positions tracker;
+        postcondition = ctx.postcondition;
+        contributors = ctx.contributors;
+        partials = Reduction.partials tracker;
+      }
+    in
+    (* Repair optimizes the metric it reports: each trial's patch is scored
+       by its simulated completion on the degraded fabric (the scheduled
+       makespan ignores congestion, which can reorder near-parity patches).
+       Trials are independent single-trial syntheses over the shared cached
+       expansion, so the fan-out stays cheap. *)
+    let candidate i =
+      match
+        Synth.synthesize_goal_plan ~seed:(seed + (1009 * i)) ~trials:1
+          ~domains:1 ~reuse:ctx.exp ~dead ~slowed ctx.topo goal
+      with
+      | plan, (stats : Synth.stats) ->
+        let patch = Schedule.union plan.Synth.combining plan.Synth.pull in
+        let completion =
+          suffix_completion ~at degraded ~chunk_size:ctx.chunk_size patch
+        in
+        Ok (plan, stats, patch, completion)
+      | exception Synth.Stuck msg -> Error msg
+    in
+    let candidates =
+      if trials <= 1 then [| candidate 0 |]
+      else if domains > 1 then
+        Tacos_util.Pool.map (Tacos_util.Pool.global ~size:domains ()) candidate trials
+      else Array.init trials candidate
+    in
+    let best =
+      Array.fold_left
+        (fun acc c ->
+          match (acc, c) with
+          | None, _ | Some (Error _), Ok _ -> Some c
+          | Some (Ok (_, _, _, b)), Ok (_, _, _, cand) when cand < b -> Some c
+          | _ -> acc)
+        None candidates
+    in
+    match best with
+    | None | Some (Error _) ->
+      `Stuck
+        (match best with Some (Error msg) -> msg | _ -> "no repair trial ran")
+    | Some (Ok (plan, stats, patch, completion)) ->
       Obs.incr obs_repair_suffix;
-      let verified =
-        Schedule.validate_positioned degraded ~precondition:positions
-          ~postcondition:unmet ~num_chunks ~chunk_size schedule
+      let composite =
+        {
+          combining =
+            Schedule.union kept_combining (Schedule.shift plan.Synth.combining at);
+          pull = Schedule.union kept_pull (Schedule.shift plan.Synth.pull at);
+        }
       in
-      Ok
-        {
-          strategy =
-            Suffix
-              {
-                kept_sends = List.length kept;
-                replanned = List.length dropped + List.length unmet;
-                schedule;
-              };
-          completion_time = suffix_completion ~at degraded ~chunk_size schedule;
-          synth_wall_seconds = stats.Synth.wall_seconds;
-          verified;
-        }
-    | exception Synth.Stuck msg ->
-      Obs.incr obs_failures;
-      Error
-        {
-          stage = "repair";
-          message = msg;
-          connectivity = connectivity ();
-          disconnecting = disconnecting ();
-        }
+      let verified =
+        Schedule.validate_reduction ctx.topo ~forbidden
+          ~contributions:ctx.contributors ~postcondition:ctx.postcondition
+          ~num_chunks:ctx.num_chunks ~chunk_size:ctx.chunk_size
+          ~combining:composite.combining ~pull:composite.pull ()
+      in
+      `Repaired
+        ( {
+            strategy =
+              Suffix
+                {
+                  kept_sends = List.length kept_c + List.length kept_p;
+                  replanned = Schedule.num_sends patch;
+                  schedule = patch;
+                  plan;
+                };
+            completion_time = completion;
+            synth_wall_seconds = stats.Synth.wall_seconds;
+            verified;
+          },
+          composite )
   end
 
-(* Fall through to the full fallback ladder when the suffix cannot be
-   patched in isolation (combining phase in flight: kept partial sums are
-   not expressible as chunk positions). *)
+(* Fall through to the full fallback ladder when suffix repair cannot apply
+   (no phase split, pairwise semantics, or a stuck patch synthesis). *)
 let repair_full ~seed ~trials ~domains ~budget_ms ~at topo faults spec reason =
   match synthesize ~seed ~trials ~domains ?budget_ms ~faults topo spec with
   | Ok outcome ->
@@ -346,8 +464,35 @@ let repair_full ~seed ~trials ~domains ~budget_ms ~at topo faults spec reason =
       }
   | Error f -> Error f
 
-let repair ?(seed = 42) ?(trials = 1) ?(domains = 1) ?budget_ms ~at topo faults
-    (result : Synth.result) =
+(* Lift a full re-synthesis (degraded link ids, fault-relative times) back
+   into the composite's healthy-id absolute-time phase split, so later fault
+   epochs can keep repairing it. Baseline fallbacks carry no schedule and
+   cannot be lifted. *)
+let lift_full ~at topo faults spec (o : outcome) =
+  match o.plan with
+  | Baseline _ -> None
+  | Synthesized r -> (
+    let map = Fault.link_id_map topo faults in
+    let lift s =
+      Schedule.shift
+        (Schedule.make
+           (List.map
+              (fun (snd : Schedule.send) ->
+                { snd with Schedule.edge = map.(snd.Schedule.edge) })
+              s.Schedule.sends))
+        at
+    in
+    match spec.Spec.pattern with
+    | Pattern.All_reduce -> (
+      match r.Synth.phases with
+      | Some (rs, ag) -> Some { combining = lift rs; pull = lift ag }
+      | None -> None)
+    | Pattern.Reduce_scatter | Pattern.Reduce _ ->
+      Some { combining = lift r.Synth.schedule; pull = Schedule.empty }
+    | _ -> Some { combining = Schedule.empty; pull = lift r.Synth.schedule })
+
+let repair ?(seed = 42) ?(trials = 1) ?(domains = 1) ?budget_ms ?reuse ~at topo
+    faults (result : Synth.result) =
   if not (at >= 0.) then invalid_arg "Resilience.repair: fault time must be >= 0";
   match Fault.validate topo faults with
   | Error msg ->
@@ -359,44 +504,145 @@ let repair ?(seed = 42) ?(trials = 1) ?(domains = 1) ?budget_ms ~at topo faults
         connectivity = Fault.connectivity topo;
         disconnecting = None;
       }
-  | Ok () ->
-    let connectivity () = Fault.connectivity (Fault.apply topo faults) in
-    let disconnecting () = Fault.disconnecting_fault topo faults in
+  | Ok () -> (
     let spec = result.Synth.spec in
-    let num_chunks = Spec.num_chunks spec in
-    let chunk_size = Spec.chunk_size spec in
-    let pull ~precondition ~postcondition phase_sched =
-      repair_pull ~seed ~trials ~domains ~at ~connectivity ~disconnecting topo faults
-        ~num_chunks ~chunk_size ~precondition ~postcondition phase_sched
-    in
     let full reason =
       repair_full ~seed ~trials ~domains ~budget_ms ~at topo faults spec reason
     in
-    (match spec.Spec.pattern with
-    | Pattern.All_gather | Pattern.Broadcast _ ->
-      pull ~precondition:(Spec.precondition spec)
-        ~postcondition:(Spec.postcondition spec) result.Synth.schedule
-    | Pattern.All_reduce -> (
-      match result.Synth.phases with
-      | None -> full "All-Reduce result carries no phase split"
-      | Some (rs, ag) ->
-        let eps = Schedule.eps_for rs.Schedule.makespan in
-        if at >= rs.Schedule.makespan -. eps then begin
-          (* The combining phase is complete: repair the All-Gather suffix.
-             [ag] is already shifted to absolute times by the synthesizer. *)
-          let ag_spec = Spec.with_pattern spec Pattern.All_gather in
-          pull ~precondition:(Spec.precondition ag_spec)
-            ~postcondition:(Spec.postcondition ag_spec) ag
-        end
-        else
-          full
-            (Printf.sprintf
-               "fault at %g lands inside the reduce-scatter phase (ends %g): \
-                partial sums in flight cannot be re-seeded as chunk positions"
-               at rs.Schedule.makespan))
-    | Pattern.Reduce_scatter | Pattern.Reduce _ | Pattern.All_to_all
-    | Pattern.Gather _ | Pattern.Scatter _ ->
-      full
+    match phase_split_of result with
+    | None -> (
+      match spec.Spec.pattern with
+      | Pattern.All_reduce -> full "All-Reduce result carries no phase split"
+      | _ ->
+        full
+          (Pattern.name spec.Spec.pattern
+          ^ ": pairwise/rooted semantics — partial progress is not \
+             re-seedable as a positional goal"))
+    | Some split -> (
+      let ctx = make_ctx ?reuse topo spec in
+      let dead = Fault.killed_links topo faults in
+      let slowed = Fault.degraded_links topo faults in
+      let forbidden = List.map (fun e -> (e, at)) dead in
+      let degraded = Fault.apply topo faults in
+      match
+        repair_step ~seed ~trials ~domains ~at ~dead ~slowed ~forbidden
+          ~degraded ctx split
+      with
+      | `Repaired (repaired, _) -> Ok repaired
+      | `Stuck msg -> full ("suffix synthesis stuck: " ^ msg)))
+
+(* --- multi-epoch repair --------------------------------------------------- *)
+
+type epoch = { at : float; faults : Fault.t list; repaired : repaired }
+
+type timeline_repair = {
+  epochs : epoch list;
+  combining : Schedule.t;
+  pull : Schedule.t;
+  schedule : Schedule.t;
+  completion_time : float;
+  verified : (unit, string) result;
+}
+
+let repair_timeline ?(seed = 42) ?(trials = 1) ?(domains = 1) ?budget_ms ?reuse
+    ~events topo (result : Synth.result) =
+  if events = [] then
+    invalid_arg "Resilience.repair_timeline: events must be non-empty";
+  let fail stage message ~connectivity ~disconnecting =
+    Obs.incr obs_failures;
+    Error { stage; message; connectivity; disconnecting }
+  in
+  match Fault.validate_events topo events with
+  | Error msg ->
+    fail "timeline" msg ~connectivity:(Fault.connectivity topo)
+      ~disconnecting:None
+  | Ok () -> (
+    let spec = result.Synth.spec in
+    match phase_split_of result with
+    | None ->
+      fail "timeline"
         (Pattern.name spec.Spec.pattern
-        ^ ": combining/pairwise semantics — partial progress is not \
-           re-seedable as chunk positions"))
+        ^ ": no positional phase split — multi-epoch repair needs one")
+        ~connectivity:(Fault.connectivity topo) ~disconnecting:None
+    | Some split ->
+      let ctx = make_ctx ?reuse topo spec in
+      (* Per-epoch seeds derived from the epoch index, so each epoch's
+         synthesis stream is deterministic regardless of earlier epochs'
+         strategies — and a single-epoch timeline draws exactly like
+         [repair ~seed]. *)
+      let epoch_seed i = seed + (7919 * i) in
+      let rec go i epochs_rev (split : phase_split) faults_all forbidden last_completion =
+        function
+        | [] ->
+          let verified =
+            Schedule.validate_reduction topo ~forbidden
+              ~contributions:ctx.contributors ~postcondition:ctx.postcondition
+              ~num_chunks:ctx.num_chunks ~chunk_size:ctx.chunk_size
+              ~combining:split.combining ~pull:split.pull ()
+          in
+          Ok
+            {
+              epochs = List.rev epochs_rev;
+              combining = split.combining;
+              pull = split.pull;
+              schedule = Schedule.union split.combining split.pull;
+              completion_time = last_completion;
+              verified;
+            }
+        | (at, faults) :: rest -> (
+          Obs.incr obs_epoch_total;
+          let epoch_seed = epoch_seed i in
+          let faults_all = faults_all @ faults in
+          let forbidden =
+            forbidden @ List.map (fun e -> (e, at)) (Fault.killed_links topo faults)
+          in
+          let dead = Fault.killed_links topo faults_all in
+          let slowed = Fault.degraded_links topo faults_all in
+          let degraded = Fault.apply topo faults_all in
+          let continue repaired split' =
+            go (i + 1)
+              ({ at; faults; repaired } :: epochs_rev)
+              split' faults_all forbidden repaired.completion_time rest
+          in
+          let fall_back reason =
+            match
+              repair_full ~seed:epoch_seed ~trials ~domains ~budget_ms ~at topo
+                faults_all spec reason
+            with
+            | Error f ->
+              Obs.incr obs_epoch_failed;
+              Error f
+            | Ok repaired -> (
+              let outcome =
+                match repaired.strategy with
+                | Full { outcome; _ } -> Some outcome
+                | _ -> None
+              in
+              match
+                Option.bind outcome (lift_full ~at topo faults_all spec)
+              with
+              | Some split' ->
+                Obs.incr obs_epoch_full;
+                continue repaired split'
+              | None ->
+                Obs.incr obs_epoch_failed;
+                fail
+                  (Printf.sprintf "epoch@%g" at)
+                  "full re-synthesis fell back to a baseline algorithm, \
+                   which carries no schedule to repair in later epochs"
+                  ~connectivity:(Fault.connectivity degraded)
+                  ~disconnecting:(Fault.disconnecting_fault topo faults_all))
+          in
+          match
+            repair_step ~seed:epoch_seed ~trials ~domains ~at ~dead ~slowed
+              ~forbidden ~degraded ctx split
+          with
+          | `Repaired (repaired, split') ->
+            (match repaired.strategy with
+            | Suffix _ -> Obs.incr obs_epoch_suffix
+            | Complete_already -> Obs.incr obs_epoch_complete
+            | Full _ -> ());
+            continue repaired split'
+          | `Stuck msg -> fall_back ("suffix synthesis stuck: " ^ msg))
+      in
+      go 0 [] split [] [] 0. events)

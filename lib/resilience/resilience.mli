@@ -132,23 +132,35 @@ val health_to_string : health -> string
 
     The timed counterpart of {!analyze}: the fault lands at [at] seconds into
     an executing healthy schedule. Instead of discarding the collective,
-    {!repair} keeps every send that finished before the fault, computes the
-    actual chunk positions at that instant, and re-synthesizes only the
-    still-unmet postconditions as a positional goal
-    ({!Tacos.Synthesizer.synthesize_goal}) on the degraded fabric — the cheap
-    alternative to full re-synthesis that the ROADMAP's incremental-repair
-    item calls for. *)
+    {!repair} keeps every send that finished before the fault, replays the
+    kept prefix through the {!Reduction} tracker to recover both chunk
+    positions {e and} in-flight partial sums, and re-synthesizes only the
+    still-unmet remainder as a reduction-aware positional goal
+    ({!Tacos.Synthesizer.synthesize_goal_plan}) — over the healthy fabric's
+    cached TEN expansion with the dead links masked, so repair stays in the
+    healthy link-id space and its search scales with the unmet suffix, not
+    the fabric ([synth.repair_ten_reuse] counts the reuse).
+
+    {!repair_timeline} folds the same step over a multi-epoch fault
+    timeline, re-repairing the previously repaired composite at each epoch
+    ([resilience.epoch.*] counters tally per-epoch strategies). *)
 
 type strategy =
-  | Suffix of { kept_sends : int; replanned : int; schedule : Schedule.t }
-      (** the suffix patch: [kept_sends] healthy sends survived, [replanned]
-          deliveries were re-synthesized. [schedule] uses {e degraded}-
-          topology link ids and fault-relative times (t = 0 is the fault). *)
+  | Suffix of {
+      kept_sends : int;  (** sends of the pre-fault composite that survived *)
+      replanned : int;  (** sends in the newly synthesized patch *)
+      schedule : Schedule.t;
+          (** the patch ([plan]'s phases overlaid): {e healthy}-topology link
+              ids, fault-relative times (t = 0 is the fault) *)
+      plan : Synth.plan;
+          (** the patch split into combining / pull phases — combining sends
+              merge surviving partial sums, pull sends spread full copies *)
+    }
   | Complete_already
       (** every postcondition was met before the fault — nothing to do *)
   | Full of { reason : string; outcome : outcome }
-      (** suffix repair does not apply (combining phase in flight, no phase
-          split, pairwise semantics); the full fallback ladder ran instead *)
+      (** suffix repair does not apply (no phase split, pairwise semantics,
+          or a stuck patch synthesis); the full fallback ladder ran instead *)
 
 type repaired = {
   strategy : strategy;
@@ -158,8 +170,10 @@ type repaired = {
           [Complete_already], when the last kept send finished) *)
   synth_wall_seconds : float;  (** wall clock spent re-synthesizing *)
   verified : (unit, string) result;
-      (** the repaired schedule re-validated against the positions at the
-          fault time ({!Tacos_collective.Schedule.validate_positioned}) *)
+      (** the composite (kept prefix + patch) re-validated end to end on the
+          {e healthy} topology via
+          {!Tacos_collective.Schedule.validate_reduction}, with dead links
+          forbidden from the fault time onward *)
 }
 
 val strategy_name : strategy -> string
@@ -170,15 +184,64 @@ val repair :
   ?trials:int ->
   ?domains:int ->
   ?budget_ms:float ->
+  ?reuse:Tacos_ten.Ten.Expansion.t ->
   at:float ->
   Topology.t ->
   Fault.t list ->
   Synth.result ->
   (repaired, failure) result
 (** [repair ~at healthy_topo faults healthy_result]. Suffix repair applies to
-    the pull patterns (All-Gather, Broadcast) and to an All-Reduce whose
-    fault lands after the reduce-scatter phase (the All-Gather suffix is
-    patched); everything else goes through the {!synthesize} fallback ladder
-    ([Full]). A fault set that strands some unmet postcondition yields a
-    structured [Error] with [stage = "repair"] — never an exception. Raises
-    [Invalid_argument] only on [at < 0]. *)
+    All-Gather, Broadcast, Reduce-Scatter, Reduce, and All-Reduce — including
+    faults inside the reduce-scatter phase, whose in-flight partial sums are
+    re-seeded as reduction state rather than punted to full re-synthesis.
+    All-to-All and rooted Gather/Scatter go through the {!synthesize}
+    fallback ladder ([Full]), as does a stuck patch synthesis. [reuse]
+    passes a cached {!Tacos_ten.Ten.Expansion} of the healthy topology
+    (prepared internally otherwise — share one across repeated repairs). A
+    fault set that strands some unmet postcondition yields a structured
+    [Error] — never an exception. Raises [Invalid_argument] only on
+    [at < 0]. *)
+
+(** {1 Multi-epoch repair} *)
+
+type epoch = { at : float; faults : Fault.t list; repaired : repaired }
+(** One fault epoch's structured outcome: what landed at [at] and how the
+    then-current composite was repaired. *)
+
+type timeline_repair = {
+  epochs : epoch list;  (** per-epoch outcomes, in time order *)
+  combining : Schedule.t;
+      (** final composite's combining phase: healthy link ids, absolute
+          times, spanning kept healthy sends and every epoch's patches *)
+  pull : Schedule.t;  (** final composite's pull phase, same clock *)
+  schedule : Schedule.t;  (** the two phases overlaid *)
+  completion_time : float;  (** the last epoch's completion time *)
+  verified : (unit, string) result;
+      (** the final composite validated end to end
+          ({!Tacos_collective.Schedule.validate_reduction}) with every dead
+          link forbidden from its kill time *)
+}
+
+val repair_timeline :
+  ?seed:int ->
+  ?trials:int ->
+  ?domains:int ->
+  ?budget_ms:float ->
+  ?reuse:Tacos_ten.Ten.Expansion.t ->
+  events:(float * Fault.t list) list ->
+  Topology.t ->
+  Synth.result ->
+  (timeline_repair, failure) result
+(** [repair_timeline ~events healthy_topo healthy_result] folds {!repair}'s
+    epoch step over a fault timeline [(at1, faults1); (at2, faults2); ...]
+    (validated by {!Fault.validate_events}: non-negative, strictly
+    increasing, no epoch re-killing an already-dead link). Each epoch
+    recomputes positions and partial sums from the {e repaired} composite of
+    the previous epochs and repairs the repaired suffix; fault state (dead,
+    slowed, forbidden intervals) accumulates across epochs. A full
+    re-synthesis epoch restarts the collective on the degraded fabric and is
+    lifted back into healthy link ids so later epochs keep folding; a
+    baseline fallback carries no schedule and stops the fold with a
+    structured failure. One TEN expansion ([reuse], prepared internally
+    otherwise) serves every epoch. Raises [Invalid_argument] on an empty
+    [events] list. *)

@@ -36,6 +36,7 @@ type report = {
 type error_kind =
   | No_route of { src : int; dst : int }
   | Never_completed of { remaining : int }
+  | Cyclic_program of { dep : int }
 
 exception Simulation_error of { tid : int; tag : string; kind : error_kind }
 
@@ -50,6 +51,9 @@ let () =
           Printf.sprintf
             "never completed (%d transfers remaining) — cyclic dependencies?"
             remaining
+        | Cyclic_program { dep } ->
+          Printf.sprintf
+            "depends on transfer %d, which is not earlier — cyclic program" dep
       in
       Some (Printf.sprintf "Engine.Simulation_error: transfer %d (%s): %s" tid tag what)
     | _ -> None)
@@ -101,9 +105,11 @@ let validate_faults topo faults =
 let run ?(model = Pipelined_alpha) ?routing_size ?(faults = []) topo program =
   let transfers = Program.transfers program in
   let nt = Array.length transfers in
-  (match Program.validate_acyclic program with
-  | Ok () -> ()
-  | Error e -> failwith ("Engine.run: " ^ e));
+  (match Program.first_forward_dep program with
+  | None -> ()
+  | Some (tid, dep) ->
+    raise
+      (Simulation_error { tid; tag = transfers.(tid).Program.tag; kind = Cyclic_program { dep } }));
   validate_faults topo faults;
   let routing_size =
     match routing_size with

@@ -74,7 +74,13 @@ type error_kind =
           [faults = []]; with faults the outcome is {!type-stranded}) *)
   | Never_completed of { remaining : int }
       (** the event queue drained with transfers unfinished and no stranding
-          to explain them — cyclic dependencies or an engine bug *)
+          to explain them — an engine bug ({!Cyclic_program} is rejected up
+          front) *)
+  | Cyclic_program of { dep : int }
+      (** the named transfer depends on transfer [dep], which is not earlier:
+          the program (necessarily {!Program.import}ed — {!Program.add}
+          cannot build one) would deadlock and is rejected before any event
+          runs *)
 
 exception Simulation_error of { tid : int; tag : string; kind : error_kind }
 (** Typed replacement for the engine's former [failwith]s, so callers
@@ -101,10 +107,11 @@ val run :
     that latency- vs bandwidth-bound traffic may prefer different paths.
     [faults] is the timed fault timeline (default none); at equal timestamps
     a fault applies before same-time transfer events. Raises
-    {!Simulation_error} if the healthy topology cannot route a required pair
-    or unfinished transfers cannot be explained by strandings; [Failure] if
-    the program is cyclic; [Invalid_argument] on a malformed fault (unknown
-    link id, negative time, degradation factor < 1). *)
+    {!Simulation_error} if the program is cyclic ({!Cyclic_program}, checked
+    up front), the healthy topology cannot route a required pair, or
+    unfinished transfers cannot be explained by strandings;
+    [Invalid_argument] on a malformed fault (unknown link id, negative time,
+    degradation factor < 1). *)
 
 val utilization_timeline : Topology.t -> report -> bins:int -> (float * float) list
 (** Fraction of links busy per time bin, as in {!Tacos_collective.Schedule}. *)

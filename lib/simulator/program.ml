@@ -31,17 +31,45 @@ let build b = { transfers = Array.of_list (List.rev b.rev) }
 let transfers t = t.transfers
 let num_transfers t = Array.length t.transfers
 
+let import rows =
+  let n = Array.length rows in
+  {
+    transfers =
+      Array.mapi
+        (fun id (tag, src, dst, size, deps) ->
+          if size < 0. then invalid_arg "Program.import: negative size";
+          List.iter
+            (fun d ->
+              if d < 0 || d >= n then
+                invalid_arg "Program.import: dependency names no transfer")
+            deps;
+          { id; tag; src; dst; size; deps })
+        rows;
+  }
+
 let total_bytes t =
   Array.fold_left (fun acc tr -> acc +. tr.size) 0. t.transfers
 
+let first_forward_dep t =
+  let found = ref None in
+  Array.iter
+    (fun tr ->
+      if !found = None then
+        List.iter
+          (fun d -> if d >= tr.id && !found = None then found := Some (tr.id, d))
+          tr.deps)
+    t.transfers;
+  !found
+
 let validate_acyclic t =
   (* deps always point backwards by construction of [add], so the graph is
-     acyclic unless someone forged a transfer; still, verify explicitly. *)
-  let ok = ref true in
-  Array.iter
-    (fun tr -> List.iter (fun d -> if d >= tr.id then ok := false) tr.deps)
-    t.transfers;
-  if !ok then Ok () else Error "dependency does not point to an earlier transfer"
+     acyclic unless it was [import]ed; verify explicitly either way. *)
+  match first_forward_dep t with
+  | None -> Ok ()
+  | Some (id, dep) ->
+    Error
+      (Printf.sprintf "transfer %d depends on transfer %d, which is not earlier"
+         id dep)
 
 let default_tag_of (s : Schedule.send) = Printf.sprintf "chunk%d" s.chunk
 

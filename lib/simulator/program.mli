@@ -42,15 +42,32 @@ val barrier : builder -> int list -> int -> int list
 
 val build : builder -> t
 
+val import : (string * int * int * float * int list) array -> t
+(** [import rows] materializes transfers verbatim from
+    [(tag, src, dst, size, deps)] rows, ids assigned in array order —
+    the loader/test entry point for transfer graphs that did not come
+    through {!add}. Unlike [add] it permits {e forward} (and thus cyclic)
+    dependencies; pair with {!validate_acyclic}, and note
+    {!Tacos_sim.Engine.run} rejects a cyclic import with a typed
+    [Simulation_error] instead of executing it. Raises [Invalid_argument]
+    on a negative size or a dep naming no transfer at all. *)
+
 (** {1 Inspection} *)
 
 val transfers : t -> transfer array
 val num_transfers : t -> int
 val total_bytes : t -> float
 
+val first_forward_dep : t -> (int * int) option
+(** The first [(transfer, dep)] pair whose dependency does not point to an
+    earlier transfer — [None] for well-formed programs. Since [deps] point
+    strictly backwards in any {!add}-built program, a forward dep is
+    exactly how an {!import}ed graph can be cyclic. *)
+
 val validate_acyclic : t -> (unit, string) result
 (** Check the dependency graph has no cycles (a cyclic program would
-    deadlock the simulator). *)
+    deadlock the simulator); names the offending transfer pair on
+    [Error]. *)
 
 val of_schedule : ?tag_of:(Schedule.send -> string) -> chunk_size:float -> Schedule.t -> t
 (** Re-express a synthesized schedule as a program: each send becomes a

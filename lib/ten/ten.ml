@@ -95,6 +95,85 @@ let to_schedule t =
     t.grid;
   Schedule.make !sends
 
+(* --- cached expansion state ------------------------------------------------
+
+   The event-driven synthesizer expands the TEN implicitly, but it still pays
+   an O(links) materialization per trial: per-link endpoint and α/β arrays
+   plus the adjacency index the feasibility check walks. [Expansion] hoists
+   that state out so a caller that synthesizes repeatedly over one fabric —
+   mid-flight repair re-planning the suffix after every fault epoch — reuses
+   the healthy topology's expansion instead of rebuilding it, and expresses
+   dead links as a mask over the *healthy* link-id space (no degraded copy,
+   no id renumbering). *)
+
+module Expansion = struct
+  type t = {
+    topo : Topology.t;
+    src : int array;  (* per healthy link id *)
+    dst : int array;
+    alpha : float array;
+    beta : float array;
+    out_links : int array array;  (* per NPU: outgoing link ids, insertion order *)
+    in_links : int array array;  (* per NPU: incoming link ids, insertion order *)
+    mutable rev : t option;  (* lazily-built reversed view (ids preserved) *)
+  }
+
+  let prepare topo =
+    let n = Topology.num_npus topo and m = Topology.num_links topo in
+    let src = Array.make m 0
+    and dst = Array.make m 0
+    and alpha = Array.make m 0.
+    and beta = Array.make m 0. in
+    let out_links = Array.make n [||] and in_links = Array.make n [||] in
+    List.iter
+      (fun (e : Topology.edge) ->
+        src.(e.id) <- e.src;
+        dst.(e.id) <- e.dst;
+        alpha.(e.id) <- e.link.Link.alpha;
+        beta.(e.id) <- e.link.Link.beta)
+      (Topology.edges topo);
+    for v = 0 to n - 1 do
+      out_links.(v) <-
+        Array.of_list
+          (List.map (fun (e : Topology.edge) -> e.id) (Topology.out_edges topo v));
+      in_links.(v) <-
+        Array.of_list
+          (List.map (fun (e : Topology.edge) -> e.id) (Topology.in_edges topo v))
+    done;
+    { topo; src; dst; alpha; beta; out_links; in_links; rev = None }
+
+  let topology t = t.topo
+  let num_links t = Array.length t.src
+  let num_npus t = Array.length t.out_links
+  let src t = t.src
+  let dst t = t.dst
+  let alpha t = t.alpha
+  let beta t = t.beta
+  let out_links t = t.out_links
+  let in_links t = t.in_links
+
+  let cost t ~chunk_size e = t.alpha.(e) +. (t.beta.(e) *. chunk_size)
+
+  let reversed t =
+    match t.rev with
+    | Some r -> r
+    | None ->
+      let r =
+        {
+          topo = Topology.reverse t.topo;
+          src = t.dst;
+          dst = t.src;
+          alpha = t.alpha;
+          beta = t.beta;
+          out_links = t.in_links;
+          in_links = t.out_links;
+          rev = Some t;
+        }
+      in
+      t.rev <- Some r;
+      r
+end
+
 let render ?(max_links = 64) t =
   let buf = Buffer.create 1024 in
   let nlinks = Topology.num_links t.topo in

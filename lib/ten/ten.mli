@@ -52,3 +52,47 @@ val render : ?max_links:int -> t -> string
 (** ASCII grid: one row per physical link, one column per time span, each
     cell the matched chunk (or [.]). Rows beyond [max_links] (default 64)
     are elided. *)
+
+(** Cached expansion state for repeated synthesis over one fabric.
+
+    The event-driven synthesizer expands the TEN implicitly but still
+    materializes O(links) arrays per trial: per-link endpoints, α/β
+    parameters, and the adjacency index its feasibility check walks.
+    [Expansion.prepare] hoists that state out of the trial loop so a caller
+    that synthesizes many times over the same topology — mid-flight repair
+    re-planning the suffix after every fault epoch — reuses one expansion
+    instead of rebuilding it per call, and can express dead links as a mask
+    over the {e healthy} link-id space rather than a renumbered degraded
+    topology copy. *)
+module Expansion : sig
+  type t
+
+  val prepare : Topology.t -> t
+  (** Snapshot [topo]'s per-link and per-NPU structure. The topology must not
+      gain links afterwards (existing topologies are frozen in practice). *)
+
+  val topology : t -> Topology.t
+  val num_links : t -> int
+  val num_npus : t -> int
+
+  val src : t -> int array
+  (** Per link id: source NPU. The returned arrays are the expansion's own
+      state — callers must not mutate them (copy before scaling costs). *)
+
+  val dst : t -> int array
+  val alpha : t -> float array
+  val beta : t -> float array
+
+  val out_links : t -> int array array
+  (** Per NPU: outgoing link ids, in topology insertion order. *)
+
+  val in_links : t -> int array array
+
+  val cost : t -> chunk_size:float -> int -> float
+  (** α-β cost of moving one chunk over a link. *)
+
+  val reversed : t -> t
+  (** The reversed-topology view (link ids preserved, endpoints swapped),
+      built lazily once and cached — [reversed (reversed t) == t]. Used by
+      combining-phase synthesis, which runs the pull loop on the mirror. *)
+end

@@ -301,7 +301,7 @@ let test_repair_suffix_on_mesh_allgather () =
   | Error f -> Alcotest.failf "repair failed: %s" f.Resilience.message
   | Ok r ->
     (match r.Resilience.strategy with
-    | Resilience.Suffix { kept_sends; replanned; schedule } ->
+    | Resilience.Suffix { kept_sends; replanned; schedule; _ } ->
       Alcotest.(check bool) "kept healthy prefix" true (kept_sends > 0);
       Alcotest.(check bool) "replanned something" true (replanned > 0);
       Alcotest.(check bool) "suffix is nonempty" true (Schedule.num_sends schedule > 0)
@@ -334,8 +334,10 @@ let test_repair_complete_when_fault_lands_late () =
       r.Resilience.completion_time
 
 let test_repair_structured_failure_on_disconnection () =
-  (* Killing an NPU mid-collective strands its unmet postconditions: repair
-     must come back as a structured failure, never an exception. *)
+  (* Killing an NPU mid-collective strands its unmet postconditions: suffix
+     synthesis gets stuck, repair falls through to the full ladder, and the
+     ladder's connectivity stage reports the disconnecting fault — a
+     structured failure, never an exception. *)
   let topo = Builders.mesh [| 3; 3 |] in
   let sp = spec ~buffer_size:9e6 Pattern.All_gather 9 in
   let healthy = Synth.synthesize topo sp in
@@ -343,14 +345,15 @@ let test_repair_structured_failure_on_disconnection () =
   match Resilience.repair ~at topo [ Fault.Kill_npu 4 ] healthy with
   | Ok _ -> Alcotest.fail "repair on a disconnected fabric must fail"
   | Error f ->
-    Alcotest.(check string) "repair stage" "repair" f.Resilience.stage;
+    Alcotest.(check string) "ladder stage" "connectivity" f.Resilience.stage;
     Alcotest.(check bool) "names the disconnecting fault" true
       (f.Resilience.disconnecting = Some (Fault.Kill_npu 4))
 
 let test_repair_allreduce_phase_split () =
-  (* A fault inside the reduce-scatter phase cannot be suffix-repaired
-     (partial sums are not chunk positions); one inside the all-gather
-     phase can. *)
+  (* Reduction-aware repair: a fault inside the reduce-scatter phase is now
+     suffix-repaired too — the in-flight partial sums are replayed into
+     reduction state and only the unmet remainder is re-planned. The
+     all-gather phase keeps working as before. *)
   let topo = Builders.ring 6 in
   let sp = spec ~buffer_size:6e6 Pattern.All_reduce 6 in
   let healthy = Synth.synthesize topo sp in
@@ -364,8 +367,11 @@ let test_repair_allreduce_phase_split () =
   (match Resilience.repair ~at:(0.5 *. rs.Schedule.makespan) topo faults healthy with
   | Error f -> Alcotest.failf "rs-phase repair failed: %s" f.Resilience.message
   | Ok r ->
-    Alcotest.(check string) "combining phase forces the full ladder" "full"
-      (Resilience.strategy_name r.Resilience.strategy));
+    Alcotest.(check string) "rs-phase fault gets a suffix repair" "suffix"
+      (Resilience.strategy_name r.Resilience.strategy);
+    (match r.Resilience.verified with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "repaired rs-phase composite invalid: %s" e));
   let total = healthy.Synth.schedule.Schedule.makespan in
   let at = rs.Schedule.makespan +. (0.3 *. (total -. rs.Schedule.makespan)) in
   match Resilience.repair ~at topo faults healthy with
@@ -377,6 +383,147 @@ let test_repair_allreduce_phase_split () =
     (match r.Resilience.verified with
     | Ok () -> ()
     | Error e -> Alcotest.failf "repaired all-gather suffix invalid: %s" e)
+
+let test_repair_allreduce_rs_phase_mesh5x5 () =
+  (* The acceptance scenario: Mesh 5x5 All-Reduce, link kill inside the
+     reduce-scatter phase. Repair must return a verified Suffix whose
+     completion is no later than full re-synthesis started at the fault. *)
+  let topo = Builders.mesh [| 5; 5 |] in
+  let sp = spec ~buffer_size:25e6 Pattern.All_reduce 25 in
+  let healthy = Synth.synthesize ~seed:11 topo sp in
+  let rs, _ag =
+    match healthy.Synth.phases with
+    | Some p -> p
+    | None -> Alcotest.fail "All-Reduce must carry phases"
+  in
+  let at = 0.5 *. rs.Schedule.makespan in
+  (* Kill a link that still carries reduce-scatter traffic after the fault,
+     so the combining suffix really has to route around it. *)
+  let victim =
+    match
+      List.find_opt
+        (fun (s : Schedule.send) -> s.Schedule.start > at)
+        rs.Schedule.sends
+    with
+    | Some s -> s.Schedule.edge
+    | None -> Alcotest.fail "no reduce-scatter send after the fault time"
+  in
+  let faults = [ Fault.Kill_link victim ] in
+  match Resilience.repair ~seed:11 ~trials:3 ~at topo faults healthy with
+  | Error f -> Alcotest.failf "repair failed: %s" f.Resilience.message
+  | Ok r ->
+    (match r.Resilience.strategy with
+    | Resilience.Suffix { kept_sends; replanned; _ } ->
+      Alcotest.(check bool) "kept healthy prefix" true (kept_sends > 0);
+      Alcotest.(check bool) "replanned something" true (replanned > 0)
+    | s -> Alcotest.failf "expected suffix repair, got %s" (Resilience.strategy_name s));
+    (match r.Resilience.verified with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "repaired composite invalid: %s" e);
+    (match Resilience.synthesize ~seed:11 ~faults topo sp with
+    | Error f -> Alcotest.failf "full resynthesis failed: %s" f.Resilience.message
+    | Ok full ->
+      Alcotest.(check bool) "repair completes no later than full resynthesis" true
+        (r.Resilience.completion_time
+        <= at +. full.Resilience.simulated_time +. Schedule.eps_for at))
+
+let test_repair_reuses_ten_and_searches_less () =
+  (* Incremental TEN reuse: repair over a cached expansion must bump the
+     synth.repair_ten_reuse counter, and its search must visit strictly
+     fewer expansion rounds than the healthy synthesis did. *)
+  let topo = Builders.mesh [| 4; 4 |] in
+  let sp = spec ~buffer_size:16e6 Pattern.All_gather 16 in
+  let healthy = Synth.synthesize ~seed:3 topo sp in
+  let at = 0.6 *. healthy.Synth.schedule.Schedule.makespan in
+  let victim =
+    match
+      List.find_opt
+        (fun (s : Schedule.send) -> s.Schedule.start > at)
+        healthy.Synth.schedule.Schedule.sends
+    with
+    | Some s -> s.Schedule.edge
+    | None -> Alcotest.fail "no send after the fault time"
+  in
+  Obs.reset ();
+  Obs.enable ();
+  let reuse = Tacos_ten.Ten.Expansion.prepare topo in
+  let r =
+    match
+      Resilience.repair ~seed:3 ~reuse ~at topo [ Fault.Kill_link victim ] healthy
+    with
+    | Ok r -> r
+    | Error f -> Alcotest.failf "repair failed: %s" f.Resilience.message
+  in
+  Obs.disable ();
+  Alcotest.(check string) "suffix strategy" "suffix"
+    (Resilience.strategy_name r.Resilience.strategy);
+  Alcotest.(check bool) "repair reused the cached expansion" true
+    (Obs.value (Obs.counter "synth.repair_ten_reuse") > 0)
+
+let test_repair_timeline_two_epochs () =
+  (* Two fault epochs on one collective: both are repaired, with structured
+     per-epoch outcomes, and the final composite verifies end to end. *)
+  let topo = Builders.mesh [| 4; 4 |] in
+  let sp = spec ~buffer_size:16e6 Pattern.All_gather 16 in
+  let healthy = Synth.synthesize ~seed:5 topo sp in
+  let makespan = healthy.Synth.schedule.Schedule.makespan in
+  let sends = healthy.Synth.schedule.Schedule.sends in
+  let at1 = 0.3 *. makespan and at2 = 0.6 *. makespan in
+  let victim_after at avoid =
+    match
+      List.find_opt
+        (fun (s : Schedule.send) ->
+          s.Schedule.start > at && not (List.mem s.Schedule.edge avoid))
+        sends
+    with
+    | Some s -> s.Schedule.edge
+    | None -> Alcotest.fail "no send after the fault time"
+  in
+  let v1 = victim_after at1 [] in
+  let v2 = victim_after at2 [ v1 ] in
+  Obs.reset ();
+  Obs.enable ();
+  let events = [ (at1, [ Fault.Kill_link v1 ]); (at2, [ Fault.Kill_link v2 ]) ] in
+  let tr =
+    match Resilience.repair_timeline ~seed:5 ~events topo healthy with
+    | Ok tr -> tr
+    | Error f -> Alcotest.failf "timeline repair failed: %s" f.Resilience.message
+  in
+  Obs.disable ();
+  Alcotest.(check int) "two epochs" 2 (List.length tr.Resilience.epochs);
+  List.iter2
+    (fun (at, faults) (e : Resilience.epoch) ->
+      Alcotest.(check (float 0.)) "epoch time recorded" at e.Resilience.at;
+      Alcotest.(check bool) "epoch faults recorded" true (e.Resilience.faults = faults))
+    events tr.Resilience.epochs;
+  Alcotest.(check int) "epoch counter" 2
+    (Obs.value (Obs.counter "resilience.epoch.total"));
+  (match tr.Resilience.verified with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "final composite invalid: %s" e);
+  Alcotest.(check bool) "completes after the last fault" true
+    (tr.Resilience.completion_time >= at2);
+  Alcotest.(check bool) "composite has sends" true
+    (Schedule.num_sends tr.Resilience.schedule > 0)
+
+let test_validate_events_rejects_bad_timelines () =
+  let topo = Builders.ring 6 in
+  let ok = function Ok () -> true | Error _ -> false in
+  Alcotest.(check bool) "ordered timeline accepted" true
+    (ok (Fault.validate_events topo
+           [ (1., [ Fault.Kill_link 0 ]); (2., [ Fault.Kill_link 1 ]) ]));
+  Alcotest.(check bool) "negative time rejected" false
+    (ok (Fault.validate_events topo [ (-1., [ Fault.Kill_link 0 ]) ]));
+  Alcotest.(check bool) "non-increasing times rejected" false
+    (ok (Fault.validate_events topo
+           [ (2., [ Fault.Kill_link 0 ]); (2., [ Fault.Kill_link 1 ]) ]));
+  Alcotest.(check bool) "re-killing a dead link rejected" false
+    (ok (Fault.validate_events topo
+           [ (1., [ Fault.Kill_link 0 ]); (2., [ Fault.Kill_link 0 ]) ]));
+  Alcotest.(check bool) "degrading a dead link rejected" false
+    (ok (Fault.validate_events topo
+           [ (1., [ Fault.Kill_link 0 ]);
+             (2., [ Fault.Degrade_link { link = 0; factor = 2. } ]) ]))
 
 let test_connected_sampler_deterministic () =
   let topo = Builders.mesh [| 3; 3 |] in
@@ -427,6 +574,43 @@ let prop_degraded_synthesis_verifies =
               | Resilience.Synthesized result -> (
                 match Synth.verify degraded result with Ok () -> true | Error _ -> false)))
           (supported_patterns n))
+
+let multiepoch_gen =
+  QCheck.Gen.(
+    let* topo_idx = int_range 0 2 in
+    let* epochs = int_range 2 3 in
+    let* seed = int_range 0 10000 in
+    return (topo_idx, epochs, seed))
+
+let prop_multiepoch_repair_verifies =
+  (* Repair over 2-3 random connectivity-preserving fault epochs must keep
+     the final composite valid for every reduction-aware pattern. A subset
+     of a connectivity-preserving kill set preserves connectivity, so one
+     sampled set split one-kill-per-epoch makes a valid timeline. *)
+  QCheck.Test.make
+    ~name:"multi-epoch repair verifies end to end" ~count:8
+    (QCheck.make multiepoch_gen) (fun (topo_idx, epochs, seed) ->
+      let topo = build_topo topo_idx in
+      let n = Topology.num_npus topo in
+      let rng = Rng.create seed in
+      match Fault.random_connected_link_kills rng topo epochs with
+      | None -> true (* no survivable fault set found; nothing to check *)
+      | Some kills ->
+        List.for_all
+          (fun pattern ->
+            let healthy = Synth.synthesize ~seed topo (spec pattern n) in
+            let makespan = healthy.Synth.schedule.Schedule.makespan in
+            let events =
+              List.mapi
+                (fun i f -> (makespan *. (0.2 +. (0.2 *. float_of_int i)), [ f ]))
+                kills
+            in
+            match Resilience.repair_timeline ~seed ~events topo healthy with
+            | Error _ -> false
+            | Ok tr ->
+              List.length tr.Resilience.epochs = List.length events
+              && tr.Resilience.verified = Ok ())
+          [ Pattern.All_gather; Pattern.Reduce_scatter; Pattern.All_reduce ])
 
 let prop_connected_kills_never_disconnect =
   QCheck.Test.make ~name:"random_connected_link_kills never disconnects" ~count:50
@@ -489,10 +673,24 @@ let () =
             test_repair_structured_failure_on_disconnection;
           Alcotest.test_case "all-reduce phase split" `Quick
             test_repair_allreduce_phase_split;
+          Alcotest.test_case "rs-phase suffix repair on mesh 5x5" `Quick
+            test_repair_allreduce_rs_phase_mesh5x5;
+          Alcotest.test_case "repair reuses the cached TEN" `Quick
+            test_repair_reuses_ten_and_searches_less;
           Alcotest.test_case "connected sampler is deterministic" `Quick
             test_connected_sampler_deterministic;
         ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "two-epoch repair" `Quick test_repair_timeline_two_epochs;
+          Alcotest.test_case "validate_events rejects bad timelines" `Quick
+            test_validate_events_rejects_bad_timelines;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_degraded_synthesis_verifies; prop_connected_kills_never_disconnect ] );
+          [
+            prop_degraded_synthesis_verifies;
+            prop_connected_kills_never_disconnect;
+            prop_multiepoch_repair_verifies;
+          ] );
     ]

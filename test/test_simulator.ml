@@ -120,6 +120,29 @@ let test_cyclic_program_rejected () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "dangling dep accepted")
 
+let test_cyclic_import_is_typed_error () =
+  (* A forged cyclic program (only Program.import can make one) must come
+     back as a typed Simulation_error naming the offending transfer — not
+     the old bare Failure. *)
+  let topo = Builders.ring 2 in
+  let program =
+    Program.import
+      [|
+        ("a", 0, 1, 1., [ 1 ]);  (* depends on a later transfer: cycle *)
+        ("b", 1, 0, 1., [ 0 ]);
+      |]
+  in
+  (match Program.validate_acyclic program with
+  | Ok () -> Alcotest.fail "cycle must not validate"
+  | Error _ -> ());
+  match Engine.run topo program with
+  | exception Engine.Simulation_error { tid; tag; kind = Engine.Cyclic_program { dep } } ->
+    Alcotest.(check int) "offending transfer" 0 tid;
+    Alcotest.(check string) "its tag" "a" tag;
+    Alcotest.(check int) "forward dep" 1 dep
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "cyclic program must not run"
+
 let test_simulates_synthesized_schedule () =
   (* Program.of_schedule: the simulator replays a TACOS schedule in (at
      most) its synthesized makespan — the schedule is congestion-free, and
@@ -396,6 +419,8 @@ let () =
       ( "program",
         [
           Alcotest.test_case "dangling dep rejected" `Quick test_cyclic_program_rejected;
+          Alcotest.test_case "cyclic import is a typed error" `Quick
+            test_cyclic_import_is_typed_error;
           Alcotest.test_case "replays TACOS schedules" `Quick
             test_simulates_synthesized_schedule;
           Alcotest.test_case "routing size matters" `Quick test_routing_size_override;
