@@ -28,6 +28,7 @@ let experiments =
     ("midflight", "Mid-flight faults: replay vs repair vs re-synthesis", Midflight.run);
     ("overlap", "Bucketed comm/compute overlap", Overlap.run);
     ("hierarchy", "Flat vs hierarchical (process-group) synthesis", Hierarchy.run);
+    ("serve", "Synthesis service trace replay (deadlines, cache, shedding)", Serve.run);
     (* Last, so a full run compares everything it just regenerated. *)
     ("regress", "Regression guard: fresh BENCH rows vs committed baselines", Regress.run);
   ]

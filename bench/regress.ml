@@ -70,6 +70,25 @@ let specs =
         ];
     };
     {
+      exp = "serve";
+      keys = [ "trace" ];
+      metrics =
+        (* The service trace is fully deterministic by construction — every
+           count is pinned Exact. Latency percentiles are reported in the
+           row but deliberately untracked (machine noise). *)
+        [
+          ("requests", Exact);
+          ("hits", Exact);
+          ("misses", Exact);
+          ("degraded", Exact);
+          ("deadline_missed", Exact);
+          ("errors", Exact);
+          ("quarantined", Exact);
+          ("dup_syntheses", Exact);
+          ("shed", Exact);
+        ];
+    };
+    {
       exp = "hierarchy";
       keys = [ "topology"; "npus" ];
       metrics =

@@ -1,0 +1,337 @@
+(* Serve-trace replay: exercise the synthesis service end to end the way a
+   training fleet would — repeat hits, cold misses, duplicate bursts,
+   impossible fabrics, deadlines too tight to synthesize under — and
+   measure what the paper's serving story promises: a high hit rate, one
+   synthesis per duplicate burst, graceful degradation instead of
+   overruns, and a cache that survives corrupted disk entries.
+
+   The replay is deliberately deterministic: every count below is asserted
+   hard (a miscount is a bug, not a slow run) and recorded in
+   BENCH_serve.json where `regress` pins it Exact. Latency percentiles are
+   reported for the row but never tracked — they are machine noise. *)
+
+open Exp_common
+module Deadline = Tacos_util.Deadline
+module Pool = Tacos_util.Pool
+module Service = Tacos_serve.Service
+module Synthesizer = Tacos.Synthesizer
+
+let check cond fmt =
+  Printf.ksprintf (fun msg -> if not cond then failwith ("serve bench: " ^ msg)) fmt
+
+(* --- request construction / response inspection ------------------------- *)
+
+let request ?(op = "synthesize") ?deadline_ms ?(fail_links = []) ~id ~topology
+    ~pattern ~size () =
+  let fields =
+    [
+      ("id", Json.Number (float_of_int id));
+      ("op", Json.String op);
+      ("topology", Json.String topology);
+      ("pattern", Json.String pattern);
+      ("size", Json.Number size);
+    ]
+    @ (match deadline_ms with
+      | Some d -> [ ("deadline_ms", Json.Number d) ]
+      | None -> [])
+    @
+    match fail_links with
+    | [] -> []
+    | ls ->
+      [ ("fail_links", Json.Array (List.map (fun l -> Json.Number (float_of_int l)) ls)) ]
+  in
+  Json.encode (Json.Object fields)
+
+let field response name =
+  match Json.parse response with
+  | Ok doc -> Json.member name doc
+  | Error e -> failwith ("serve bench: response not JSON: " ^ e)
+
+let status response =
+  match field response "status" with
+  | Some (Json.String s) -> s
+  | _ -> failwith "serve bench: response has no status"
+
+let degraded response = field response "degraded" = Some (Json.Bool true)
+
+(* --- the trace ----------------------------------------------------------- *)
+
+(* Twelve configurations a fleet would keep asking for, warmed to disk by a
+   first service instance; three of their cache files are then corrupted
+   in three different ways before a second instance replays the trace. *)
+let warm_configs =
+  List.concat_map
+    (fun topology ->
+      List.map
+        (fun pattern -> (topology, pattern, 1e6))
+        [ "all-gather"; "reduce-scatter"; "all-reduce" ])
+    [ "ring:4"; "ring:8"; "mesh:2x2"; "mesh:3x3" ]
+
+let tight_configs =
+  [
+    ("ring:4", "all-gather", 3e6); ("ring:8", "reduce-scatter", 3e6);
+    ("mesh:2x2", "all-reduce", 3e6); ("mesh:3x3", "all-gather", 3e6);
+    ("ring:4", "all-reduce", 5e6); ("ring:8", "all-gather", 5e6);
+  ]
+
+let corrupt_entries dir =
+  let entries =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+  in
+  check (List.length entries = 12) "expected 12 warmed cache files, found %d"
+    (List.length entries);
+  match entries with
+  | a :: b :: c :: _ ->
+    (* Three distinct failure shapes: a half-truncated write, a
+       zero-length file, and plain garbage. *)
+    let text = In_channel.with_open_text a In_channel.input_all in
+    Out_channel.with_open_text a (fun oc ->
+        Out_channel.output_string oc
+          (String.sub text 0 (String.length text / 2)));
+    Out_channel.with_open_text b (fun _ -> ());
+    Out_channel.with_open_text c (fun oc ->
+        Out_channel.output_string oc "not json {{{");
+    [ a; b; c ]
+  | _ -> assert false
+
+let percentile sorted p =
+  match sorted with
+  | [||] -> nan
+  | a ->
+    let n = Array.length a in
+    a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let run () =
+  section "serve — deadline-aware service trace replay";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tacos_serve_bench_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+  let latencies = ref [] in
+  let timed svc line =
+    let t0 = Unix.gettimeofday () in
+    let response = Service.handle_line svc line in
+    latencies := (Unix.gettimeofday () -. t0) *. 1e3 :: !latencies;
+    response
+  in
+
+  (* Phase 1 — warm the persistent cache with one service instance. *)
+  let config = { Service.default_config with registry_dir = Some dir; queue_limit = 64 } in
+  let warm = Service.create ~config () in
+  List.iteri
+    (fun i (topology, pattern, size) ->
+      let r = Service.handle_line warm (request ~id:i ~topology ~pattern ~size ()) in
+      check (status r = "ok") "warm %s/%s failed: %s" topology pattern r)
+    warm_configs;
+  let ws = Service.stats warm in
+  check (ws.Service.misses = 12 && ws.Service.hits = 0)
+    "warm run should be 12 misses (got %d misses, %d hits)" ws.Service.misses
+    ws.Service.hits;
+  note "warmed %d configurations into %s" (List.length warm_configs) dir;
+
+  (* Phase 2 — corrupt three entries on disk, in three different ways. *)
+  let corrupted = corrupt_entries dir in
+  note "corrupted %d cache files (truncated / emptied / garbage)"
+    (List.length corrupted);
+
+  (* Phase 3 — a fresh instance replays the trace against the damaged
+     cache. The backend counts real syntheses so the duplicate burst can
+     assert single-flight coalescing. *)
+  let synth_calls = Atomic.make 0 in
+  let counting ~deadline ~seed ~domains topo spec =
+    Atomic.incr synth_calls;
+    Synthesizer.synthesize ~seed ~domains ?deadline topo spec
+  in
+  let svc = Service.create ~config ~synthesize:counting () in
+  let next_id = ref 1000 in
+  let id () = incr next_id; !next_id in
+
+  (* 96 repeat requests: 8 rounds over the 12 warm configurations. The
+     nine intact entries load from disk (hits); the three corrupted ones
+     are quarantined and re-synthesized exactly once. *)
+  for _round = 1 to 8 do
+    List.iter
+      (fun (topology, pattern, size) ->
+        let r = timed svc (request ~id:(id ()) ~topology ~pattern ~size ()) in
+        check (status r = "ok" && not (degraded r)) "replay %s/%s: %s" topology
+          pattern r)
+      warm_configs
+  done;
+
+  (* 6 requests with deadlines far too tight to synthesize under: each
+     must come back degraded (a feasible baseline), never overrun. *)
+  let slack_ms = 250. in
+  List.iter
+    (fun (topology, pattern, size) ->
+      let t0 = Unix.gettimeofday () in
+      let r =
+        timed svc (request ~id:(id ()) ~topology ~pattern ~size ~deadline_ms:0. ())
+      in
+      let took = (Unix.gettimeofday () -. t0) *. 1e3 in
+      check (status r = "ok") "tight-deadline %s/%s: %s" topology pattern r;
+      check (degraded r || took <= slack_ms)
+        "tight-deadline %s/%s neither degraded nor fast (%.1f ms): %s" topology
+        pattern took r)
+    tight_configs;
+
+  (* 4 impossible requests: killing the only link of a unidirectional
+     ring disconnects it — each must be a structured error, not a hang
+     or a crash. *)
+  for _ = 1 to 4 do
+    let r =
+      timed svc
+        (request ~id:(id ()) ~topology:"uniring:4" ~pattern:"all-gather"
+           ~size:1e6 ~fail_links:[ 0 ] ())
+    in
+    check (status r = "error") "impossible spec should error: %s" r;
+    check (field r "failure" <> None) "impossible spec should carry a failure: %s" r
+  done;
+
+  (* 16-request duplicate burst on a cold configuration, issued
+     concurrently: the registry's single-flight path must run exactly one
+     synthesis; everyone else coalesces into a hit. *)
+  let before = Atomic.get synth_calls in
+  let burst = request ~id:(id ()) ~topology:"ring:6" ~pattern:"all-gather" ~size:2e6 () in
+  let pool = Pool.create ~size:8 () in
+  let responses =
+    Pool.map pool
+      (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        let r = Service.handle_line svc burst in
+        ((Unix.gettimeofday () -. t0) *. 1e3, r))
+      16
+  in
+  Pool.shutdown pool;
+  Array.iter
+    (fun (ms, r) ->
+      latencies := ms :: !latencies;
+      check (status r = "ok" && not (degraded r)) "burst response: %s" r)
+    responses;
+  let dup_syntheses = Atomic.get synth_calls - before in
+  check (dup_syntheses = 1) "duplicate burst ran %d syntheses, wanted exactly 1"
+    dup_syntheses;
+
+  let s = Service.stats svc in
+  let requests = s.Service.accepted in
+  check (requests = 122) "trace should admit 122 requests, admitted %d" requests;
+  check (s.Service.hits = 108) "expected 108 hits, got %d" s.Service.hits;
+  check (s.Service.misses = 4) "expected 4 misses (3 re-synthesized + 1 burst), got %d"
+    s.Service.misses;
+  check (s.Service.degraded = 6) "expected 6 degraded, got %d" s.Service.degraded;
+  check (s.Service.deadline_missed = 6) "expected 6 deadline misses, got %d"
+    s.Service.deadline_missed;
+  check (s.Service.errors = 4) "expected 4 errors, got %d" s.Service.errors;
+  check (s.Service.quarantined = 3) "expected 3 quarantined files, got %d"
+    s.Service.quarantined;
+  List.iter
+    (fun path ->
+      check (Sys.file_exists (path ^ ".corrupt")) "missing quarantine file %s.corrupt" path)
+    corrupted;
+  let has_substring sub s =
+    let n = String.length sub and m = String.length s in
+    let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+    at 0
+  in
+  check
+    (Sys.readdir dir |> Array.for_all (fun f -> not (has_substring ".tmp." f)))
+    "leftover .tmp files in %s" dir;
+
+  (* Phase 4 — load shedding under a saturated queue: two syntheses block
+     on a latch while three more requests arrive; all three must be shed
+     with structured overloaded responses, then the blocked pair completes
+     once the latch opens. *)
+  let latch = Mutex.create () in
+  let opened = Condition.create () in
+  let released = ref false in
+  let started = Atomic.make 0 in
+  let blocking ~deadline ~seed ~domains topo spec =
+    Atomic.incr started;
+    Mutex.lock latch;
+    while not !released do
+      Condition.wait opened latch
+    done;
+    Mutex.unlock latch;
+    Synthesizer.synthesize ~seed ~domains ?deadline topo spec
+  in
+  let tiny = { Service.default_config with queue_limit = 2 } in
+  let shed_svc = Service.create ~config:tiny ~synthesize:blocking () in
+  let pool = Pool.create ~size:4 () in
+  let blocked =
+    List.map
+      (fun topology ->
+        Pool.submit pool (fun () ->
+            Service.handle_line shed_svc
+              (request ~id:(id ()) ~topology ~pattern:"all-gather" ~size:1e6 ())))
+      [ "ring:4"; "ring:8" ]
+  in
+  let t0 = Unix.gettimeofday () in
+  while Atomic.get started < 2 && Unix.gettimeofday () -. t0 < 10. do
+    Unix.sleepf 0.001
+  done;
+  check (Atomic.get started = 2) "latch backends never started (%d)"
+    (Atomic.get started);
+  for _ = 1 to 3 do
+    let r =
+      Service.handle_line shed_svc
+        (request ~id:(id ()) ~topology:"mesh:2x2" ~pattern:"all-reduce" ~size:1e6 ())
+    in
+    check (status r = "overloaded") "saturated queue should shed: %s" r;
+    check (field r "retry_after_ms" <> None) "overloaded reply needs retry hint: %s" r
+  done;
+  Mutex.lock latch;
+  released := true;
+  Condition.broadcast opened;
+  Mutex.unlock latch;
+  List.iter
+    (fun fut -> check (status (Pool.await pool fut) = "ok") "latched request failed")
+    blocked;
+  Pool.shutdown pool;
+  let shed_stats = Service.stats shed_svc in
+  check (shed_stats.Service.shed = 3) "expected 3 shed, got %d" shed_stats.Service.shed;
+  check (shed_stats.Service.accepted = 2) "expected 2 admitted, got %d"
+    shed_stats.Service.accepted;
+
+  (* --- report ------------------------------------------------------------ *)
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  let p50 = percentile sorted 0.50 and p99 = percentile sorted 0.99 in
+  let hit_rate = float_of_int s.Service.hits /. float_of_int requests in
+  let degraded_fraction = float_of_int s.Service.degraded /. float_of_int requests in
+  Table.print
+    ~header:
+      [ "requests"; "hits"; "misses"; "degraded"; "errors"; "quarantined";
+        "dup synth"; "shed"; "hit rate"; "p50"; "p99" ]
+    [
+      [
+        string_of_int requests; string_of_int s.Service.hits;
+        string_of_int s.Service.misses; string_of_int s.Service.degraded;
+        string_of_int s.Service.errors; string_of_int s.Service.quarantined;
+        string_of_int dup_syntheses; string_of_int shed_stats.Service.shed;
+        Printf.sprintf "%.1f%%" (100. *. hit_rate);
+        Printf.sprintf "%.2f ms" p50; Printf.sprintf "%.2f ms" p99;
+      ];
+    ];
+  record ~exp:"serve"
+    [
+      ("trace", Json.String "default");
+      ("requests", Json.Number (float_of_int requests));
+      ("hits", Json.Number (float_of_int s.Service.hits));
+      ("misses", Json.Number (float_of_int s.Service.misses));
+      ("degraded", Json.Number (float_of_int s.Service.degraded));
+      ("deadline_missed", Json.Number (float_of_int s.Service.deadline_missed));
+      ("errors", Json.Number (float_of_int s.Service.errors));
+      ("quarantined", Json.Number (float_of_int s.Service.quarantined));
+      ("dup_syntheses", Json.Number (float_of_int dup_syntheses));
+      ("shed", Json.Number (float_of_int shed_stats.Service.shed));
+      ("hit_rate", Json.Number hit_rate);
+      ("degraded_fraction", Json.Number degraded_fraction);
+      ("p50_ms", Json.Number p50);
+      ("p99_ms", Json.Number p99);
+    ];
+  flush_bench ~exp:"serve";
+  note "all serve-trace assertions passed"

@@ -22,6 +22,7 @@ module Chrome = Tacos_obs.Chrome
 module Critpath = Tacos_obs.Critpath
 module Fault = Tacos_resilience.Fault
 module Resilience = Tacos_resilience.Resilience
+module Service = Tacos_serve.Service
 
 (* --- common options ------------------------------------------------------ *)
 
@@ -1251,6 +1252,125 @@ let trace_cmd =
           the critical-path attribution of the makespan")
     term
 
+(* --- serve ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve line-framed JSON requests on stdin/stdout until EOF — the \
+             transport tests and scripted transcripts use.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket at $(docv), one thread per \
+             connection, all sharing one schedule cache.")
+  in
+  let registry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "registry" ] ~docv:"DIR"
+          ~doc:
+            "Persist the schedule cache under $(docv) (crash-safe writes; \
+             corrupt entries are quarantined to *.corrupt on load).")
+  in
+  let queue_limit_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Max in-flight requests before load is shed with structured \
+             'overloaded' responses.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline for requests that carry none; past \
+             it the server degrades to the best feasible baseline \
+             (degraded:true) instead of overrunning.")
+  in
+  let serve_loop svc ic oc =
+    try
+      while true do
+        let line = input_line ic in
+        if String.trim line <> "" then begin
+          output_string oc (Service.handle_line svc line);
+          output_char oc '\n';
+          flush oc
+        end
+      done
+    with End_of_file | Sys_error _ -> ()
+  in
+  let run stdio socket registry_dir queue_limit deadline_ms seed trials domains =
+    if (not stdio) && socket = None then
+      fail "pass --stdio or --socket PATH (nothing to serve on)"
+    else if trials <= 0 || domains <= 0 || queue_limit <= 0 then
+      fail "--trials, --domains and --queue-limit must be positive"
+    else begin
+      (* The daemon keeps observability on: serve.* counters feed the
+         stats op and any profile taken against a long-running server. *)
+      Obs.enable ();
+      let config =
+        {
+          Service.queue_limit;
+          domains;
+          trials;
+          default_deadline_ms = deadline_ms;
+          registry_dir;
+          seed;
+        }
+      in
+      let svc = Service.create ~config () in
+      match socket with
+      | None ->
+        serve_loop svc stdin stdout;
+        `Ok ()
+      | Some path ->
+        if Sys.file_exists path then Sys.remove path;
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 64;
+        Printf.eprintf "tacos serve: listening on %s\n%!" path;
+        let rec accept_loop () =
+          let conn, _ = Unix.accept sock in
+          ignore
+            (Thread.create
+               (fun conn ->
+                 let ic = Unix.in_channel_of_descr conn in
+                 let oc = Unix.out_channel_of_descr conn in
+                 serve_loop svc ic oc;
+                 try Unix.close conn with Unix.Unix_error _ -> ())
+               conn);
+          accept_loop ()
+        in
+        accept_loop ()
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ stdio_arg $ socket_arg $ registry_arg $ queue_limit_arg
+       $ deadline_arg $ seed_arg $ trials_arg $ domains_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the synthesis service: a persistent daemon answering \
+          synthesize/tune/export requests over line-framed JSON, with a \
+          shared crash-safe schedule cache, per-request deadlines with \
+          graceful degradation, and bounded admission")
+    term
+
 (* --- info -------------------------------------------------------------------- *)
 
 let info_cmd =
@@ -1297,5 +1417,5 @@ let () =
        (Cmd.group info
           [
             synthesize_cmd; compare_cmd; tune_cmd; profile_cmd; trace_cmd;
-            faults_cmd; info_cmd;
+            faults_cmd; serve_cmd; info_cmd;
           ]))

@@ -14,9 +14,11 @@ type t = {
   cond : Condition.t;
   table : (string, Synthesizer.result) Hashtbl.t;
   inflight : (string, flight) Hashtbl.t;
+  mutable quarantined : int;  (** disk entries set aside as [*.corrupt] *)
 }
 
 let c_inflight_joins = Obs.counter "registry.inflight_joins"
+let c_quarantined = Obs.counter "registry.quarantined"
 
 (* mkdir -p. Tolerates concurrent creation: another process winning the
    race leaves the directory in place, which is all we need. *)
@@ -36,6 +38,7 @@ let create ?dir () =
     cond = Condition.create ();
     table = Hashtbl.create 16;
     inflight = Hashtbl.create 8;
+    quarantined = 0;
   }
 
 (* Full-width (128-bit) digest of the canonical edge buffer. The
@@ -133,13 +136,61 @@ let validate_any topo (spec : Spec.t) schedule phases =
   | Pattern.All_reduce, None -> Ok ()
   | _ -> Schedule.validate topo spec schedule
 
+(* Set a broken disk entry aside as [<path>.corrupt] instead of letting it
+   poison (or worse, abort) every later load. Quarantine is forensic — the
+   bytes survive for inspection — and never fatal: a rename failure (e.g. a
+   concurrent quarantine won the race) just leaves re-synthesis to overwrite
+   the entry in place. *)
+let quarantine t path =
+  (try Sys.rename path (path ^ ".corrupt") with Sys_error _ -> ());
+  Obs.incr c_quarantined;
+  Mutex.lock t.lock;
+  t.quarantined <- t.quarantined + 1;
+  Mutex.unlock t.lock
+
+let quarantined t =
+  Mutex.lock t.lock;
+  let n = t.quarantined in
+  Mutex.unlock t.lock;
+  n
+
+(* Entries written by [save_to_disk] carry a "checksum" field: the MD5 of
+   the entry encoded *without* it. [Json.parse] preserves field order and
+   [Json.encode] is deterministic ([%.17g] round-trips every float), so
+   strip-reencode-digest reproduces the signed bytes exactly. Foreign
+   algorithm files without a checksum are trusted as before. *)
+let checksum_ok fields =
+  match List.assoc_opt "checksum" fields with
+  | None -> true
+  | Some (Json.String declared) ->
+    let payload =
+      Json.encode (Json.Object (List.filter (fun (k, _) -> k <> "checksum") fields))
+    in
+    String.equal declared (Digest.to_hex (Digest.string payload))
+  | Some _ -> false
+
+(* Any failure mode of a present file — unreadable, not JSON, checksum
+   mismatch (torn write), malformed schedule, failed re-validation —
+   quarantines it and reports a miss; it never raises out of a lookup. *)
 let load_from_disk t topo spec k =
   match disk_path t k with
   | Some path when Sys.file_exists path -> (
-    let text = In_channel.with_open_text path In_channel.input_all in
-    match Schedule.of_json text with
-    | Ok schedule -> (
-      let doc = Result.value ~default:Json.Null (Json.parse text) in
+    let entry =
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error _ -> None
+      | text -> (
+        match Json.parse text with
+        | Ok (Json.Object fields) when checksum_ok fields -> (
+          match Schedule.of_json text with
+          | Ok schedule -> Some (Json.Object fields, schedule)
+          | Error _ | (exception _) -> None)
+        | Ok _ | Error _ -> None)
+    in
+    match entry with
+    | None ->
+      quarantine t path;
+      None
+    | Some (doc, schedule) -> (
       let phases = restore_phases spec schedule doc in
       match validate_any topo spec schedule phases with
       | Ok () ->
@@ -151,10 +202,15 @@ let load_from_disk t topo spec k =
             phases;
             stats = restore_stats doc;
           }
-      | Error _ -> None)
-    | Error _ -> None)
+      | Error _ ->
+        quarantine t path;
+        None))
   | _ -> None
 
+(* Crash-safe persistence: encode with the embedded checksum, write the
+   bytes to a same-directory temp file, then [Sys.rename] into place — on
+   POSIX the rename is atomic, so a reader (or a crash) sees either the old
+   complete entry or the new complete entry, never a torn prefix. *)
 let save_to_disk t spec (result : Synthesizer.result) k =
   match disk_path t k with
   | Some path ->
@@ -162,10 +218,14 @@ let save_to_disk t spec (result : Synthesizer.result) k =
     let text =
       match Json.parse text with
       | Ok (Json.Object fields) ->
-        Json.encode (Json.Object (fields @ provenance_fields result))
+        let fields = fields @ provenance_fields result in
+        let digest = Digest.to_hex (Digest.string (Json.encode (Json.Object fields))) in
+        Json.encode (Json.Object (fields @ [ ("checksum", Json.String digest) ]))
       | _ -> text
     in
-    Out_channel.with_open_text path (fun oc -> output_string oc text)
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    Out_channel.with_open_text tmp (fun oc -> output_string oc text);
+    Sys.rename tmp path
   | None -> ()
 
 (* Single-flight lookup. Under [t.lock], a request either hits the
@@ -176,7 +236,17 @@ let save_to_disk t spec (result : Synthesizer.result) k =
    publishes under the lock and broadcasts. N concurrent identical
    requests therefore run exactly one synthesis; the N-1 joiners are
    counted under [registry.inflight_joins] and report [`Hit]. *)
-let find_or_synthesize ?(seed = 42) ?(domains = 1) t topo (spec : Spec.t) =
+(* The default miss backend: routed patterns go through [Router], the rest
+   through [Synthesizer]. Servers inject their own (deadline-carrying)
+   backend via [?synthesize]. *)
+let default_backend ~seed ~domains topo (spec : Spec.t) =
+  match spec.pattern with
+  | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ ->
+    Router.synthesize ~seed topo spec
+  | _ -> Synthesizer.synthesize ~seed ~domains topo spec
+
+let find_or_synthesize ?(seed = 42) ?(domains = 1) ?(synthesize = default_backend)
+    t topo (spec : Spec.t) =
   let k = key topo spec in
   let claim () =
     Mutex.lock t.lock;
@@ -223,12 +293,7 @@ let find_or_synthesize ?(seed = 42) ?(domains = 1) t topo (spec : Spec.t) =
       match load_from_disk t topo spec k with
       | Some result -> (result, `Hit)
       | None ->
-        let result =
-          match spec.pattern with
-          | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ ->
-            Router.synthesize ~seed topo spec
-          | _ -> Synthesizer.synthesize ~seed ~domains topo spec
-        in
+        let result = synthesize ~seed ~domains topo spec in
         save_to_disk t spec result k;
         (result, `Miss)
     with
@@ -238,6 +303,27 @@ let find_or_synthesize ?(seed = 42) ?(domains = 1) t topo (spec : Spec.t) =
     | exception e ->
       publish (Error e);
       raise e)
+
+(* Non-blocking peek: the in-memory table, then disk. Unlike
+   [find_or_synthesize] this never joins an in-flight synthesis — a server
+   answering cache probes must not block behind a miss in progress. A disk
+   hit is published to the table (losing a publish race is benign: both
+   sides hold validated results for the same key). *)
+let find_cached t topo (spec : Spec.t) =
+  let k = key topo spec in
+  Mutex.lock t.lock;
+  let hit = Hashtbl.find_opt t.table k in
+  Mutex.unlock t.lock;
+  match hit with
+  | Some _ -> hit
+  | None -> (
+    match load_from_disk t topo spec k with
+    | Some result ->
+      Mutex.lock t.lock;
+      if not (Hashtbl.mem t.table k) then Hashtbl.replace t.table k result;
+      Mutex.unlock t.lock;
+      Some result
+    | None -> None)
 
 let entries t =
   Mutex.lock t.lock;

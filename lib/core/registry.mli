@@ -41,28 +41,51 @@ val spec_key : Spec.t -> string
 val find_or_synthesize :
   ?seed:int ->
   ?domains:int ->
+  ?synthesize:(seed:int -> domains:int -> Topology.t -> Spec.t -> Synthesizer.result) ->
   t ->
   Topology.t ->
   Spec.t ->
   Synthesizer.result * [ `Hit | `Miss ]
 (** Return the cached schedule for this (topology, spec) or synthesize,
-    cache, and return it. Routed patterns (All-to-All, Gather, Scatter) go
-    through {!Router}, everything else through {!Synthesizer} (with
-    [domains] forwarded, spreading synthesis trials over the shared
-    {!Tacos_util.Pool}). Disk entries persist their provenance — the
-    synthesis stats and, for All-Reduce, the reduce-scatter makespan — as
-    extra JSON fields next to the send list (which
-    {!Tacos_collective.Schedule.of_json} ignores, so the files remain
-    plain algorithm files); a disk hit restores the original stats and the
-    All-Reduce phase split, and entries carrying a split are re-validated
-    with {!Tacos_collective.Schedule.validate_all_reduce} on load. Foreign
+    cache, and return it. By default routed patterns (All-to-All, Gather,
+    Scatter) go through {!Router}, everything else through {!Synthesizer}
+    (with [domains] forwarded, spreading synthesis trials over the shared
+    {!Tacos_util.Pool}); [synthesize] replaces that miss backend — the
+    serving layer injects one that carries the request deadline. Disk
+    entries persist their provenance — the synthesis stats and, for
+    All-Reduce, the reduce-scatter makespan — as extra JSON fields next to
+    the send list (which {!Tacos_collective.Schedule.of_json} ignores, so
+    the files remain plain algorithm files); a disk hit restores the
+    original stats and the All-Reduce phase split, and entries carrying a
+    split are re-validated with
+    {!Tacos_collective.Schedule.validate_all_reduce} on load. Foreign
     All-Reduce files without provenance load with zeroed stats, no split,
     and no validation, as before.
 
+    Persistence is crash-safe: entries are encoded with an embedded MD5
+    [checksum] field and written via a same-directory temp file +
+    [Sys.rename], so a reader never observes a torn write. On load, any
+    broken file — unreadable, not JSON, checksum mismatch, malformed
+    schedule, failed re-validation — is {e quarantined}: renamed to
+    [<entry>.corrupt] (preserved for forensics), counted under
+    {!quarantined} and the [registry.quarantined] obs counter, and treated
+    as a miss. A lookup never raises because of disk state.
+
     Safe to call concurrently from many domains; identical concurrent
     requests trigger exactly one synthesis (single-flight). If the
-    synthesis raises, every joined waiter re-raises the same exception
-    and the key is released for retry. *)
+    synthesis (injected or default) raises, every joined waiter re-raises
+    the same exception and the key is released for retry. *)
+
+val find_cached : t -> Topology.t -> Spec.t -> Synthesizer.result option
+(** Non-blocking cache peek: the in-memory table, then the disk store
+    (publishing a disk hit to the table, quarantining broken files as
+    above). Never synthesizes and never joins an in-flight synthesis —
+    the probe a server can afford on every request, even one whose
+    deadline already passed. *)
 
 val entries : t -> int
 (** Number of in-memory entries. *)
+
+val quarantined : t -> int
+(** Number of broken disk entries this registry has set aside as
+    [*.corrupt] since creation. *)

@@ -5,6 +5,7 @@ module Rng = Tacos_util.Rng
 module Fheap = Tacos_util.Fheap
 module Ivec = Tacos_util.Ivec
 module Pool = Tacos_util.Pool
+module Deadline = Tacos_util.Deadline
 module Obs = Tacos_obs.Obs
 module Trace = Tacos_obs.Trace
 module Ten = Tacos_ten.Ten
@@ -36,6 +37,7 @@ type result = {
 
 exception Unsupported of string
 exception Stuck of string
+exception Deadline_exceeded
 
 (* A synthesis goal in positional form: where the chunks are and where they
    must end up, untied from any collective pattern. Specs lower to goals
@@ -200,8 +202,8 @@ let check_feasible_masked exp ~dead_mask goal =
    tie-break) and pick a random chunk from [holds(src) ∩ wants(dst)] — the
    same greedy maximal matching as iterating shuffled postconditions, found
    by scanning whichever of the two sets is smaller. *)
-let synthesize_pull ~prefer_cheap_links ?reuse ?(dead = []) ?(slowed = []) rng
-    topo goal =
+let synthesize_pull ~prefer_cheap_links ?deadline ?reuse ?(dead = [])
+    ?(slowed = []) rng topo goal =
   let exp =
     match reuse with Some e -> e | None -> Ten.Expansion.prepare topo
   in
@@ -396,20 +398,26 @@ let synthesize_pull ~prefer_cheap_links ?reuse ?(dead = []) ?(slowed = []) rng
                  the topology strongly connected?"
                 !unsatisfied))
   in
+  (* The cooperative cancellation point: one wall-clock poll per expansion
+     round, between rounds — a round's matching work is never left half
+     applied, and a raise here publishes no partial schedule. *)
   while !unsatisfied > 0 do
+    (match deadline with
+    | Some d when Deadline.expired d -> raise Deadline_exceeded
+    | _ -> ());
     Trace.with_span "round" round_body
   done;
   (Schedule.make !sends, !rounds, !matches)
 
-let synthesize_simple ~prefer_cheap_links rng topo (spec : Spec.t) =
+let synthesize_simple ~prefer_cheap_links ?deadline rng topo (spec : Spec.t) =
   match spec.pattern with
   | Pattern.All_gather | Pattern.Broadcast _ ->
-    synthesize_pull ~prefer_cheap_links rng topo (goal_of_spec spec)
+    synthesize_pull ~prefer_cheap_links ?deadline rng topo (goal_of_spec spec)
   | Pattern.Reduce_scatter | Pattern.Reduce _ ->
     (* §IV-E: synthesize the non-combining counterpart on the reversed
        topology, then mirror the schedule in time and direction. *)
     let sched, rounds, matches =
-      synthesize_pull ~prefer_cheap_links rng (Topology.reverse topo)
+      synthesize_pull ~prefer_cheap_links ?deadline rng (Topology.reverse topo)
         (goal_of_spec (Spec.reverse spec))
     in
     (Schedule.reverse sched, rounds, matches)
@@ -427,32 +435,35 @@ let synthesize_simple ~prefer_cheap_links rng topo (spec : Spec.t) =
           use Tacos.Router (or Tacos.Alltoall)")
 
 (* One full trial, returning (schedule, phases, rounds, matches). *)
-let trial_untimed ~prefer_cheap_links rng topo (spec : Spec.t) =
+let trial_untimed ~prefer_cheap_links ?deadline rng topo (spec : Spec.t) =
   match spec.pattern with
   | Pattern.All_reduce ->
     let rs, r1, m1 =
-      synthesize_simple ~prefer_cheap_links rng topo
+      synthesize_simple ~prefer_cheap_links ?deadline rng topo
         (Spec.with_pattern spec Pattern.Reduce_scatter)
     in
     let ag, r2, m2 =
-      synthesize_simple ~prefer_cheap_links rng topo
+      synthesize_simple ~prefer_cheap_links ?deadline rng topo
         (Spec.with_pattern spec Pattern.All_gather)
     in
     let ag_shifted = Schedule.shift ag rs.Schedule.makespan in
     (Schedule.concat rs ag, Some (rs, ag_shifted), r1 + r2, m1 + m2)
   | _ ->
-    let sched, rounds, matches = synthesize_simple ~prefer_cheap_links rng topo spec in
+    let sched, rounds, matches =
+      synthesize_simple ~prefer_cheap_links ?deadline rng topo spec
+    in
     (sched, None, rounds, matches)
 
-let trial ~prefer_cheap_links rng topo spec =
+let trial ~prefer_cheap_links ?deadline rng topo spec =
   let ((sched, _, _, _) as result) =
-    Obs.time obs_trial_timer (fun () -> trial_untimed ~prefer_cheap_links rng topo spec)
+    Obs.time obs_trial_timer (fun () ->
+        trial_untimed ~prefer_cheap_links ?deadline rng topo spec)
   in
   Obs.observe obs_trial_makespan sched.Schedule.makespan;
   result
 
 let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = true)
-    topo spec =
+    ?deadline topo spec =
   if trials <= 0 then invalid_arg "Synthesizer.synthesize: trials must be positive";
   if domains <= 0 then invalid_arg "Synthesizer.synthesize: domains must be positive";
   if Topology.num_npus topo <> spec.Spec.npus then
@@ -470,7 +481,7 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = 
        buffers stay attributable. *)
     Obs.with_trial i (fun () ->
         Trace.with_span "trial" (fun () ->
-            trial ~prefer_cheap_links (Rng.create seeds.(i)) topo spec))
+            trial ~prefer_cheap_links ?deadline (Rng.create seeds.(i)) topo spec))
   in
   let results =
     (* Trials run on the shared pool so trial- and group-parallelism draw
@@ -502,7 +513,8 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = 
   }
 
 let synthesize_goal ?(seed = 42) ?(trials = 1) ?(domains = 1)
-    ?(prefer_cheap_links = true) ?reuse ?(dead = []) ?(slowed = []) topo goal =
+    ?(prefer_cheap_links = true) ?deadline ?reuse ?(dead = []) ?(slowed = [])
+    topo goal =
   if trials <= 0 then
     invalid_arg "Synthesizer.synthesize_goal: trials must be positive";
   if domains <= 0 then
@@ -522,8 +534,8 @@ let synthesize_goal ?(seed = 42) ?(trials = 1) ?(domains = 1)
             let ((sched, _, _) as r) =
               Obs.time obs_trial_timer (fun () ->
                   if Option.is_some reuse then Obs.incr obs_ten_reuse;
-                  synthesize_pull ~prefer_cheap_links ?reuse ~dead ~slowed
-                    (Rng.create seeds.(i)) topo goal)
+                  synthesize_pull ~prefer_cheap_links ?deadline ?reuse ~dead
+                    ~slowed (Rng.create seeds.(i)) topo goal)
             in
             Obs.observe obs_trial_makespan sched.Schedule.makespan;
             r))
@@ -705,7 +717,8 @@ let relay_closure exp ~dead_mask ~dest holders =
     (Iset.singleton dest) holders
 
 let synthesize_goal_plan ?(seed = 42) ?(trials = 1) ?(domains = 1)
-    ?(prefer_cheap_links = true) ?reuse ?(dead = []) ?(slowed = []) topo goal =
+    ?(prefer_cheap_links = true) ?deadline ?reuse ?(dead = []) ?(slowed = [])
+    topo goal =
   if trials <= 0 then
     invalid_arg "Synthesizer.synthesize_goal_plan: trials must be positive";
   if domains <= 0 then
@@ -792,14 +805,14 @@ let synthesize_goal_plan ?(seed = 42) ?(trials = 1) ?(domains = 1)
                   if not need_combine then (Schedule.empty, 0, 0)
                   else
                     let s, r, m =
-                      synthesize_pull ~prefer_cheap_links ~reuse:rexp ~dead
-                        ~slowed rng rtopo combine_goal
+                      synthesize_pull ~prefer_cheap_links ?deadline ~reuse:rexp
+                        ~dead ~slowed rng rtopo combine_goal
                     in
                     (Schedule.reverse s, r, m)
                 in
                 let spread, r2, m2 =
-                  synthesize_pull ~prefer_cheap_links ~reuse:exp ~dead ~slowed
-                    rng topo spread_goal
+                  synthesize_pull ~prefer_cheap_links ?deadline ~reuse:exp ~dead
+                    ~slowed rng topo spread_goal
                 in
                 let pull = Schedule.shift spread combining.Schedule.makespan in
                 let plan = { combining; pull } in

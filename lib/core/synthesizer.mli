@@ -63,11 +63,21 @@ exception Stuck of string
     should go through [Tacos_resilience.Resilience.synthesize], which turns
     it into a structured fallback ladder. *)
 
+exception Deadline_exceeded
+(** Raised when a [?deadline] passes mid-synthesis. The check is
+    cooperative — polled once per expansion round, between rounds — so the
+    raise is prompt (a round is bounded work) and never surfaces a partial
+    schedule: a synthesis either returns a complete, verifiable result or
+    raises. Serving layers catch this to degrade gracefully
+    ([Tacos_resilience.Resilience.synthesize] turns it into a baseline
+    fallback rung). *)
+
 val synthesize :
   ?seed:int ->
   ?trials:int ->
   ?domains:int ->
   ?prefer_cheap_links:bool ->
+  ?deadline:Tacos_util.Deadline.t ->
   Topology.t ->
   Spec.t ->
   result
@@ -86,7 +96,14 @@ val synthesize :
 
     [prefer_cheap_links] (default [true]) is the §IV-F heterogeneous-network
     heuristic: idle links are matched cheapest-first. Turning it off matches
-    links in random order, the ablation of the bench harness. *)
+    links in random order, the ablation of the bench harness.
+
+    [deadline] (default none) bounds the synthesis wall clock: every trial
+    polls it between expansion rounds and the whole call raises
+    {!Deadline_exceeded} once it passes — with parallel trials the raise
+    propagates through the pool's futures, so no partial best-of-trials
+    merge ever escapes. A deadline far in the future leaves the result
+    bit-identical to not passing one. *)
 
 type goal = {
   num_chunks : int;
@@ -124,6 +141,7 @@ val synthesize_goal :
   ?trials:int ->
   ?domains:int ->
   ?prefer_cheap_links:bool ->
+  ?deadline:Tacos_util.Deadline.t ->
   ?reuse:Tacos_ten.Ten.Expansion.t ->
   ?dead:int list ->
   ?slowed:(int * float) list ->
@@ -165,6 +183,7 @@ val synthesize_goal_plan :
   ?trials:int ->
   ?domains:int ->
   ?prefer_cheap_links:bool ->
+  ?deadline:Tacos_util.Deadline.t ->
   ?reuse:Tacos_ten.Ten.Expansion.t ->
   ?dead:int list ->
   ?slowed:(int * float) list ->

@@ -8,6 +8,7 @@ module Engine = Tacos_sim.Engine
 module Program = Tacos_sim.Program
 module Rng = Tacos_util.Rng
 module Json = Tacos_util.Json
+module Deadline = Tacos_util.Deadline
 module Obs = Tacos_obs.Obs
 
 (* Fallback-ladder telemetry: a fleet running degraded syntheses watches
@@ -16,6 +17,7 @@ module Obs = Tacos_obs.Obs
 let obs_ok = Obs.counter "resilience.synth_ok"
 let obs_retries = Obs.counter "resilience.synth_retries"
 let obs_baseline = Obs.counter "resilience.fallback_baseline"
+let obs_deadline = Obs.counter "resilience.deadline_exceeded"
 let obs_failures = Obs.counter "resilience.failures"
 let obs_disconnected = Obs.counter "resilience.disconnected_inputs"
 
@@ -36,13 +38,19 @@ type failure = {
   message : string;
   connectivity : Fault.connectivity;
   disconnecting : Fault.t option;
+  deadline_slack_ms : float option;
 }
 
 let pp_failure ppf f =
-  Format.fprintf ppf "%s: %s (fabric %a%t)" f.stage f.message Fault.pp_connectivity
-    f.connectivity (fun ppf ->
+  Format.fprintf ppf "%s: %s (fabric %a%t%t)" f.stage f.message Fault.pp_connectivity
+    f.connectivity
+    (fun ppf ->
       match f.disconnecting with
       | Some fault -> Format.fprintf ppf "; disconnected by %a" Fault.pp fault
+      | None -> ())
+    (fun ppf ->
+      match f.deadline_slack_ms with
+      | Some slack -> Format.fprintf ppf "; deadline slack %.1fms" slack
       | None -> ())
 
 let failure_to_json f =
@@ -53,9 +61,12 @@ let failure_to_json f =
        ( "connectivity",
          Json.String (Format.asprintf "%a" Fault.pp_connectivity f.connectivity) );
      ]
+    @ (match f.disconnecting with
+      | Some fault -> [ ("disconnecting_fault", Fault.to_json fault) ]
+      | None -> [])
     @
-    match f.disconnecting with
-    | Some fault -> [ ("disconnecting_fault", Fault.to_json fault) ]
+    match f.deadline_slack_ms with
+    | Some slack -> [ ("deadline_slack_ms", Json.Number slack) ]
     | None -> [])
 
 let simulated_time topo (result : Synth.result) =
@@ -64,13 +75,31 @@ let simulated_time topo (result : Synth.result) =
   (Engine.run topo program).Engine.finish_time
 
 let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(budget_ms = infinity)
-    ?(max_retries = 3) ?(baselines = Algo.all) ?(faults = []) topo spec =
+    ?deadline ?(max_retries = 3) ?(baselines = Algo.all) ?(faults = []) topo spec =
   if domains <= 0 then invalid_arg "Resilience.synthesize: domains must be positive";
   let t0 = Unix.gettimeofday () in
-  let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1e3 in
+  (* The effective deadline layers the caller's absolute deadline over the
+     configured budget: whichever comes first wins. It is threaded into
+     every synthesis attempt (where the round loop polls it), so one
+     oversized trial can no longer overshoot the budget unboundedly — the
+     old code only looked at the clock *between* rungs. *)
+  let eff_deadline =
+    Deadline.min_opt deadline
+      (if budget_ms = infinity then None else Some (Deadline.after_ms budget_ms))
+  in
+  let out_of_time () =
+    match eff_deadline with Some d -> Deadline.expired d | None -> false
+  in
   let fail stage message ~connectivity ~disconnecting =
     Obs.incr obs_failures;
-    Error { stage; message; connectivity; disconnecting }
+    Error
+      {
+        stage;
+        message;
+        connectivity;
+        disconnecting;
+        deadline_slack_ms = Option.map Deadline.slack_ms eff_deadline;
+      }
   in
   match Fault.validate topo faults with
   | Error msg ->
@@ -88,8 +117,9 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(budget_ms = infinity)
        absorbs at this rung ([Unsupported] is about the pattern, not the
        fabric — reseeding cannot help, so it drops straight to baselines). *)
     let attempt s =
-      if spec.Spec.pattern = Pattern.All_to_all then Tacos.Alltoall.synthesize ~seed:s degraded spec
-      else Synth.synthesize ~seed:s ~trials ~domains degraded spec
+      if spec.Spec.pattern = Pattern.All_to_all then
+        Tacos.Alltoall.synthesize ~seed:s degraded spec
+      else Synth.synthesize ~seed:s ~trials ~domains ?deadline:eff_deadline degraded spec
     in
     let finish ~retries ~rungs plan =
       let simulated_time =
@@ -121,34 +151,58 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(budget_ms = infinity)
     (* Reseed stream: deterministic per (seed, attempt index). *)
     let reseeder = Rng.create seed in
     let rec ladder ~retries ~rungs s =
-      match attempt s with
-      | result ->
-        Obs.incr obs_ok;
-        finish ~retries ~rungs:("synthesized" :: rungs) (Synthesized result)
-      | exception Synth.Unsupported msg ->
+      (* Pre-attempt deadline gate: a request whose deadline has already
+         passed (a server near exhaustion) skips straight to the cheap
+         baseline rung instead of starting a synthesis it would abandon. *)
+      if out_of_time () then begin
+        Obs.incr obs_deadline;
+        let late =
+          match eff_deadline with
+          | Some d -> -.Deadline.slack_ms d
+          | None -> 0.
+        in
         baseline_rung ~retries
-          ~rungs:(Printf.sprintf "unsupported: %s" msg :: rungs)
-          ("pattern unsupported by the synthesizer: " ^ msg)
-      | exception Synth.Stuck msg ->
-        (* On a disconnected fabric Stuck is deterministic — reseeding is
-           futile, so go straight to the structured report. *)
-        if connectivity <> Fault.Connected then
-          fail "connectivity" msg ~connectivity ~disconnecting:(disconnecting ())
-        else if retries >= max_retries then
+          ~rungs:("deadline exhausted" :: rungs)
+          (Printf.sprintf "deadline already %.1f ms past before synthesis started"
+             late)
+      end
+      else
+        match attempt s with
+        | result ->
+          Obs.incr obs_ok;
+          finish ~retries ~rungs:("synthesized" :: rungs) (Synthesized result)
+        | exception Synth.Unsupported msg ->
           baseline_rung ~retries
-            ~rungs:(Printf.sprintf "stuck after %d reseeds" retries :: rungs)
-            (Printf.sprintf "synthesis stuck after %d reseeded retries: %s" retries msg)
-        else if elapsed_ms () > budget_ms then
+            ~rungs:(Printf.sprintf "unsupported: %s" msg :: rungs)
+            ("pattern unsupported by the synthesizer: " ^ msg)
+        | exception Synth.Deadline_exceeded ->
+          (* The round loop bailed out mid-synthesis: degrade to the best
+             feasible baseline rather than blow the deadline further. *)
+          Obs.incr obs_deadline;
           baseline_rung ~retries
-            ~rungs:(Printf.sprintf "budget %.0fms exhausted" budget_ms :: rungs)
-            (Printf.sprintf "synthesis budget (%.0f ms) exhausted while stuck: %s"
-               budget_ms msg)
-        else begin
-          Obs.incr obs_retries;
-          ladder ~retries:(retries + 1)
-            ~rungs:(Printf.sprintf "reseed(%d)" (retries + 1) :: rungs)
-            (Int64.to_int (Rng.bits64 reseeder))
-        end
+            ~rungs:("deadline exceeded" :: rungs)
+            "deadline exceeded mid-synthesis"
+        | exception Synth.Stuck msg ->
+          (* On a disconnected fabric Stuck is deterministic — reseeding is
+             futile, so go straight to the structured report. *)
+          if connectivity <> Fault.Connected then
+            fail "connectivity" msg ~connectivity ~disconnecting:(disconnecting ())
+          else if retries >= max_retries then
+            baseline_rung ~retries
+              ~rungs:(Printf.sprintf "stuck after %d reseeds" retries :: rungs)
+              (Printf.sprintf "synthesis stuck after %d reseeded retries: %s" retries
+                 msg)
+          else if out_of_time () then
+            baseline_rung ~retries
+              ~rungs:(Printf.sprintf "budget %.0fms exhausted" budget_ms :: rungs)
+              (Printf.sprintf "synthesis budget (%.0f ms) exhausted while stuck: %s"
+                 budget_ms msg)
+          else begin
+            Obs.incr obs_retries;
+            ladder ~retries:(retries + 1)
+              ~rungs:(Printf.sprintf "reseed(%d)" (retries + 1) :: rungs)
+              (Int64.to_int (Rng.bits64 reseeder))
+          end
     in
     ladder ~retries:0 ~rungs:[] seed
 
@@ -503,6 +557,7 @@ let repair ?(seed = 42) ?(trials = 1) ?(domains = 1) ?budget_ms ?reuse ~at topo
         message = msg;
         connectivity = Fault.connectivity topo;
         disconnecting = None;
+        deadline_slack_ms = None;
       }
   | Ok () -> (
     let spec = result.Synth.spec in
@@ -550,7 +605,7 @@ let repair_timeline ?(seed = 42) ?(trials = 1) ?(domains = 1) ?budget_ms ?reuse
     invalid_arg "Resilience.repair_timeline: events must be non-empty";
   let fail stage message ~connectivity ~disconnecting =
     Obs.incr obs_failures;
-    Error { stage; message; connectivity; disconnecting }
+    Error { stage; message; connectivity; disconnecting; deadline_slack_ms = None }
   in
   match Fault.validate_events topo events with
   | Error msg ->

@@ -55,6 +55,11 @@ type failure = {
   disconnecting : Fault.t option;
       (** first injected fault that broke strong connectivity, when faults
           were given and one did *)
+  deadline_slack_ms : float option;
+      (** milliseconds left on the effective deadline (budget and/or
+          caller deadline) when the ladder gave up — negative when the
+          failure was reported past it; [None] when the call was
+          unbounded *)
 }
 
 val pp_failure : Format.formatter -> failure -> unit
@@ -66,6 +71,7 @@ val synthesize :
   ?trials:int ->
   ?domains:int ->
   ?budget_ms:float ->
+  ?deadline:Tacos_util.Deadline.t ->
   ?max_retries:int ->
   ?baselines:Algo.t list ->
   ?faults:Fault.t list ->
@@ -75,12 +81,22 @@ val synthesize :
 (** [synthesize topo spec] runs the fallback ladder above. [faults]
     (default none) are applied to [topo] first — pass the healthy topology
     and the fault set rather than pre-degrading, so failures can name the
-    disconnecting fault. [budget_ms] (default unlimited) bounds the
-    *retry* phase wall clock; [max_retries] defaults to 3; [baselines]
+    disconnecting fault. [max_retries] defaults to 3; [baselines]
     defaults to {!Tacos_baselines.Algo.all}. All-to-All specs dispatch to
     {!Tacos.Alltoall}. [domains] (default 1) parallelizes each attempt's
     trials on the shared {!Tacos_util.Pool}; the ladder's outcome stays
-    deterministic for a given [seed]. Never raises [Stuck]/[Unsupported]. *)
+    deterministic for a given [seed]. Never raises [Stuck]/[Unsupported].
+
+    Time bounds are {e cooperative all the way down}: [budget_ms] (default
+    unlimited, relative to the call) and [deadline] (default none,
+    absolute) combine into an effective deadline — whichever is earlier —
+    that is checked before every rung {e and} threaded into each
+    synthesis attempt's round loop, so a single oversized trial aborts
+    promptly ({!Tacos.Synthesizer.Deadline_exceeded}) instead of
+    overshooting the budget unboundedly. An exceeded deadline degrades to
+    the best-feasible-baseline rung (counted under
+    [resilience.deadline_exceeded]); a structured {!failure} reports the
+    remaining slack as [deadline_slack_ms]. *)
 
 val simulated_time : Topology.t -> Synth.result -> float
 (** Replay a synthesized schedule under the congestion-aware engine on the

@@ -1,0 +1,56 @@
+module Json := Tacos_util.Json
+
+(** The wire format of the synthesis service: line-framed JSON.
+
+    One request per line in, one response line out, in order. Requests are
+    JSON objects; the [id] member (any JSON value) is echoed verbatim on
+    the response so pipelined clients can correlate. Responses always
+    carry a [status] member: ["ok"], ["error"], or ["overloaded"].
+
+    A synthesize request looks like
+
+    {v
+    {"id":1,"op":"synthesize","topology":"mesh:3x3","pattern":"all-reduce",
+     "size":"16MB","chunks":2,"deadline_ms":500,"fail_links":[3]}
+    v}
+
+    and its response like
+
+    {v
+    {"id":1,"status":"ok","cached":false,"degraded":false,
+     "algorithm":"tacos","collective_time":...,"sends":96,"elapsed_ms":...}
+    v} *)
+
+type op =
+  | Synthesize  (** synthesize (or fetch) a schedule for a (topology, spec) *)
+  | Tune  (** sweep chunk granularities and answer with the fastest *)
+  | Export
+      (** synthesize, then embed the schedule itself — as the JSON
+          algorithm document or the SNIPPETS §1 CSV interchange schema *)
+  | Ping  (** liveness probe; bypasses admission control *)
+  | Stats  (** serving counters; bypasses admission control *)
+
+type request = {
+  id : Json.t;  (** echoed on the response; [Null] when absent *)
+  op : op;
+  topology : string option;  (** {!Tacos_collective.Parse.parse_topology} syntax *)
+  pattern : string;  (** pattern name (default ["all-gather"]) *)
+  size : float;  (** collective buffer bytes (default 1 MB) *)
+  chunks : int;  (** chunks per NPU (default 1) *)
+  seed : int option;  (** overrides the service seed *)
+  deadline_ms : float option;
+      (** request deadline relative to admission; absent = the service's
+          configured default (absent there too = unbounded) *)
+  fail_links : int list;  (** healthy link ids to kill before synthesis *)
+  candidates : int list option;  (** tune: granularities to sweep *)
+  format : [ `Json | `Csv ];  (** export flavor (default [`Json]) *)
+}
+
+val parse_request : string -> (request, Json.t * string) result
+(** Parse one request line. [Error (id, message)] carries whatever [id]
+    could be recovered (for the error response) and a human-readable
+    reason. Accepts [size] as a byte count (JSON number) or a size string
+    (["16MB"]). *)
+
+val response : id:Json.t -> status:string -> (string * Json.t) list -> string
+(** Encode one single-line response: [{"id":…,"status":…,…fields}]. *)

@@ -1,0 +1,440 @@
+(* Namespaces of the substrate libraries. *)
+module Json = Tacos_util.Json
+module Deadline = Tacos_util.Deadline
+module Obs = Tacos_obs.Obs
+module Topology = Tacos_topology.Topology
+module Link = Tacos_topology.Link
+module Spec = Tacos_collective.Spec
+module Pattern = Tacos_collective.Pattern
+module Schedule = Tacos_collective.Schedule
+module Parse = Tacos_collective.Parse
+module Synth = Tacos.Synthesizer
+module Router = Tacos.Router
+module Registry = Tacos.Registry
+module Tuner = Tacos.Tuner
+module Engine = Tacos_sim.Engine
+module Algo = Tacos_baselines.Algo
+module Resilience = Tacos_resilience.Resilience
+module Fault = Tacos_resilience.Fault
+
+(* Obs mirrors of the lifecycle counters — off by default like the rest of
+   the obs registry; the plain mutable counters below are always on so the
+   bench can assert on them without enabling observability. *)
+let c_accepted = Obs.counter "serve.accepted"
+let c_shed = Obs.counter "serve.shed"
+let c_hits = Obs.counter "serve.hits"
+let c_misses = Obs.counter "serve.misses"
+let c_degraded = Obs.counter "serve.degraded"
+let c_deadline_missed = Obs.counter "serve.deadline_missed"
+let c_errors = Obs.counter "serve.errors"
+
+type config = {
+  queue_limit : int;
+  domains : int;
+  trials : int;
+  default_deadline_ms : float option;
+  registry_dir : string option;
+  seed : int;
+}
+
+let default_config =
+  {
+    queue_limit = 16;
+    domains = 1;
+    trials = 1;
+    default_deadline_ms = None;
+    registry_dir = None;
+    seed = 42;
+  }
+
+type backend =
+  deadline:Deadline.t option ->
+  seed:int ->
+  domains:int ->
+  Topology.t ->
+  Spec.t ->
+  Synth.result
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  backend : backend;
+  lock : Mutex.t;
+  mutable inflight : int;
+  mutable ema_ms : float;  (** latency EMA — the [overloaded] retry hint *)
+  mutable accepted : int;
+  mutable shed : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable degraded : int;
+  mutable deadline_missed : int;
+  mutable errors : int;
+}
+
+type stats = {
+  accepted : int;
+  shed : int;
+  hits : int;
+  misses : int;
+  degraded : int;
+  deadline_missed : int;
+  errors : int;
+  quarantined : int;
+}
+
+(* The default miss backend: routed patterns have no round loop to poll,
+   so an already-expired deadline refuses them up front — the caller
+   degrades exactly as it would for a pull synthesis that ran out of
+   time. *)
+let default_backend ~trials ~deadline ~seed ~domains topo (spec : Spec.t) =
+  match spec.Spec.pattern with
+  | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ ->
+    (match deadline with
+    | Some d when Deadline.expired d -> raise Synth.Deadline_exceeded
+    | _ -> ());
+    Router.synthesize ~seed topo spec
+  | _ -> Synth.synthesize ~seed ~trials ~domains ?deadline topo spec
+
+let create ?(config = default_config) ?synthesize () =
+  if config.queue_limit <= 0 then
+    invalid_arg "Service.create: queue_limit must be positive";
+  let backend =
+    match synthesize with
+    | Some f -> f
+    | None -> default_backend ~trials:config.trials
+  in
+  {
+    config;
+    registry = Registry.create ?dir:config.registry_dir ();
+    backend;
+    lock = Mutex.create ();
+    inflight = 0;
+    ema_ms = 0.;
+    accepted = 0;
+    shed = 0;
+    hits = 0;
+    misses = 0;
+    degraded = 0;
+    deadline_missed = 0;
+    errors = 0;
+  }
+
+let registry t = t.registry
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      accepted = t.accepted;
+      shed = t.shed;
+      hits = t.hits;
+      misses = t.misses;
+      degraded = t.degraded;
+      deadline_missed = t.deadline_missed;
+      errors = t.errors;
+      quarantined = Registry.quarantined t.registry;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let bump t obs set =
+  Mutex.lock t.lock;
+  set t;
+  Mutex.unlock t.lock;
+  Obs.incr obs
+
+let elapsed_ms t0 = (Unix.gettimeofday () -. t0) *. 1e3
+
+let respond = Protocol.response
+
+let error_response t ~id ?failure msg =
+  bump t c_errors (fun t -> t.errors <- t.errors + 1);
+  respond ~id ~status:"error"
+    (("message", Json.String msg)
+    ::
+    (match failure with Some f -> [ ("failure", f) ] | None -> []))
+
+(* --- export flavors ------------------------------------------------------ *)
+
+(* The CSV interchange schema of SNIPPETS.md §1 (the original artifact's
+   output): sizing/timing header rows, then one row per link with its
+   chunk occupancy as "id:send_ns:recv_ns" cells. *)
+let csv_of_result topo (result : Synth.result) =
+  let spec = result.Synth.spec in
+  let buf = Buffer.create 1024 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," cells);
+    Buffer.add_char buf '\n'
+  in
+  let ns s = s *. 1e9 in
+  row [ "NPUs Count"; string_of_int (Topology.num_npus topo) ];
+  row [ "Links Count"; string_of_int (Topology.num_links topo) ];
+  row [ "Chunks Count"; string_of_int (Spec.num_chunks spec) ];
+  row [ "Chunk Size"; Printf.sprintf "%.17g" (Spec.chunk_size spec) ];
+  row [ "Collective Time"; Printf.sprintf "%.0f" (ns result.Synth.collective_time); "ns" ];
+  row [ "Synthesis Time"; Printf.sprintf "%.6f" result.Synth.stats.Synth.wall_seconds; "s" ];
+  row [ "SrcID"; "DestID"; "Latency (ns)"; "Bandwidth (GB/s)"; "Chunks (ID:ns:ns)" ];
+  let per_edge = Array.make (Topology.num_links topo) [] in
+  List.iter
+    (fun (s : Schedule.send) ->
+      per_edge.(s.Schedule.edge) <- s :: per_edge.(s.Schedule.edge))
+    result.Synth.schedule.Schedule.sends;
+  List.iter
+    (fun (e : Topology.edge) ->
+      let chunks =
+        List.sort
+          (fun (a : Schedule.send) (b : Schedule.send) ->
+            compare (a.Schedule.start, a.Schedule.chunk)
+              (b.Schedule.start, b.Schedule.chunk))
+          per_edge.(e.id)
+        |> List.map (fun (s : Schedule.send) ->
+               Printf.sprintf "%d:%.0f:%.0f" s.Schedule.chunk (ns s.Schedule.start)
+                 (ns s.Schedule.finish))
+      in
+      row
+        ([
+           string_of_int e.src;
+           string_of_int e.dst;
+           Printf.sprintf "%.0f" (ns (Link.cost e.link 0.));
+           Printf.sprintf "%g" (Link.bandwidth e.link /. 1e9);
+         ]
+        @ chunks))
+    (Topology.edges topo);
+  Buffer.contents buf
+
+let schedule_fields (req : Protocol.request) topo (result : Synth.result) =
+  match req.Protocol.op with
+  | Protocol.Export -> (
+    match req.Protocol.format with
+    | `Json ->
+      let text = Schedule.to_json ~spec:result.Synth.spec result.Synth.schedule in
+      let doc = Result.value ~default:(Json.String text) (Json.parse text) in
+      [ ("schedule", doc) ]
+    | `Csv -> [ ("csv", Json.String (csv_of_result topo result)) ])
+  | _ -> []
+
+(* --- the collective ops -------------------------------------------------- *)
+
+let ok_fields ~t0 ~cached ~degraded ~algorithm ~collective_time ~sends extra =
+  [
+    ("cached", Json.Bool cached);
+    ("degraded", Json.Bool degraded);
+    ("algorithm", Json.String algorithm);
+    ("collective_time", Json.Number collective_time);
+    ("sends", Json.Number (float_of_int sends));
+  ]
+  @ extra
+  @ [ ("elapsed_ms", Json.Number (elapsed_ms t0)) ]
+
+(* Graceful degradation: the answer of last resort when a synthesis ran
+   out of time (or got stuck). The Resilience ladder is called with the
+   *healthy* topology plus the fault set — its pre-attempt deadline gate
+   skips straight to the best *feasible* baseline when the deadline has
+   passed, so this path is bounded work — and the response is tagged
+   [degraded:true]. Degraded results are deliberately not cached: a later
+   request with headroom should synthesize the real schedule. *)
+let degrade t ~id ~t0 ~healthy ~faults ~deadline ~seed ~spec ~deadline_missed =
+  if deadline_missed then
+    bump t c_deadline_missed (fun t -> t.deadline_missed <- t.deadline_missed + 1);
+  match
+    Resilience.synthesize ~seed ~trials:t.config.trials ~domains:t.config.domains
+      ?deadline ~faults healthy spec
+  with
+  | Ok { Resilience.plan = Resilience.Baseline { algo; report }; _ } ->
+    bump t c_degraded (fun t -> t.degraded <- t.degraded + 1);
+    let slack =
+      match deadline with
+      | Some d -> [ ("deadline_slack_ms", Json.Number (Deadline.slack_ms d)) ]
+      | None -> []
+    in
+    respond ~id ~status:"ok"
+      (ok_fields ~t0 ~cached:false ~degraded:true ~algorithm:(Algo.name algo)
+         ~collective_time:report.Engine.finish_time ~sends:0 slack)
+  | Ok { Resilience.plan = Resilience.Synthesized result; _ } ->
+    (* The ladder got a schedule out after all (e.g. a reseed landed). *)
+    respond ~id ~status:"ok"
+      (ok_fields ~t0 ~cached:false ~degraded:false ~algorithm:"tacos"
+         ~collective_time:result.Synth.collective_time
+         ~sends:(Schedule.num_sends result.Synth.schedule)
+         [])
+  | Error failure ->
+    error_response t ~id
+      ~failure:(Resilience.failure_to_json failure)
+      (Format.asprintf "%a" Resilience.pp_failure failure)
+
+let handle_synthesize t (req : Protocol.request) ~t0 ~healthy ~work_topo ~faults
+    ~deadline ~seed ~spec =
+  let id = req.Protocol.id in
+  let answer ~cached (result : Synth.result) =
+    if cached then bump t c_hits (fun t -> t.hits <- t.hits + 1)
+    else bump t c_misses (fun t -> t.misses <- t.misses + 1);
+    respond ~id ~status:"ok"
+      (ok_fields ~t0 ~cached ~degraded:false ~algorithm:"tacos"
+         ~collective_time:result.Synth.collective_time
+         ~sends:(Schedule.num_sends result.Synth.schedule)
+         (schedule_fields req work_topo result))
+  in
+  (* Cache peek first: hits are served even past the deadline — answering
+     from memory is cheaper than degrading. *)
+  match Registry.find_cached t.registry work_topo spec with
+  | Some result -> answer ~cached:true result
+  | None -> (
+    let synthesize ~seed ~domains topo spec =
+      t.backend ~deadline ~seed ~domains topo spec
+    in
+    match
+      Registry.find_or_synthesize ~seed ~domains:t.config.domains ~synthesize
+        t.registry work_topo spec
+    with
+    | result, `Hit -> answer ~cached:true result
+    | result, `Miss -> answer ~cached:false result
+    | exception Synth.Deadline_exceeded ->
+      degrade t ~id ~t0 ~healthy ~faults ~deadline ~seed ~spec
+        ~deadline_missed:true
+    | exception (Synth.Stuck _ | Synth.Unsupported _) ->
+      (* The single-flight key was released on the raise, so a retry on a
+         healthier fabric is clean; meanwhile fall back structurally. *)
+      degrade t ~id ~t0 ~healthy ~faults ~deadline ~seed ~spec
+        ~deadline_missed:false)
+
+let handle_tune t (req : Protocol.request) ~t0 ~healthy ~work_topo ~faults
+    ~deadline ~seed ~spec ~pattern =
+  let id = req.Protocol.id in
+  let synthesize ~seed topo spec =
+    t.backend ~deadline ~seed ~domains:t.config.domains topo spec
+  in
+  match
+    Tuner.tune ~seed ?candidates:req.Protocol.candidates ~synthesize work_topo
+      ~pattern ~size:req.Protocol.size
+  with
+  | choice ->
+    bump t c_misses (fun t -> t.misses <- t.misses + 1);
+    respond ~id ~status:"ok"
+      (ok_fields ~t0 ~cached:false ~degraded:false ~algorithm:"tacos"
+         ~collective_time:choice.Tuner.simulated_time
+         ~sends:(Schedule.num_sends choice.Tuner.result.Synth.schedule)
+         [
+           ( "chunks_per_npu",
+             Json.Number (float_of_int choice.Tuner.chunks_per_npu) );
+         ])
+  | exception Synth.Deadline_exceeded ->
+    degrade t ~id ~t0 ~healthy ~faults ~deadline ~seed ~spec
+      ~deadline_missed:true
+  | exception (Synth.Stuck _ | Synth.Unsupported _) ->
+    degrade t ~id ~t0 ~healthy ~faults ~deadline ~seed ~spec
+      ~deadline_missed:false
+  | exception Invalid_argument msg -> error_response t ~id ("tune: " ^ msg)
+
+let handle_collective t (req : Protocol.request) ~t0 =
+  let id = req.Protocol.id in
+  match req.Protocol.topology with
+  | None -> error_response t ~id "missing topology"
+  | Some desc -> (
+    match Parse.parse_topology desc with
+    | Error e -> error_response t ~id ("topology: " ^ e)
+    | Ok healthy -> (
+      let npus = Topology.num_npus healthy in
+      match Parse.parse_pattern req.Protocol.pattern npus with
+      | Error e -> error_response t ~id ("pattern: " ^ e)
+      | Ok pattern -> (
+        match
+          Spec.make ~chunks_per_npu:req.Protocol.chunks
+            ~buffer_size:req.Protocol.size ~pattern ~npus ()
+        with
+        | exception Invalid_argument msg -> error_response t ~id msg
+        | spec -> (
+          let faults =
+            List.map (fun l -> Fault.Kill_link l) req.Protocol.fail_links
+          in
+          match Fault.validate healthy faults with
+          | Error e -> error_response t ~id ("fail_links: " ^ e)
+          | Ok () -> (
+            (* The registry keys on the fabric actually served — the
+               degraded copy when links were killed — while the Resilience
+               fallback gets the healthy topology + fault set so failures
+               can name the disconnecting fault. *)
+            let work_topo =
+              if faults = [] then healthy else Fault.apply healthy faults
+            in
+            let deadline_ms =
+              match req.Protocol.deadline_ms with
+              | Some _ as d -> d
+              | None -> t.config.default_deadline_ms
+            in
+            let deadline = Option.map Deadline.after_ms deadline_ms in
+            let seed = Option.value ~default:t.config.seed req.Protocol.seed in
+            match req.Protocol.op with
+            | Protocol.Tune ->
+              handle_tune t req ~t0 ~healthy ~work_topo ~faults ~deadline ~seed
+                ~spec ~pattern
+            | _ ->
+              handle_synthesize t req ~t0 ~healthy ~work_topo ~faults ~deadline
+                ~seed ~spec)))))
+
+(* --- request lifecycle --------------------------------------------------- *)
+
+let stats_fields st =
+  [
+    ("accepted", Json.Number (float_of_int st.accepted));
+    ("shed", Json.Number (float_of_int st.shed));
+    ("hits", Json.Number (float_of_int st.hits));
+    ("misses", Json.Number (float_of_int st.misses));
+    ("degraded", Json.Number (float_of_int st.degraded));
+    ("deadline_missed", Json.Number (float_of_int st.deadline_missed));
+    ("errors", Json.Number (float_of_int st.errors));
+    ("quarantined", Json.Number (float_of_int st.quarantined));
+  ]
+
+let handle_line t line =
+  match Protocol.parse_request line with
+  | Error (id, msg) -> error_response t ~id msg
+  | Ok req -> (
+    match req.Protocol.op with
+    | Protocol.Ping ->
+      respond ~id:req.Protocol.id ~status:"ok" [ ("pong", Json.Bool true) ]
+    | Protocol.Stats ->
+      respond ~id:req.Protocol.id ~status:"ok" (stats_fields (stats t))
+    | Protocol.Synthesize | Protocol.Tune | Protocol.Export -> (
+      let t0 = Unix.gettimeofday () in
+      (* Bounded admission: beyond [queue_limit] in-flight requests, shed
+         with a structured reply and a retry hint instead of queueing
+         unboundedly behind syntheses that take seconds. *)
+      let admitted =
+        Mutex.lock t.lock;
+        if t.inflight >= t.config.queue_limit then begin
+          t.shed <- t.shed + 1;
+          let hint = Float.max 1. t.ema_ms in
+          Mutex.unlock t.lock;
+          Obs.incr c_shed;
+          Error hint
+        end
+        else begin
+          t.inflight <- t.inflight + 1;
+          t.accepted <- t.accepted + 1;
+          Mutex.unlock t.lock;
+          Obs.incr c_accepted;
+          Ok ()
+        end
+      in
+      match admitted with
+      | Error retry_after_ms ->
+        respond ~id:req.Protocol.id ~status:"overloaded"
+          [ ("retry_after_ms", Json.Number retry_after_ms) ]
+      | Ok () ->
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock t.lock;
+            t.inflight <- t.inflight - 1;
+            let ms = elapsed_ms t0 in
+            t.ema_ms <-
+              (if t.ema_ms = 0. then ms else (0.8 *. t.ema_ms) +. (0.2 *. ms));
+            Mutex.unlock t.lock)
+          (fun () ->
+            (* The last line of defense: a request must never take the
+               server down. Anything unexpected maps to a structured
+               error response. *)
+            try handle_collective t req ~t0 with
+            | e ->
+              error_response t ~id:req.Protocol.id
+                ("internal error: " ^ Printexc.to_string e))))

@@ -1,0 +1,87 @@
+module Deadline := Tacos_util.Deadline
+module Topology := Tacos_topology.Topology
+module Spec := Tacos_collective.Spec
+module Synth := Tacos.Synthesizer
+module Registry := Tacos.Registry
+
+(** The synthesis service: a persistent, deadline-aware front end over the
+    schedule {!Tacos.Registry}.
+
+    One {!t} holds the shared cache and the serving counters; transports
+    ([tacos serve --stdio] / [--socket]) feed it request lines from any
+    number of threads and write back the response line {!handle_line}
+    returns. The request lifecycle is robust end to end:
+
+    - {e admission}: at most [queue_limit] requests are in flight; beyond
+      that, requests are shed immediately with a structured
+      [overloaded] response carrying a retry-after hint (an EMA of recent
+      request latencies), never queued unboundedly.
+    - {e coalescing}: identical concurrent misses collapse into one
+      synthesis through the registry's single-flight path; a synthesis
+      that raises releases the key, so a later retry is clean.
+    - {e deadlines}: each request's [deadline_ms] (or the configured
+      default) is propagated as a cooperative check into the synthesizer's
+      round loop. When it expires mid-synthesis the service {e degrades
+      gracefully}: it answers with the best feasible baseline via the
+      {!Tacos_resilience.Resilience} ladder, tagged [degraded:true],
+      instead of timing out. Cache hits are served even past the deadline
+      — they are effectively free.
+    - {e crash safety}: registry disk entries are checksummed and written
+      atomically; corrupt files found on load are quarantined to
+      [*.corrupt] and re-synthesized, never fatal.
+
+    Every lifecycle event is counted twice: in always-on plain counters
+    ({!stats}, for assertions and the [stats] op) and in the off-by-default
+    [serve.*] {!Tacos_obs.Obs} registry (for profiles and bench rows). *)
+
+type config = {
+  queue_limit : int;  (** max in-flight requests before shedding (default 16) *)
+  domains : int;  (** worker domains for miss synthesis (default 1) *)
+  trials : int;  (** randomized trials per synthesis (default 1) *)
+  default_deadline_ms : float option;
+      (** deadline for requests that carry none (default: unbounded) *)
+  registry_dir : string option;  (** persistent cache directory *)
+  seed : int;  (** seed for requests that carry none (default 42) *)
+}
+
+val default_config : config
+
+type backend =
+  deadline:Deadline.t option ->
+  seed:int ->
+  domains:int ->
+  Topology.t ->
+  Spec.t ->
+  Synth.result
+(** The synthesis function run on a cache miss. The default dispatches
+    routed patterns to {!Tacos.Router} and the rest to
+    {!Tacos.Synthesizer.synthesize} with the deadline threaded through
+    (and refuses routed syntheses whose deadline already passed, raising
+    {!Tacos.Synthesizer.Deadline_exceeded}). Tests and benches inject
+    stubs — a backend that blocks, fails once, or sleeps. *)
+
+type t
+
+val create : ?config:config -> ?synthesize:backend -> unit -> t
+(** A fresh service. Safe to drive from multiple threads/domains. *)
+
+val registry : t -> Registry.t
+(** The underlying schedule cache (shared, single-flight). *)
+
+type stats = {
+  accepted : int;  (** requests admitted past the queue gate *)
+  shed : int;  (** requests refused with [overloaded] *)
+  hits : int;  (** answered from the cache (memory, disk, or coalesced) *)
+  misses : int;  (** answered by running a synthesis *)
+  degraded : int;  (** answered [degraded:true] via a baseline fallback *)
+  deadline_missed : int;  (** requests whose deadline expired before an answer *)
+  errors : int;  (** error responses (malformed, infeasible, internal) *)
+  quarantined : int;  (** corrupt cache files set aside by this service's registry *)
+}
+
+val stats : t -> stats
+
+val handle_line : t -> string -> string
+(** Process one request line, returning the one response line (no trailing
+    newline). Never raises: malformed input, infeasible fabrics, expired
+    deadlines, and internal errors all map to structured responses. *)

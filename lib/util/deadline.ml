@@ -1,0 +1,14 @@
+type t = float (* absolute seconds on the Unix.gettimeofday timeline *)
+
+let after_ms ms = Unix.gettimeofday () +. (ms /. 1e3)
+
+(* [>=] so a zero-budget deadline reads expired even when two successive
+   gettimeofday calls land on the same microsecond. *)
+let expired d = Unix.gettimeofday () >= d
+
+let slack_ms d = (d -. Unix.gettimeofday ()) *. 1e3
+
+let min_opt a b =
+  match (a, b) with
+  | None, d | d, None -> d
+  | Some a, Some b -> Some (Float.min a b)

@@ -1,0 +1,26 @@
+(** Absolute wall-clock deadlines for cooperative cancellation.
+
+    A deadline is an absolute instant; code that honors one polls
+    {!expired} at its natural checkpoints (a synthesis round, a ladder
+    rung, a pool task boundary) and bails out with a typed exception when
+    the instant has passed. Deadlines are plain floats underneath, so they
+    cross domain boundaries for free and comparing or min-combining them
+    costs nothing. *)
+
+type t
+(** An absolute instant on the {!Clock.now} timeline. *)
+
+val after_ms : float -> t
+(** [after_ms ms] is the instant [ms] milliseconds from now. Negative
+    values yield an already-expired deadline. *)
+
+val expired : t -> bool
+(** Has the instant passed? [after_ms 0.] is expired immediately. *)
+
+val slack_ms : t -> float
+(** Milliseconds remaining until the deadline — negative once it has
+    passed. The number degraded responses and failure reports carry. *)
+
+val min_opt : t option -> t option -> t option
+(** Earliest of two optional deadlines ([None] = unbounded): the
+    combinator for layering a request deadline over a configured budget. *)

@@ -1,0 +1,211 @@
+(* Tests for the registry's crash-safe persistence and single-flight
+   failure handling: atomic writes never leave temp droppings, every
+   flavor of broken disk entry (truncated, empty, garbage, checksum
+   mismatch) is quarantined to *.corrupt and re-synthesized instead of
+   raising, foreign checksum-less files still load, and a synthesis that
+   raises releases its single-flight key for a clean retry. *)
+
+open Tacos_topology
+open Tacos_collective
+module Json = Tacos_util.Json
+module Synth = Tacos.Synthesizer
+module Registry = Tacos.Registry
+
+let spec ?(chunks_per_npu = 1) ?(buffer_size = 1e6) pattern npus =
+  Spec.make ~chunks_per_npu ~buffer_size ~pattern ~npus ()
+
+let link = Link.make ~alpha:1e-6 ~beta:(1. /. 50e9)
+let ring n = Builders.ring ~link n
+
+let fresh_dir () =
+  let dir = Filename.temp_file "tacos-reg" "" in
+  Sys.remove dir;
+  dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let files dir = Sys.readdir dir |> Array.to_list |> List.sort String.compare
+
+let entry_file dir =
+  match List.filter (fun f -> Filename.check_suffix f ".json") (files dir) with
+  | [ f ] -> Filename.concat dir f
+  | fs -> Alcotest.failf "expected exactly one cache entry, found %d" (List.length fs)
+
+let has_substring sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+(* Warm one entry into [dir] and return its path. *)
+let warm_entry dir topo s =
+  let reg = Registry.create ~dir () in
+  let result, m = Registry.find_or_synthesize reg topo s in
+  Alcotest.(check bool) "warm synthesis is a miss" true (m = `Miss);
+  (result, entry_file dir)
+
+let test_atomic_write_no_droppings () =
+  let dir = fresh_dir () in
+  let topo = ring 6 in
+  let _, _ = warm_entry dir topo (spec Pattern.All_gather 6) in
+  Alcotest.(check bool) "no .tmp droppings" true
+    (List.for_all (fun f -> not (has_substring ".tmp." f)) (files dir));
+  rm_rf dir
+
+(* Shared harness for the broken-entry flavors: corrupt the single cache
+   file with [break], then prove a fresh registry over the same directory
+   still answers — quarantining the broken file and re-synthesizing. *)
+let check_quarantine_and_recover name break =
+  let dir = fresh_dir () in
+  let topo = ring 6 in
+  let s = spec Pattern.All_gather 6 in
+  let original, path = warm_entry dir topo s in
+  break path;
+  let reg = Registry.create ~dir () in
+  let result, m = Registry.find_or_synthesize reg topo s in
+  Alcotest.(check bool) (name ^ ": re-synthesized, not served broken") true
+    (m = `Miss);
+  Alcotest.(check int) (name ^ ": counted") 1 (Registry.quarantined reg);
+  Alcotest.(check bool) (name ^ ": set aside as .corrupt") true
+    (Sys.file_exists (path ^ ".corrupt"));
+  (match Synth.verify topo result with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: recovered schedule invalid: %s" name e);
+  Alcotest.(check (float 1e-9)) (name ^ ": same deterministic makespan")
+    original.Synth.collective_time result.Synth.collective_time;
+  (* The re-synthesis wrote a fresh entry; a third registry hits it. *)
+  let reg3 = Registry.create ~dir () in
+  let _, m3 = Registry.find_or_synthesize reg3 topo s in
+  Alcotest.(check bool) (name ^ ": fresh entry readable again") true (m3 = `Hit);
+  rm_rf dir
+
+let test_truncated_entry () =
+  check_quarantine_and_recover "truncated" (fun path ->
+      let text = In_channel.with_open_text path In_channel.input_all in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub text 0 (String.length text / 2))))
+
+let test_zero_length_entry () =
+  check_quarantine_and_recover "zero-length" (fun path ->
+      Out_channel.with_open_text path (fun _ -> ()))
+
+let test_garbage_entry () =
+  check_quarantine_and_recover "garbage" (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "definitely not json {{{"))
+
+let test_checksum_mismatch_entry () =
+  (* Valid JSON whose embedded checksum no longer matches the payload —
+     the shape a torn-then-patched or bit-rotted file takes. *)
+  check_quarantine_and_recover "checksum mismatch" (fun path ->
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match Json.parse text with
+      | Error e -> Alcotest.failf "entry not JSON before corruption: %s" e
+      | Ok (Json.Object fields) ->
+        let flipped =
+          List.map
+            (function
+              | "checksum", Json.String d ->
+                let b = Bytes.of_string d in
+                Bytes.set b 0 (if Bytes.get b 0 = '0' then '1' else '0');
+                ("checksum", Json.String (Bytes.to_string b))
+              | kv -> kv)
+            fields
+        in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Json.encode (Json.Object flipped)))
+      | Ok _ -> Alcotest.fail "entry is not a JSON object")
+
+let test_foreign_entry_without_checksum_loads () =
+  (* Files written by other tools carry no checksum field: they must keep
+     loading as plain algorithm files, not be quarantined. *)
+  let dir = fresh_dir () in
+  let topo = ring 6 in
+  let s = spec Pattern.All_gather 6 in
+  let _, path = warm_entry dir topo s in
+  let text = In_channel.with_open_text path In_channel.input_all in
+  (match Json.parse text with
+  | Ok (Json.Object fields) ->
+    let stripped = List.filter (fun (k, _) -> k <> "checksum") fields in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Json.encode (Json.Object stripped)))
+  | _ -> Alcotest.fail "entry is not a JSON object");
+  let reg = Registry.create ~dir () in
+  let _, m = Registry.find_or_synthesize reg topo s in
+  Alcotest.(check bool) "checksum-less entry still hits" true (m = `Hit);
+  Alcotest.(check int) "nothing quarantined" 0 (Registry.quarantined reg);
+  rm_rf dir
+
+let test_find_cached_peek () =
+  let dir = fresh_dir () in
+  let topo = ring 6 in
+  let s = spec Pattern.All_gather 6 in
+  let reg = Registry.create ~dir () in
+  Alcotest.(check bool) "cold peek is None" true (Registry.find_cached reg topo s = None);
+  let result, _ = Registry.find_or_synthesize reg topo s in
+  (match Registry.find_cached reg topo s with
+  | Some peeked ->
+    Alcotest.(check (float 1e-9)) "peek returns the cached schedule"
+      result.Synth.collective_time peeked.Synth.collective_time
+  | None -> Alcotest.fail "warm peek must hit");
+  (* A fresh registry peeks the disk store too. *)
+  let reg2 = Registry.create ~dir () in
+  Alcotest.(check bool) "peek loads from disk" true
+    (Registry.find_cached reg2 topo s <> None);
+  rm_rf dir
+
+let test_failed_synthesis_releases_key () =
+  (* A miss whose synthesis raises must release the single-flight key so
+     the next request for the same key retries cleanly instead of
+     deadlocking or serving the failure forever. *)
+  let reg = Registry.create () in
+  let topo = ring 6 in
+  let s = spec Pattern.All_gather 6 in
+  let calls = ref 0 in
+  let flaky ~seed:_ ~domains:_ topo spec =
+    incr calls;
+    if !calls = 1 then raise (Synth.Stuck "injected transient failure")
+    else Synth.synthesize topo spec
+  in
+  (match Registry.find_or_synthesize ~synthesize:flaky reg topo s with
+  | _ -> Alcotest.fail "first attempt must re-raise the backend failure"
+  | exception Synth.Stuck _ -> ());
+  let result, m = Registry.find_or_synthesize ~synthesize:flaky reg topo s in
+  Alcotest.(check int) "backend retried" 2 !calls;
+  Alcotest.(check bool) "retry is a clean miss" true (m = `Miss);
+  (match Synth.verify topo result with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "retried schedule invalid: %s" e);
+  (* And the published result is now a plain hit. *)
+  let _, m3 = Registry.find_or_synthesize ~synthesize:flaky reg topo s in
+  Alcotest.(check bool) "then a hit" true (m3 = `Hit);
+  Alcotest.(check int) "hit runs no synthesis" 2 !calls
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "crash-safety",
+        [
+          Alcotest.test_case "atomic writes leave no droppings" `Quick
+            test_atomic_write_no_droppings;
+          Alcotest.test_case "truncated entry quarantined" `Quick test_truncated_entry;
+          Alcotest.test_case "zero-length entry quarantined" `Quick
+            test_zero_length_entry;
+          Alcotest.test_case "garbage entry quarantined" `Quick test_garbage_entry;
+          Alcotest.test_case "checksum mismatch quarantined" `Quick
+            test_checksum_mismatch_entry;
+          Alcotest.test_case "foreign checksum-less entry loads" `Quick
+            test_foreign_entry_without_checksum_loads;
+        ] );
+      ( "serving-paths",
+        [
+          Alcotest.test_case "find_cached peeks memory and disk" `Quick
+            test_find_cached_peek;
+          Alcotest.test_case "failed synthesis releases the key" `Quick
+            test_failed_synthesis_releases_key;
+        ] );
+    ]

@@ -622,6 +622,60 @@ let prop_connected_kills_never_disconnect =
         List.length faults = k
         && Topology.is_strongly_connected (Fault.apply topo faults))
 
+(* --- cooperative deadlines ----------------------------------------------- *)
+
+let test_zero_budget_degrades_to_baseline () =
+  (* budget_ms = 0: the effective deadline is exhausted before synthesis
+     starts, so the ladder must skip straight to the best feasible
+     baseline on the (healthy) ring — graceful degradation, not a stall
+     or an exception. *)
+  match
+    Resilience.synthesize ~budget_ms:0. (Builders.ring 6)
+      (spec ~buffer_size:1e6 Pattern.All_gather 6)
+  with
+  | Error f -> Alcotest.failf "must degrade, not fail: %s" f.Resilience.message
+  | Ok o ->
+    (match o.Resilience.plan with
+    | Resilience.Baseline _ -> ()
+    | Resilience.Synthesized _ ->
+      Alcotest.fail "no time budget left: a baseline plan was required");
+    Alcotest.(check bool) "rungs record the exhausted deadline" true
+      (List.mem "deadline exhausted" o.Resilience.rungs)
+
+let test_expired_caller_deadline_degrades () =
+  (* The absolute [deadline] parameter layers onto budget_ms the same
+     way. *)
+  match
+    Resilience.synthesize
+      ~deadline:(Tacos_util.Deadline.after_ms 0.)
+      (Builders.mesh [| 3; 3 |])
+      (spec ~buffer_size:1e6 Pattern.All_reduce 9)
+  with
+  | Error f -> Alcotest.failf "must degrade, not fail: %s" f.Resilience.message
+  | Ok o -> (
+    match o.Resilience.plan with
+    | Resilience.Baseline _ -> ()
+    | Resilience.Synthesized _ -> Alcotest.fail "baseline plan expected")
+
+let test_failure_reports_deadline_slack () =
+  (* A structured failure under a deadline carries the remaining slack;
+     without one the field stays None. Killing NPU 4 disconnects the mesh
+     either way. *)
+  let topo = Builders.mesh [| 3; 3 |] in
+  let faults = [ Fault.Kill_npu 4 ] in
+  (match Resilience.synthesize ~budget_ms:60_000. ~faults topo (spec Pattern.All_gather 9) with
+  | Ok _ -> Alcotest.fail "disconnected fabric must fail"
+  | Error f -> (
+    match f.Resilience.deadline_slack_ms with
+    | Some slack ->
+      Alcotest.(check bool) "slack below the budget" true (slack <= 60_000.)
+    | None -> Alcotest.fail "failure under a budget must report slack"));
+  match Resilience.synthesize ~faults topo (spec Pattern.All_gather 9) with
+  | Ok _ -> Alcotest.fail "disconnected fabric must fail"
+  | Error f ->
+    Alcotest.(check bool) "no deadline, no slack" true
+      (f.Resilience.deadline_slack_ms = None)
+
 let () =
   Alcotest.run "resilience"
     [
@@ -652,6 +706,12 @@ let () =
           Alcotest.test_case "baseline probe finds a feasible algorithm" `Quick
             test_ladder_baseline_fallback_feasible;
           Alcotest.test_case "fallback counters" `Quick test_ladder_counts_fallbacks;
+          Alcotest.test_case "zero budget degrades to baseline" `Quick
+            test_zero_budget_degrades_to_baseline;
+          Alcotest.test_case "expired caller deadline degrades" `Quick
+            test_expired_caller_deadline_degrades;
+          Alcotest.test_case "failure reports deadline slack" `Quick
+            test_failure_reports_deadline_slack;
         ] );
       ( "analysis",
         [

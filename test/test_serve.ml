@@ -1,0 +1,345 @@
+(* Tests for the synthesis service: protocol parsing, the full request
+   lifecycle (hit/miss/degraded/overloaded/error), deadline propagation
+   into the synthesizer, single-flight retry through the server path, and
+   both export flavors. *)
+
+module Json = Tacos_util.Json
+module Deadline = Tacos_util.Deadline
+module Synth = Tacos.Synthesizer
+module Protocol = Tacos_serve.Protocol
+module Service = Tacos_serve.Service
+
+let req fields = Json.encode (Json.Object fields)
+
+let parse_response r =
+  match Json.parse r with
+  | Ok doc -> doc
+  | Error e -> Alcotest.failf "response not JSON: %s (%s)" e r
+
+let status r =
+  match Json.member "status" (parse_response r) with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.failf "no status in %s" r
+
+let bool_field name r =
+  match Json.member name (parse_response r) with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "no boolean %s in %s" name r
+
+let service ?config ?synthesize () = Service.create ?config ?synthesize ()
+
+let synth_req ?(id = 1.) ?deadline_ms ?(extra = []) topology =
+  req
+    ([
+       ("id", Json.Number id);
+       ("op", Json.String "synthesize");
+       ("topology", Json.String topology);
+       ("pattern", Json.String "all-gather");
+       ("size", Json.Number 1e6);
+     ]
+    @ (match deadline_ms with
+      | Some d -> [ ("deadline_ms", Json.Number d) ]
+      | None -> [])
+    @ extra)
+
+(* --- protocol ------------------------------------------------------------ *)
+
+let test_protocol_roundtrip () =
+  let line =
+    req
+      [
+        ("id", Json.String "r-1");
+        ("op", Json.String "synthesize");
+        ("topology", Json.String "ring:4");
+        ("pattern", Json.String "all-reduce");
+        ("size", Json.String "64MB");
+        ("chunks", Json.Number 2.);
+        ("seed", Json.Number 7.);
+        ("deadline_ms", Json.Number 250.);
+        ("fail_links", Json.Array [ Json.Number 0.; Json.Number 3. ]);
+      ]
+  in
+  match Protocol.parse_request line with
+  | Error (_, msg) -> Alcotest.failf "parse failed: %s" msg
+  | Ok r ->
+    Alcotest.(check bool) "id" true (r.Protocol.id = Json.String "r-1");
+    Alcotest.(check bool) "op" true (r.Protocol.op = Protocol.Synthesize);
+    Alcotest.(check (option string)) "topology" (Some "ring:4") r.Protocol.topology;
+    Alcotest.(check string) "pattern" "all-reduce" r.Protocol.pattern;
+    Alcotest.(check (float 1.)) "size parsed" 64e6 r.Protocol.size;
+    Alcotest.(check int) "chunks" 2 r.Protocol.chunks;
+    Alcotest.(check (option int)) "seed" (Some 7) r.Protocol.seed;
+    Alcotest.(check bool) "deadline" true (r.Protocol.deadline_ms = Some 250.);
+    Alcotest.(check (list int)) "fail_links" [ 0; 3 ] r.Protocol.fail_links
+
+let has_substring sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+let test_protocol_rejects () =
+  let bad line expect =
+    match Protocol.parse_request line with
+    | Ok _ -> Alcotest.failf "%s should not parse" line
+    | Error (_, msg) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mentions %s (got %s)" line expect msg)
+        true (has_substring expect msg)
+  in
+  bad "not json" "not JSON";
+  bad "[1,2]" "object";
+  bad {|{"op":"frobnicate"}|} "unknown op";
+  bad {|{"op":"synthesize","size":-3}|} "size";
+  bad {|{"op":"synthesize","chunks":0}|} "chunks";
+  bad {|{"op":"synthesize","fail_links":[1,"x"]}|} "fail_links"
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let test_malformed_line_is_structured_error () =
+  let svc = service () in
+  let r = Service.handle_line svc "nonsense" in
+  Alcotest.(check string) "status" "error" (status r);
+  Alcotest.(check int) "counted" 1 (Service.stats svc).Service.errors
+
+let test_miss_then_cached () =
+  let svc = service () in
+  let a = Service.handle_line svc (synth_req "ring:4") in
+  Alcotest.(check string) "first ok" "ok" (status a);
+  Alcotest.(check bool) "first is a miss" false (bool_field "cached" a);
+  let b = Service.handle_line svc (synth_req ~id:2. "ring:4") in
+  Alcotest.(check bool) "second is cached" true (bool_field "cached" b);
+  let s = Service.stats svc in
+  Alcotest.(check int) "one miss" 1 s.Service.misses;
+  Alcotest.(check int) "one hit" 1 s.Service.hits
+
+let test_expired_deadline_degrades () =
+  let svc = service () in
+  let r = Service.handle_line svc (synth_req ~deadline_ms:0. "mesh:3x3") in
+  Alcotest.(check string) "still ok" "ok" (status r);
+  Alcotest.(check bool) "degraded" true (bool_field "degraded" r);
+  let s = Service.stats svc in
+  Alcotest.(check int) "deadline miss counted" 1 s.Service.deadline_missed;
+  Alcotest.(check int) "degraded counted" 1 s.Service.degraded;
+  (* The baseline answer carries the (negative) remaining slack. *)
+  match Json.member "deadline_slack_ms" (parse_response r) with
+  | Some (Json.Number slack) ->
+    Alcotest.(check bool) "slack is negative" true (slack <= 0.)
+  | _ -> Alcotest.failf "no deadline_slack_ms in %s" r
+
+let test_backend_deadline_exceeded_degrades () =
+  (* A backend that gives up mid-synthesis must never propagate the
+     exception: the service hands the request to the resilience ladder.
+     With 10 s of slack left the ladder synthesizes a real schedule (so
+     [degraded] stays false); the deadline miss is still counted. *)
+  let svc =
+    service
+      ~synthesize:(fun ~deadline:_ ~seed:_ ~domains:_ _ _ ->
+        raise Synth.Deadline_exceeded)
+      ()
+  in
+  let r = Service.handle_line svc (synth_req ~deadline_ms:10_000. "ring:4") in
+  Alcotest.(check string) "still ok" "ok" (status r);
+  Alcotest.(check bool) "fallback answer, not a cache hit" false
+    (bool_field "cached" r);
+  Alcotest.(check int) "deadline miss counted" 1
+    (Service.stats svc).Service.deadline_missed
+
+let test_cache_hit_served_past_deadline () =
+  (* Hits are effectively free: even a request whose deadline has passed
+     gets the cached schedule rather than a degraded baseline. *)
+  let svc = service () in
+  ignore (Service.handle_line svc (synth_req "ring:4"));
+  let r = Service.handle_line svc (synth_req ~id:2. ~deadline_ms:0. "ring:4") in
+  Alcotest.(check string) "ok" "ok" (status r);
+  Alcotest.(check bool) "cached" true (bool_field "cached" r);
+  Alcotest.(check bool) "not degraded" false (bool_field "degraded" r)
+
+let test_flaky_backend_retries_through_server () =
+  (* Single-flight release through the server path: a synthesis that
+     raises must leave the key clean, so the next identical request runs
+     the backend again and succeeds. *)
+  let calls = ref 0 in
+  let flaky ~deadline:_ ~seed ~domains:_ topo spec =
+    incr calls;
+    if !calls = 1 then raise (Synth.Stuck "injected transient failure")
+    else Synth.synthesize ~seed topo spec
+  in
+  let svc = service ~synthesize:flaky () in
+  let a = Service.handle_line svc (synth_req "ring:4") in
+  (* First request: the miss backend failed; the service falls back
+     structurally (the resilience ladder synthesizes on the healthy
+     fabric), but the cache key must be released. *)
+  Alcotest.(check string) "first still answers" "ok" (status a);
+  let b = Service.handle_line svc (synth_req ~id:2. "ring:4") in
+  Alcotest.(check string) "second ok" "ok" (status b);
+  Alcotest.(check bool) "second is a real miss" false (bool_field "cached" b);
+  Alcotest.(check bool) "second not degraded" false (bool_field "degraded" b);
+  Alcotest.(check int) "backend ran again" 2 !calls;
+  let c = Service.handle_line svc (synth_req ~id:3. "ring:4") in
+  Alcotest.(check bool) "third is cached" true (bool_field "cached" c);
+  Alcotest.(check int) "hit runs no synthesis" 2 !calls
+
+let test_disconnected_fault_is_structured_error () =
+  let svc = service () in
+  let r =
+    Service.handle_line svc
+      (synth_req ~extra:[ ("fail_links", Json.Array [ Json.Number 0. ]) ]
+         "uniring:4")
+  in
+  Alcotest.(check string) "error" "error" (status r);
+  Alcotest.(check bool) "carries the failure report" true
+    (Json.member "failure" (parse_response r) <> None);
+  Alcotest.(check int) "counted" 1 (Service.stats svc).Service.errors
+
+let test_overload_sheds () =
+  (* Saturate a queue_limit=1 service with a latch-blocked synthesis on a
+     second thread, then prove the next request is shed with a retry
+     hint. *)
+  let latch = Mutex.create () in
+  let opened = Condition.create () in
+  let released = ref false in
+  let started = Atomic.make 0 in
+  let blocking ~deadline:_ ~seed ~domains:_ topo spec =
+    Atomic.incr started;
+    Mutex.lock latch;
+    while not !released do
+      Condition.wait opened latch
+    done;
+    Mutex.unlock latch;
+    Synth.synthesize ~seed topo spec
+  in
+  let config = { Service.default_config with queue_limit = 1 } in
+  let svc = service ~config ~synthesize:blocking () in
+  let blocked =
+    Domain.spawn (fun () -> Service.handle_line svc (synth_req "ring:4"))
+  in
+  let t0 = Unix.gettimeofday () in
+  while Atomic.get started < 1 && Unix.gettimeofday () -. t0 < 10. do
+    Unix.sleepf 0.001
+  done;
+  Alcotest.(check int) "blocked synthesis started" 1 (Atomic.get started);
+  let r = Service.handle_line svc (synth_req ~id:2. "ring:8") in
+  Alcotest.(check string) "shed" "overloaded" (status r);
+  (match Json.member "retry_after_ms" (parse_response r) with
+  | Some (Json.Number ms) -> Alcotest.(check bool) "positive hint" true (ms >= 1.)
+  | _ -> Alcotest.failf "no retry_after_ms in %s" r);
+  Mutex.lock latch;
+  released := true;
+  Condition.broadcast opened;
+  Mutex.unlock latch;
+  Alcotest.(check string) "latched request completes" "ok" (status (Domain.join blocked));
+  let s = Service.stats svc in
+  Alcotest.(check int) "one shed" 1 s.Service.shed;
+  Alcotest.(check int) "one accepted" 1 s.Service.accepted
+
+let test_ping_and_stats () =
+  let svc = service () in
+  let p = Service.handle_line svc (req [ ("id", Json.Number 1.); ("op", Json.String "ping") ]) in
+  Alcotest.(check bool) "pong" true (bool_field "pong" p);
+  ignore (Service.handle_line svc (synth_req ~id:2. "ring:4"));
+  let s = Service.handle_line svc (req [ ("id", Json.Number 3.); ("op", Json.String "stats") ]) in
+  match Json.member "misses" (parse_response s) with
+  | Some (Json.Number 1.) -> ()
+  | _ -> Alcotest.failf "stats should report the miss: %s" s
+
+(* --- export flavors ------------------------------------------------------ *)
+
+let test_export_json () =
+  let svc = service () in
+  let r =
+    Service.handle_line svc
+      (req
+         [
+           ("id", Json.Number 1.);
+           ("op", Json.String "export");
+           ("topology", Json.String "ring:4");
+           ("pattern", Json.String "all-gather");
+           ("size", Json.Number 1e6);
+         ])
+  in
+  Alcotest.(check string) "ok" "ok" (status r);
+  match Json.member "schedule" (parse_response r) with
+  | Some (Json.Object _) -> ()
+  | _ -> Alcotest.failf "no embedded schedule in %s" r
+
+let test_export_csv () =
+  let svc = service () in
+  let r =
+    Service.handle_line svc
+      (req
+         [
+           ("id", Json.Number 1.);
+           ("op", Json.String "export");
+           ("topology", Json.String "ring:4");
+           ("pattern", Json.String "all-gather");
+           ("size", Json.Number 1e6);
+           ("format", Json.String "csv");
+         ])
+  in
+  Alcotest.(check string) "ok" "ok" (status r);
+  match Json.member "csv" (parse_response r) with
+  | Some (Json.String csv) ->
+    let lines = String.split_on_char '\n' (String.trim csv) in
+    Alcotest.(check bool) "starts with the sizing header" true
+      (match lines with l :: _ -> l = "NPUs Count,4" | [] -> false);
+    Alcotest.(check bool) "has the per-link header" true
+      (List.exists
+         (fun l -> l = "SrcID,DestID,Latency (ns),Bandwidth (GB/s),Chunks (ID:ns:ns)")
+         lines);
+    (* 4-NPU bidirectional ring: 8 links, one row each after 7 header rows. *)
+    Alcotest.(check int) "one row per link" (7 + 8) (List.length lines)
+  | _ -> Alcotest.failf "no csv in %s" r
+
+let test_tune_op () =
+  let svc = service () in
+  let r =
+    Service.handle_line svc
+      (req
+         [
+           ("id", Json.Number 1.);
+           ("op", Json.String "tune");
+           ("topology", Json.String "mesh:2x2");
+           ("pattern", Json.String "all-gather");
+           ("size", Json.Number 4e6);
+           ("candidates", Json.Array [ Json.Number 1.; Json.Number 2. ]);
+         ])
+  in
+  Alcotest.(check string) "ok" "ok" (status r);
+  match Json.member "chunks_per_npu" (parse_response r) with
+  | Some (Json.Number c) ->
+    Alcotest.(check bool) "winner among candidates" true (c = 1. || c = 2.)
+  | _ -> Alcotest.failf "no chunks_per_npu in %s" r
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "malformed requests rejected" `Quick test_protocol_rejects;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "malformed line -> structured error" `Quick
+            test_malformed_line_is_structured_error;
+          Alcotest.test_case "miss then cached" `Quick test_miss_then_cached;
+          Alcotest.test_case "expired deadline degrades" `Quick
+            test_expired_deadline_degrades;
+          Alcotest.test_case "backend deadline raise degrades" `Quick
+            test_backend_deadline_exceeded_degrades;
+          Alcotest.test_case "cache hit served past deadline" `Quick
+            test_cache_hit_served_past_deadline;
+          Alcotest.test_case "flaky backend retries (key released)" `Quick
+            test_flaky_backend_retries_through_server;
+          Alcotest.test_case "disconnected fault -> structured error" `Quick
+            test_disconnected_fault_is_structured_error;
+          Alcotest.test_case "saturated queue sheds" `Quick test_overload_sheds;
+          Alcotest.test_case "ping and stats" `Quick test_ping_and_stats;
+        ] );
+      ( "export-and-tune",
+        [
+          Alcotest.test_case "export json" `Quick test_export_json;
+          Alcotest.test_case "export csv" `Quick test_export_csv;
+          Alcotest.test_case "tune" `Quick test_tune_op;
+        ] );
+    ]

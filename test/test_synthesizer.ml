@@ -598,6 +598,51 @@ let prop_makespan_bounded =
       let r = Synth.synthesize topo (spec Pattern.All_gather n) in
       r.collective_time <= float_of_int (n * (n - 1)) +. 1e-9)
 
+(* --- deadlines ----------------------------------------------------------- *)
+
+let test_deadline_expired_raises () =
+  let topo = unit_ring 6 in
+  match
+    Synth.synthesize
+      ~deadline:(Tacos_util.Deadline.after_ms 0.)
+      topo (spec Pattern.All_gather 6)
+  with
+  | _ -> Alcotest.fail "an already-expired deadline must raise"
+  | exception Synth.Deadline_exceeded -> ()
+
+let test_deadline_far_future_is_inert () =
+  (* Threading a deadline that never fires must not perturb the search:
+     the result is identical to the deadline-free synthesis. *)
+  let topo = unit_mesh [| 3; 3 |] in
+  let s = spec Pattern.All_gather 9 in
+  let plain = Synth.synthesize ~seed:7 topo s in
+  let timed =
+    Synth.synthesize ~seed:7 ~deadline:(Tacos_util.Deadline.after_ms 3.6e6) topo s
+  in
+  Alcotest.check time "same makespan" plain.collective_time timed.collective_time;
+  Alcotest.(check int) "same sends" (Schedule.num_sends plain.schedule)
+    (Schedule.num_sends timed.schedule);
+  Alcotest.(check int) "same rounds" plain.stats.rounds timed.stats.rounds
+
+let prop_deadline_never_partial =
+  (* Whatever the deadline — already expired, mid-synthesis tight, or
+     effectively unbounded — synthesis either returns a schedule that
+     verifies or raises [Deadline_exceeded]. Never a partial result. *)
+  QCheck.Test.make ~name:"deadline: verified schedule or Deadline_exceeded"
+    ~count:60
+    (QCheck.make QCheck.Gen.(pair random_topology_gen (int_range 0 3)))
+    (fun (params, tier) ->
+      let topo = build_random params in
+      let n = Topology.num_npus topo in
+      let ms = match tier with 0 -> 0. | 1 -> 0.05 | 2 -> 1. | _ -> 60_000. in
+      let deadline = Tacos_util.Deadline.after_ms ms in
+      match
+        Synth.synthesize ~deadline ~seed:(Hashtbl.hash params) topo
+          (spec Pattern.All_gather n)
+      with
+      | r -> ( match Synth.verify topo r with Ok () -> true | Error _ -> false)
+      | exception Synth.Deadline_exceeded -> true)
+
 let prop_reduction_reversal_preserves_makespan =
   QCheck.Test.make ~name:"Reduce-Scatter mirrors All-Gather makespan" ~count:40
     (QCheck.make random_topology_gen) (fun params ->
@@ -687,6 +732,13 @@ let () =
             test_unsupported_patterns;
           Alcotest.test_case "spec/topology mismatch" `Quick test_spec_mismatch_rejected;
         ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "expired deadline raises" `Quick
+            test_deadline_expired_raises;
+          Alcotest.test_case "far-future deadline is inert" `Quick
+            test_deadline_far_future_is_inert;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -694,5 +746,6 @@ let () =
             prop_ar_always_valid;
             prop_makespan_bounded;
             prop_reduction_reversal_preserves_makespan;
+            prop_deadline_never_partial;
           ] );
     ]
