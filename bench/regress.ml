@@ -86,6 +86,18 @@ let specs =
           ("quarantined", Exact);
           ("dup_syntheses", Exact);
           ("shed", Exact);
+          (* Counts re-read through the Prometheus exposition (the metrics
+             verb) and the logfmt access log — guarding the telemetry wire,
+             not just the in-process counters. *)
+          ("metrics_accepted", Exact);
+          ("metrics_hits", Exact);
+          ("metrics_misses", Exact);
+          ("metrics_degraded", Exact);
+          ("metrics_deadline_missed", Exact);
+          ("metrics_errors", Exact);
+          ("metrics_shed", Exact);
+          ("metrics_disk_entries", Exact);
+          ("access_log_records", Exact);
         ];
     };
     {

@@ -12,7 +12,9 @@
 
 open Exp_common
 module Deadline = Tacos_util.Deadline
+module Logfmt = Tacos_util.Logfmt
 module Pool = Tacos_util.Pool
+module Expo = Tacos_obs.Expo
 module Service = Tacos_serve.Service
 module Synthesizer = Tacos.Synthesizer
 
@@ -147,6 +149,12 @@ let run () =
     Atomic.incr synth_calls;
     Synthesizer.synthesize ~seed ~domains ?deadline topo spec
   in
+  (* The access log collects in memory so every record can be asserted:
+     the service serializes sink calls, so a plain ref is safe. *)
+  let access_records = ref [] in
+  let config =
+    { config with Service.access_log = Some (fun l -> access_records := l :: !access_records) }
+  in
   let svc = Service.create ~config ~synthesize:counting () in
   let next_id = ref 1000 in
   let id () = incr next_id; !next_id in
@@ -241,6 +249,143 @@ let run () =
     (Sys.readdir dir |> Array.for_all (fun f -> not (has_substring ".tmp." f)))
     "leftover .tmp files in %s" dir;
 
+  (* Phase 3b — scrape the service's own telemetry through the wire. The
+     [metrics] verb must answer valid Prometheus text whose exposed
+     request-outcome counters agree exactly with the trace (the acceptance
+     bar: counts asserted via the exposition, not just internal stats),
+     and the access log must hold one well-formed logfmt record per
+     request with matching outcomes. *)
+  let scrape ?prefix svc =
+    let fields =
+      [ ("id", Json.String "scrape"); ("op", Json.String "metrics") ]
+      @ match prefix with Some p -> [ ("prefix", Json.String p) ] | None -> []
+    in
+    let r = Service.handle_line svc (Json.encode (Json.Object fields)) in
+    check (status r = "ok") "metrics scrape failed: %s" r;
+    match field r "metrics" with
+    | Some (Json.String text) -> text
+    | _ -> failwith "serve bench: metrics response carries no text"
+  in
+  let exposition svc =
+    let text = scrape svc in
+    (match Expo.validate text with
+    | Ok () -> ()
+    | Error e -> failwith ("serve bench: exposition invalid: " ^ e));
+    match Expo.parse text with
+    | Ok samples -> samples
+    | Error e -> failwith ("serve bench: exposition unparseable: " ^ e)
+  in
+  let sample_value samples metric labels =
+    match
+      List.find_opt
+        (fun (e : Expo.exposed) ->
+          e.Expo.metric = metric
+          && List.for_all (fun kv -> List.mem kv e.Expo.label_set) labels)
+        samples
+    with
+    | Some e -> e.Expo.v
+    | None -> nan
+  in
+  (* Snapshot the access log before the scrape itself appends to it. *)
+  let logged = List.rev !access_records in
+  let samples = exposition svc in
+  let outcome o = sample_value samples "tacos_serve_requests_total" [ ("outcome", o) ] in
+  let expect_outcome o n =
+    check (outcome o = float_of_int n) "exposed outcome %s: wanted %d, got %g" o n
+      (outcome o)
+  in
+  expect_outcome "accepted" 122;
+  expect_outcome "hit" 108;
+  expect_outcome "miss" 4;
+  expect_outcome "degraded" 6;
+  expect_outcome "deadline_missed" 6;
+  expect_outcome "error" 4;
+  let disk_entries = sample_value samples "tacos_registry_disk_entries" [] in
+  check (disk_entries = 13.) "exposed disk entries: wanted 13, got %g" disk_entries;
+  check (sample_value samples "tacos_registry_disk_corrupt" [] = 3.)
+    "exposed disk corrupt count should be 3";
+  check (sample_value samples "tacos_registry_disk_bytes" [] > 0.)
+    "exposed disk bytes should be positive";
+  List.iter
+    (fun q ->
+      let v =
+        sample_value samples "tacos_serve_latency_ms"
+          [ ("verb", "synthesize"); ("quantile", q) ]
+      in
+      check (Float.is_finite v && v >= 0.)
+        "missing synthesize latency quantile %s in exposition" q)
+    [ "0.5"; "0.95"; "0.99" ];
+  let filtered = scrape ~prefix:"tacos_registry_" svc in
+  (match Expo.parse filtered with
+  | Ok [] -> failwith "serve bench: prefixed scrape came back empty"
+  | Ok l ->
+    List.iter
+      (fun (e : Expo.exposed) ->
+        check
+          (String.starts_with ~prefix:"tacos_registry_" e.Expo.metric)
+          "prefixed scrape leaked %s" e.Expo.metric)
+      l
+  | Error e -> failwith ("serve bench: prefixed exposition unparseable: " ^ e));
+  note "metrics exposition valid: %d samples agree with the trace counters"
+    (List.length samples);
+
+  let parsed_log =
+    List.map
+      (fun line ->
+        match Logfmt.parse line with
+        | Ok kvs -> kvs
+        | Error e ->
+          failwith ("serve bench: access record unparseable (" ^ e ^ "): " ^ line))
+      logged
+  in
+  let access_log_records = List.length parsed_log in
+  check (access_log_records = 122) "expected 122 access records, got %d"
+    access_log_records;
+  let log_outcome o =
+    List.length
+      (List.filter (fun kvs -> List.assoc_opt "outcome" kvs = Some o) parsed_log)
+  in
+  check (log_outcome "hit" = 108) "access log hits: %d" (log_outcome "hit");
+  check (log_outcome "miss" = 4) "access log misses: %d" (log_outcome "miss");
+  check (log_outcome "degraded" = 6) "access log degraded: %d" (log_outcome "degraded");
+  check (log_outcome "error" = 4) "access log errors: %d" (log_outcome "error");
+  let uptime = Service.uptime_seconds svc in
+  List.iter
+    (fun kvs ->
+      List.iter
+        (fun k -> check (List.mem_assoc k kvs) "access record missing field %s" k)
+        [ "t"; "id"; "verb"; "outcome"; "elapsed_ms"; "bytes_out" ];
+      check (List.assoc "verb" kvs = "synthesize") "unexpected access verb %s"
+        (List.assoc "verb" kvs);
+      let stamp = try float_of_string (List.assoc "t" kvs) with _ -> nan in
+      check (stamp >= 0. && stamp <= uptime) "access stamp %g outside [0, %g]" stamp
+        uptime)
+    parsed_log;
+  note "access log: %d logfmt records, outcomes match the trace" access_log_records;
+
+  (* Per-verb latency quantiles, as a stats client (tacos top) sees them. *)
+  let stats_resp =
+    Service.handle_line svc
+      (Json.encode (Json.Object [ ("id", Json.String "q"); ("op", Json.String "stats") ]))
+  in
+  (match field stats_resp "latency_ms" with
+  | Some (Json.Object verbs) ->
+    check (List.mem_assoc "synthesize" verbs) "stats latency_ms lacks synthesize";
+    let row (verb, summary) =
+      let get k =
+        match Json.member k summary with Some (Json.Number n) -> n | _ -> nan
+      in
+      [
+        verb; Printf.sprintf "%.0f" (get "count");
+        Printf.sprintf "%.3f" (get "p50"); Printf.sprintf "%.3f" (get "p90");
+        Printf.sprintf "%.3f" (get "p95"); Printf.sprintf "%.3f" (get "p99");
+      ]
+    in
+    Table.print
+      ~header:[ "verb"; "count"; "p50 ms"; "p90 ms"; "p95 ms"; "p99 ms" ]
+      (List.map row verbs)
+  | _ -> failwith "serve bench: stats response carries no latency_ms");
+
   (* Phase 4 — load shedding under a saturated queue: two syntheses block
      on a latch while three more requests arrive; all three must be shed
      with structured overloaded responses, then the blocked pair completes
@@ -295,6 +440,16 @@ let run () =
   check (shed_stats.Service.shed = 3) "expected 3 shed, got %d" shed_stats.Service.shed;
   check (shed_stats.Service.accepted = 2) "expected 2 admitted, got %d"
     shed_stats.Service.accepted;
+  (* The shed counter must also be visible through the exposition — a
+     saturated server stays scrapable because [metrics] bypasses admission. *)
+  let shed_samples = exposition shed_svc in
+  let shed_outcome o =
+    sample_value shed_samples "tacos_serve_requests_total" [ ("outcome", o) ]
+  in
+  check (shed_outcome "shed" = 3.) "exposed shed count: wanted 3, got %g"
+    (shed_outcome "shed");
+  check (shed_outcome "accepted" = 2.) "exposed shed-service accepted: wanted 2, got %g"
+    (shed_outcome "accepted");
 
   (* --- report ------------------------------------------------------------ *)
   let sorted = Array.of_list !latencies in
@@ -330,6 +485,15 @@ let run () =
       ("shed", Json.Number (float_of_int shed_stats.Service.shed));
       ("hit_rate", Json.Number hit_rate);
       ("degraded_fraction", Json.Number degraded_fraction);
+      ("metrics_accepted", Json.Number (outcome "accepted"));
+      ("metrics_hits", Json.Number (outcome "hit"));
+      ("metrics_misses", Json.Number (outcome "miss"));
+      ("metrics_degraded", Json.Number (outcome "degraded"));
+      ("metrics_deadline_missed", Json.Number (outcome "deadline_missed"));
+      ("metrics_errors", Json.Number (outcome "error"));
+      ("metrics_shed", Json.Number (shed_outcome "shed"));
+      ("metrics_disk_entries", Json.Number disk_entries);
+      ("access_log_records", Json.Number (float_of_int access_log_records));
       ("p50_ms", Json.Number p50);
       ("p99_ms", Json.Number p99);
     ];

@@ -1299,6 +1299,34 @@ let serve_cmd =
              it the server degrades to the best feasible baseline \
              (degraded:true) instead of overrunning.")
   in
+  let metrics_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"PATH"
+          ~doc:
+            "Flush the Prometheus text exposition (the same document the \
+             'metrics' verb serves) to $(docv) periodically and on exit; \
+             written atomically (temp file + rename) so scrapers never see \
+             a torn file. Each flush carries the monotonic \
+             tacos_serve_uptime_seconds stamp.")
+  in
+  let metrics_interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "metrics-interval" ] ~docv:"SECS"
+          ~doc:"Seconds between --metrics-file flushes.")
+  in
+  let access_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"PATH"
+          ~doc:
+            "Append one logfmt record per request (id, verb, outcome, \
+             latency, deadline slack, bytes out, monotonic t= stamp) to \
+             $(docv); '-' logs to stderr.")
+  in
   let serve_loop svc ic oc =
     try
       while true do
@@ -1311,15 +1339,33 @@ let serve_cmd =
       done
     with End_of_file | Sys_error _ -> ()
   in
-  let run stdio socket registry_dir queue_limit deadline_ms seed trials domains =
+  let run stdio socket registry_dir queue_limit deadline_ms metrics_file
+      metrics_interval access_log seed trials domains =
     if (not stdio) && socket = None then
       fail "pass --stdio or --socket PATH (nothing to serve on)"
     else if trials <= 0 || domains <= 0 || queue_limit <= 0 then
       fail "--trials, --domains and --queue-limit must be positive"
+    else if metrics_interval <= 0. then fail "--metrics-interval must be positive"
     else begin
       (* The daemon keeps observability on: serve.* counters feed the
-         stats op and any profile taken against a long-running server. *)
+         stats op, the metrics exposition, and any profile taken against a
+         long-running server. *)
       Obs.enable ();
+      let access_sink, close_access =
+        match access_log with
+        | None -> (None, fun () -> ())
+        | Some "-" -> (Some (fun line -> Printf.eprintf "%s\n%!" line), fun () -> ())
+        | Some path ->
+          let oc =
+            open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+          in
+          ( Some
+              (fun line ->
+                output_string oc line;
+                output_char oc '\n';
+                flush oc),
+            fun () -> close_out_noerr oc )
+      in
       let config =
         {
           Service.queue_limit;
@@ -1328,12 +1374,38 @@ let serve_cmd =
           default_deadline_ms = deadline_ms;
           registry_dir;
           seed;
+          access_log = access_sink;
         }
       in
       let svc = Service.create ~config () in
+      let flush_metrics () =
+        match metrics_file with
+        | None -> ()
+        | Some path -> (
+          let tmp = path ^ ".tmp" in
+          try
+            let oc = open_out tmp in
+            output_string oc (Service.metrics svc);
+            close_out oc;
+            Sys.rename tmp path
+          with Sys_error _ -> ())
+      in
+      if metrics_file <> None then
+        ignore
+          (Thread.create
+             (fun () ->
+               while true do
+                 Thread.delay metrics_interval;
+                 flush_metrics ()
+               done)
+             ());
       match socket with
       | None ->
         serve_loop svc stdin stdout;
+        (* Short scripted transcripts end before the first periodic tick:
+           flush once more so --metrics-file always has the final state. *)
+        flush_metrics ();
+        close_access ();
         `Ok ()
       | Some path ->
         if Sys.file_exists path then Sys.remove path;
@@ -1360,7 +1432,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ stdio_arg $ socket_arg $ registry_arg $ queue_limit_arg
-       $ deadline_arg $ seed_arg $ trials_arg $ domains_arg))
+       $ deadline_arg $ metrics_file_arg $ metrics_interval_arg $ access_log_arg
+       $ seed_arg $ trials_arg $ domains_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1368,7 +1441,186 @@ let serve_cmd =
          "Run the synthesis service: a persistent daemon answering \
           synthesize/tune/export requests over line-framed JSON, with a \
           shared crash-safe schedule cache, per-request deadlines with \
-          graceful degradation, and bounded admission")
+          graceful degradation, bounded admission, Prometheus metrics \
+          exposition and a structured access log")
+    term
+
+(* --- top --------------------------------------------------------------------- *)
+
+(* A live terminal dashboard over a running server: poll the stats verb on
+   its Unix socket, difference the counters for rates, and render the
+   latency-quantile table. Doubles as the CLI front end of the exposition
+   validator (--validate), the way `tacos trace --validate` fronts
+   Chrome.validate. *)
+let top_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix socket of the running 'tacos serve --socket' instance.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Seconds between polls.")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:
+            "Render $(docv) frames and exit (scripted use); 0 polls until \
+             interrupted.")
+  in
+  let validate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate" ] ~docv:"FILE"
+          ~doc:
+            "Validate $(docv) as a Prometheus text exposition (e.g. a \
+             --metrics-file flush or a saved 'metrics' scrape) and exit.")
+  in
+  let poll_stats path =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect sock (Unix.ADDR_UNIX path);
+        let oc = Unix.out_channel_of_descr sock in
+        let ic = Unix.in_channel_of_descr sock in
+        output_string oc "{\"op\":\"stats\"}\n";
+        flush oc;
+        Json.parse (input_line ic))
+  in
+  let bytes_pp b =
+    if b >= 1048576. then Printf.sprintf "%.1f MB" (b /. 1048576.)
+    else if b >= 1024. then Printf.sprintf "%.1f KB" (b /. 1024.)
+    else Printf.sprintf "%.0f B" b
+  in
+  let render path doc ~rps =
+    let num k = match Json.member k doc with Some (Json.Number v) -> v | _ -> 0. in
+    let obj k = match Json.member k doc with Some (Json.Object l) -> l | _ -> [] in
+    let hits = num "hits" and misses = num "misses" in
+    let accepted = num "accepted" and shed = num "shed" in
+    let answered = hits +. misses in
+    let offered = accepted +. shed in
+    Printf.printf "tacos top — %s — uptime %.1fs — inflight %.0f\n" path
+      (num "uptime_seconds") (num "inflight");
+    Printf.printf
+      "requests  accepted=%.0f  rps=%.1f  hit=%s  shed=%s  degraded=%.0f  \
+       deadline_missed=%.0f  errors=%.0f\n"
+      accepted rps
+      (if answered > 0. then Table.cell_percent (hits /. answered) else "-")
+      (if offered > 0. then Table.cell_percent (shed /. offered) else "-")
+      (num "degraded") (num "deadline_missed") (num "errors");
+    let reg = Json.Object (obj "registry") in
+    let rnum k = match Json.member k reg with Some (Json.Number v) -> v | _ -> 0. in
+    Printf.printf
+      "registry  %.0f in memory, %.0f on disk (%s, %.0f corrupt, %.0f \
+       quarantined)\n\n"
+      (rnum "entries") (rnum "disk_entries")
+      (bytes_pp (rnum "disk_bytes"))
+      (rnum "disk_corrupt") (num "quarantined");
+    let rows =
+      List.filter_map
+        (fun (verb, q) ->
+          match q with
+          | Json.Object _ ->
+            let qn k =
+              match Json.member k q with Some (Json.Number v) -> v | _ -> 0.
+            in
+            Some
+              [
+                verb;
+                Printf.sprintf "%.0f" (qn "count");
+                Table.cell_float ~decimals:3 (qn "p50");
+                Table.cell_float ~decimals:3 (qn "p90");
+                Table.cell_float ~decimals:3 (qn "p95");
+                Table.cell_float ~decimals:3 (qn "p99");
+              ]
+          | _ -> None)
+        (obj "latency_ms")
+    in
+    if rows <> [] then
+      Table.print
+        ~header:[ "verb"; "count"; "p50 ms"; "p90 ms"; "p95 ms"; "p99 ms" ]
+        rows
+  in
+  let run socket interval iterations validate =
+    match validate with
+    | Some file -> (
+      let text = In_channel.with_open_bin file In_channel.input_all in
+      match Tacos_obs.Expo.validate text with
+      | Ok () ->
+        let samples =
+          match Tacos_obs.Expo.parse text with Ok l -> List.length l | Error _ -> 0
+        in
+        Printf.printf "%s: valid Prometheus text exposition (%d samples)\n" file
+          samples;
+        `Ok ()
+      | Error e -> fail "%s: invalid exposition: %s" file e)
+    | None -> (
+      match socket with
+      | None -> fail "pass --socket PATH to watch a server (or --validate FILE)"
+      | Some path ->
+        if interval <= 0. then fail "--interval must be positive"
+        else begin
+          let prev_accepted = ref nan in
+          let prev_t = ref nan in
+          let frame i =
+            match poll_stats path with
+            | Error e -> fail "%s: bad stats response: %s" path e
+            | Ok doc ->
+              let accepted =
+                match Json.member "accepted" doc with
+                | Some (Json.Number v) -> v
+                | _ -> 0.
+              in
+              let now = Unix.gettimeofday () in
+              let rps =
+                if Float.is_nan !prev_accepted || now <= !prev_t then 0.
+                else (accepted -. !prev_accepted) /. (now -. !prev_t)
+              in
+              prev_accepted := accepted;
+              prev_t := now;
+              (* ANSI clear + home, like every terminal dashboard; frames
+                 scroll plainly when the output is not a tty. *)
+              if Unix.isatty Unix.stdout then print_string "\027[2J\027[H"
+              else if i > 0 then print_newline ();
+              render path doc ~rps;
+              flush stdout;
+              `Ok ()
+          in
+          let rec loop i =
+            match frame i with
+            | `Ok () ->
+              if iterations > 0 && i + 1 >= iterations then `Ok ()
+              else begin
+                Thread.delay interval;
+                loop (i + 1)
+              end
+            | err -> err
+          in
+          try loop 0 with
+          | Unix.Unix_error (e, _, _) ->
+            fail "%s: %s (is 'tacos serve --socket' running?)" path
+              (Unix.error_message e)
+          | End_of_file -> fail "%s: connection closed mid-response" path
+        end)
+  in
+  let term =
+    Term.(
+      ret (const run $ socket_arg $ interval_arg $ iterations_arg $ validate_arg))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a running synthesis server: RPS, hit \
+          ratio, shed rate, per-verb latency quantiles and registry size, \
+          polled from its Unix socket; --validate checks a Prometheus \
+          exposition file instead")
     term
 
 (* --- info -------------------------------------------------------------------- *)
@@ -1417,5 +1669,5 @@ let () =
        (Cmd.group info
           [
             synthesize_cmd; compare_cmd; tune_cmd; profile_cmd; trace_cmd;
-            faults_cmd; serve_cmd; info_cmd;
+            faults_cmd; serve_cmd; top_cmd; info_cmd;
           ]))

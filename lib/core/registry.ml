@@ -330,3 +330,33 @@ let entries t =
   let n = Hashtbl.length t.table in
   Mutex.unlock t.lock;
   n
+
+type disk_usage = { disk_entries : int; disk_corrupt : int; disk_bytes : int }
+
+(* Scan the backing directory fresh on every call: the store is shared
+   (other server instances, rsync) so cached totals would go stale. A
+   missing or unreadable directory reads as empty — size accounting must
+   never take the serving path down. *)
+let disk_usage t =
+  match t.dir with
+  | None -> { disk_entries = 0; disk_corrupt = 0; disk_bytes = 0 }
+  | Some dir ->
+    let files = try Sys.readdir dir with Sys_error _ -> [||] in
+    Array.fold_left
+      (fun acc f ->
+        let entry = Filename.check_suffix f ".json" in
+        let corrupt = Filename.check_suffix f ".corrupt" in
+        if not (entry || corrupt) then acc
+        else begin
+          let bytes =
+            try (Unix.stat (Filename.concat dir f)).Unix.st_size with
+            | Unix.Unix_error _ | Sys_error _ -> 0
+          in
+          {
+            disk_entries = (acc.disk_entries + if entry then 1 else 0);
+            disk_corrupt = (acc.disk_corrupt + if corrupt then 1 else 0);
+            disk_bytes = acc.disk_bytes + bytes;
+          }
+        end)
+      { disk_entries = 0; disk_corrupt = 0; disk_bytes = 0 }
+      files

@@ -89,3 +89,12 @@ val entries : t -> int
 val quarantined : t -> int
 (** Number of broken disk entries this registry has set aside as
     [*.corrupt] since creation. *)
+
+type disk_usage = { disk_entries : int; disk_corrupt : int; disk_bytes : int }
+
+val disk_usage : t -> disk_usage
+(** Size accounting for the disk store, scanned fresh on every call:
+    live [*.json] entries, quarantined [*.corrupt] files, and their
+    combined size in bytes (quarantined included — forensic files occupy
+    real disk until an operator clears them). All zero for a registry
+    without a backing directory; never raises on unreadable disk state. *)

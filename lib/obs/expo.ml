@@ -1,0 +1,499 @@
+(* Prometheus text-exposition (0.0.4) rendering, parsing and validation.
+
+   The renderer owns the format's lexical rules — name sanitization, label
+   escaping, special float spellings — so instrumentation code can use the
+   dotted Obs names and arbitrary label values freely. The parser and the
+   [validate] structural checker mirror [Trace.Chrome.validate]: everything
+   the renderer can emit must round-trip, and CI pipes live scrapes through
+   [validate] so a rendering bug fails the build rather than the scrape. *)
+
+module Json = Tacos_util.Json
+
+type kind = Counter | Gauge | Histogram | Summary | Untyped
+
+type sample = {
+  suffix : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+type family = { name : string; help : string; kind : kind; samples : sample list }
+
+let sample ?(suffix = "") ?(labels = []) value = { suffix; labels; value }
+let family ~name ~help ~kind samples = { name; help; kind; samples }
+
+(* --- lexical rules -------------------------------------------------------- *)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let sanitize_with ~ok_start ~ok s =
+  if s = "" then "_"
+  else begin
+    let b = Bytes.of_string s in
+    String.iteri (fun i c -> if not (ok c) then Bytes.set b i '_') s;
+    let s = Bytes.to_string b in
+    if ok_start s.[0] then s else "_" ^ s
+  end
+
+let sanitize_name s = sanitize_with ~ok_start:is_name_start ~ok:is_name_char s
+
+(* Label names are stricter than metric names: no ':'. *)
+let is_label_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_label_char c = is_label_start c || (c >= '0' && c <= '9')
+let sanitize_label s = sanitize_with ~ok_start:is_label_start ~ok:is_label_char s
+
+let valid_metric_name s = s <> "" && is_name_start s.[0] && String.for_all is_name_char s
+
+let valid_label_name s =
+  s <> ""
+  && not (String.length s >= 2 && s.[0] = '_' && s.[1] = '_')
+  && is_label_start s.[0]
+  && String.for_all is_label_char s
+
+let escape ~quotes s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '"' when quotes -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let fmt_value v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let kind_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+  | Summary -> "summary"
+  | Untyped -> "untyped"
+
+let kind_of_string = function
+  | "counter" -> Some Counter
+  | "gauge" -> Some Gauge
+  | "histogram" -> Some Histogram
+  | "summary" -> Some Summary
+  | "untyped" -> Some Untyped
+  | _ -> None
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let render families =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun f ->
+      let name = sanitize_name f.name in
+      Printf.bprintf b "# HELP %s %s\n" name (escape ~quotes:false f.help);
+      Printf.bprintf b "# TYPE %s %s\n" name (kind_string f.kind);
+      List.iter
+        (fun s ->
+          Buffer.add_string b (name ^ s.suffix);
+          (match s.labels with
+          | [] -> ()
+          | labels ->
+            Buffer.add_char b '{';
+            List.iteri
+              (fun i (k, v) ->
+                if i > 0 then Buffer.add_char b ',';
+                Printf.bprintf b "%s=\"%s\"" (sanitize_label k) (escape ~quotes:true v))
+              labels;
+            Buffer.add_char b '}');
+          Printf.bprintf b " %s\n" (fmt_value s.value))
+        f.samples)
+    families;
+  Buffer.contents b
+
+(* --- families from sketches and the Obs registry -------------------------- *)
+
+let of_quantile ~name ~help ?(labels = []) q =
+  let tail =
+    [
+      sample ~suffix:"_sum" ~labels (Quantile.sum q);
+      sample ~suffix:"_count" ~labels (float_of_int (Quantile.count q));
+    ]
+  in
+  let quants =
+    List.map
+      (fun (p, v) -> sample ~labels:(labels @ [ ("quantile", fmt_value p) ]) v)
+      (Quantile.summary q)
+  in
+  family ~name ~help ~kind:Summary (quants @ tail)
+
+let of_obs () =
+  let sections =
+    match Obs.snapshot () with Json.Object l -> l | _ -> []
+  in
+  let sec name =
+    match List.assoc_opt name sections with Some (Json.Object l) -> l | _ -> []
+  in
+  let num j k = match Json.member k j with Some (Json.Number v) -> v | _ -> 0. in
+  (* Obs histograms store per-bucket counts with an upper edge [le]; the
+     exposition convention wants cumulative counts closed by an le="+Inf"
+     bucket equal to the total count. *)
+  let hist_samples j =
+    let total = num j "count" in
+    let buckets = match Json.member "buckets" j with Some (Json.Array l) -> l | _ -> [] in
+    let cumulative = ref 0. in
+    let bucket_samples =
+      List.map
+        (fun bj ->
+          cumulative := !cumulative +. num bj "count";
+          sample ~suffix:"_bucket" ~labels:[ ("le", fmt_value (num bj "le")) ] !cumulative)
+        buckets
+    in
+    bucket_samples
+    @ [
+        sample ~suffix:"_bucket" ~labels:[ ("le", "+Inf") ] total;
+        sample ~suffix:"_sum" (num j "sum");
+        sample ~suffix:"_count" total;
+      ]
+  in
+  let counters =
+    List.map
+      (fun (n, v) ->
+        family
+          ~name:(sanitize_name n ^ "_total")
+          ~help:(Printf.sprintf "Obs counter %s." n)
+          ~kind:Counter
+          [ sample (match v with Json.Number x -> x | _ -> 0.) ])
+      (sec "counters")
+  in
+  let gauges =
+    List.map
+      (fun (n, v) ->
+        family ~name:(sanitize_name n)
+          ~help:(Printf.sprintf "Obs gauge %s (running maximum)." n)
+          ~kind:Gauge
+          [ sample (match v with Json.Number x -> x | _ -> 0.) ])
+      (sec "gauges")
+  in
+  let hists =
+    List.map
+      (fun (n, j) ->
+        family ~name:(sanitize_name n)
+          ~help:(Printf.sprintf "Obs histogram %s." n)
+          ~kind:Histogram (hist_samples j))
+      (sec "histograms")
+  in
+  let timers =
+    List.map
+      (fun (n, j) ->
+        family
+          ~name:(sanitize_name n ^ "_seconds")
+          ~help:(Printf.sprintf "Obs timer %s (seconds)." n)
+          ~kind:Histogram (hist_samples j))
+      (sec "timers")
+  in
+  List.sort
+    (fun a b -> compare a.name b.name)
+    (counters @ gauges @ hists @ timers)
+
+(* --- parsing -------------------------------------------------------------- *)
+
+type exposed = { metric : string; label_set : (string * string) list; v : float }
+
+type entry =
+  | E_help of string
+  | E_type of string * kind
+  | E_sample of exposed
+
+exception Bad of string
+
+let unescape_label s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' then begin
+       if !i + 1 >= n then raise (Bad "dangling backslash in label value");
+       (match s.[!i + 1] with
+       | '\\' -> Buffer.add_char b '\\'
+       | '"' -> Buffer.add_char b '"'
+       | 'n' -> Buffer.add_char b '\n'
+       | c -> raise (Bad (Printf.sprintf "invalid escape \\%c in label value" c)));
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char b s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents b
+
+let parse_float_token s =
+  match String.lowercase_ascii s with
+  | "+inf" | "inf" | "infinity" | "+infinity" -> Some infinity
+  | "-inf" | "-infinity" -> Some neg_infinity
+  | "nan" | "+nan" | "-nan" -> Some nan
+  | _ -> float_of_string_opt s
+
+(* One sample line: name[{labels}] value [timestamp]. *)
+let parse_sample line =
+  let n = String.length line in
+  let i = ref 0 in
+  let start = !i in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  let metric = String.sub line start (!i - start) in
+  if not (valid_metric_name metric) then raise (Bad "invalid metric name");
+  let labels = ref [] in
+  if !i < n && line.[!i] = '{' then begin
+    incr i;
+    let finished = ref false in
+    while not !finished do
+      if !i >= n then raise (Bad "unterminated label set")
+      else if line.[!i] = '}' then begin
+        incr i;
+        finished := true
+      end
+      else begin
+        let s0 = !i in
+        while !i < n && is_label_char line.[!i] do incr i done;
+        let lname = String.sub line s0 (!i - s0) in
+        if not (valid_label_name lname) then
+          raise (Bad (Printf.sprintf "invalid label name %S" lname));
+        if !i >= n || line.[!i] <> '=' then raise (Bad "expected '=' after label name");
+        incr i;
+        if !i >= n || line.[!i] <> '"' then raise (Bad "expected '\"' opening label value");
+        incr i;
+        let vbuf = Buffer.create 16 in
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then raise (Bad "unterminated label value")
+          else if line.[!i] = '\\' then begin
+            if !i + 1 >= n then raise (Bad "dangling backslash in label value");
+            Buffer.add_char vbuf line.[!i];
+            Buffer.add_char vbuf line.[!i + 1];
+            i := !i + 2
+          end
+          else if line.[!i] = '"' then begin
+            incr i;
+            closed := true
+          end
+          else begin
+            Buffer.add_char vbuf line.[!i];
+            incr i
+          end
+        done;
+        labels := (lname, unescape_label (Buffer.contents vbuf)) :: !labels;
+        if !i < n && line.[!i] = ',' then incr i
+        else if !i >= n || line.[!i] <> '}' then
+          raise (Bad "expected ',' or '}' after label value")
+      end
+    done
+  end;
+  if !i >= n || line.[!i] <> ' ' then raise (Bad "expected space before value");
+  while !i < n && line.[!i] = ' ' do incr i done;
+  let s0 = !i in
+  while !i < n && line.[!i] <> ' ' do incr i done;
+  let vtok = String.sub line s0 (!i - s0) in
+  let v =
+    match parse_float_token vtok with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "unparseable value %S" vtok))
+  in
+  while !i < n && line.[!i] = ' ' do incr i done;
+  if !i < n then begin
+    let s0 = !i in
+    while !i < n && line.[!i] <> ' ' do incr i done;
+    let ts = String.sub line s0 (!i - s0) in
+    if Option.is_none (int_of_string_opt ts) then
+      raise (Bad (Printf.sprintf "unparseable timestamp %S" ts));
+    while !i < n && line.[!i] = ' ' do incr i done;
+    if !i < n then raise (Bad "trailing garbage after timestamp")
+  end;
+  { metric; label_set = List.rev !labels; v }
+
+let parse_comment line =
+  (* "# HELP name text" / "# TYPE name type"; anything else after '#' is a
+     plain comment. split_on_char + concat is lossless, so HELP text with
+     runs of spaces survives. *)
+  match String.split_on_char ' ' line with
+  | "#" :: (("HELP" | "TYPE") as kw) :: name :: rest ->
+    if not (valid_metric_name name) then
+      raise (Bad (Printf.sprintf "invalid metric name %S in # %s" name kw));
+    if kw = "HELP" then Some (E_help name)
+    else begin
+      match kind_of_string (String.concat " " rest) with
+      | Some k -> Some (E_type (name, k))
+      | None -> raise (Bad (Printf.sprintf "unknown metric type %S" (String.concat " " rest)))
+    end
+  | [ "#"; ("HELP" | "TYPE") ] -> raise (Bad "missing metric name after # HELP/TYPE")
+  | _ -> None
+
+let parse_entries text =
+  let lines = String.split_on_char '\n' text in
+  let entries = ref [] in
+  let lineno = ref 0 in
+  try
+    List.iter
+      (fun line ->
+        incr lineno;
+        if line = "" then ()
+        else if line.[0] = '#' then begin
+          match parse_comment line with
+          | Some e -> entries := (!lineno, e) :: !entries
+          | None -> ()
+        end
+        else entries := (!lineno, E_sample (parse_sample line)) :: !entries)
+      lines;
+    Ok (List.rev !entries)
+  with Bad msg -> Error (Printf.sprintf "line %d: %s" !lineno msg)
+
+let parse text =
+  match parse_entries text with
+  | Error _ as e -> e
+  | Ok entries ->
+    Ok (List.filter_map (function _, E_sample s -> Some s | _ -> None) entries)
+
+(* --- validation ----------------------------------------------------------- *)
+
+let strip_suffix ~suffix s =
+  if String.length s > String.length suffix && String.ends_with ~suffix s then
+    Some (String.sub s 0 (String.length s - String.length suffix))
+  else None
+
+let validate text =
+  match parse_entries text with
+  | Error e -> Error e
+  | Ok entries ->
+    (try
+       let types : (string, kind) Hashtbl.t = Hashtbl.create 32 in
+       let seen_sample_of_family : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+       let seen_series : (string * (string * string) list, int) Hashtbl.t =
+         Hashtbl.create 64
+       in
+       (* family a sample belongs to, given the TYPE declarations *)
+       let family_of metric =
+         let typed_as base kinds =
+           match Hashtbl.find_opt types base with
+           | Some k when List.mem k kinds -> true
+           | _ -> false
+         in
+         match strip_suffix ~suffix:"_bucket" metric with
+         | Some base when typed_as base [ Histogram ] -> base
+         | _ -> (
+           match strip_suffix ~suffix:"_sum" metric with
+           | Some base when typed_as base [ Histogram; Summary ] -> base
+           | _ -> (
+             match strip_suffix ~suffix:"_count" metric with
+             | Some base when typed_as base [ Histogram; Summary ] -> base
+             | _ -> metric))
+       in
+       let err line msg = raise (Bad (Printf.sprintf "line %d: %s" line msg)) in
+       let samples = ref [] in
+       List.iter
+         (fun (line, e) ->
+           match e with
+           | E_help _ -> ()
+           | E_type (name, k) ->
+             if Hashtbl.mem types name then
+               err line (Printf.sprintf "duplicate # TYPE for %s" name);
+             if Hashtbl.mem seen_sample_of_family name then
+               err line (Printf.sprintf "# TYPE %s after its samples" name);
+             Hashtbl.replace types name k
+           | E_sample s ->
+             let fam = family_of s.metric in
+             Hashtbl.replace seen_sample_of_family fam ();
+             (* catches a TYPE that arrives after suffix-less samples *)
+             Hashtbl.replace seen_sample_of_family s.metric ();
+             let key = (s.metric, List.sort compare s.label_set) in
+             (match Hashtbl.find_opt seen_series key with
+             | Some first ->
+               err line
+                 (Printf.sprintf "duplicate sample %s (first at line %d)" s.metric first)
+             | None -> Hashtbl.replace seen_series key line);
+             List.iter
+               (fun (k, _) ->
+                 if not (valid_label_name k) then
+                   err line (Printf.sprintf "invalid label name %S" k))
+               s.label_set;
+             samples := (line, fam, s) :: !samples)
+         entries;
+       let samples = List.rev !samples in
+       (* per-kind checks *)
+       List.iter
+         (fun (line, fam, s) ->
+           match Hashtbl.find_opt types fam with
+           | Some Counter ->
+             if Float.is_nan s.v || s.v < 0. then
+               err line (Printf.sprintf "counter %s with negative/NaN value" s.metric)
+           | Some Summary ->
+             if s.metric = fam then begin
+               match List.assoc_opt "quantile" s.label_set with
+               | None -> err line (Printf.sprintf "summary sample %s lacks quantile label" fam)
+               | Some q -> (
+                 match parse_float_token q with
+                 | Some v when v >= 0. && v <= 1. -> ()
+                 | _ -> err line (Printf.sprintf "summary %s: quantile=%S not in [0,1]" fam q))
+             end
+           | Some Histogram ->
+             if s.metric = fam then
+               err line
+                 (Printf.sprintf "histogram %s: expected %s_bucket/_sum/_count samples" fam fam)
+             else if strip_suffix ~suffix:"_bucket" s.metric = Some fam then begin
+               match List.assoc_opt "le" s.label_set with
+               | None -> err line (Printf.sprintf "histogram bucket of %s lacks le label" fam)
+               | Some le ->
+                 if Option.is_none (parse_float_token le) then
+                   err line (Printf.sprintf "histogram %s: le=%S not a float" fam le)
+             end
+           | _ -> ())
+         samples;
+       (* histogram family structure: group buckets by their non-le labels,
+          require a +Inf bucket, cumulative counts, _count consistency *)
+       Hashtbl.iter
+         (fun fam k ->
+           if k = Histogram then begin
+             let buckets = Hashtbl.create 8 and counts = Hashtbl.create 8 in
+             List.iter
+               (fun (line, f, s) ->
+                 if f = fam then
+                   if strip_suffix ~suffix:"_bucket" s.metric = Some fam then begin
+                     let rest =
+                       List.sort compare (List.remove_assoc "le" s.label_set)
+                     in
+                     let le =
+                       Option.get
+                         (parse_float_token
+                            (Option.value ~default:"" (List.assoc_opt "le" s.label_set)))
+                     in
+                     let prev = Option.value ~default:[] (Hashtbl.find_opt buckets rest) in
+                     Hashtbl.replace buckets rest ((line, le, s.v) :: prev)
+                   end
+                   else if strip_suffix ~suffix:"_count" s.metric = Some fam then
+                     Hashtbl.replace counts (List.sort compare s.label_set) (line, s.v))
+               samples;
+             Hashtbl.iter
+               (fun rest series ->
+                 let series = List.sort (fun (_, a, _) (_, b, _) -> compare a b) series in
+                 (match List.rev series with
+                 | (_, le, last_count) :: _ when le = infinity ->
+                   (match Hashtbl.find_opt counts rest with
+                   | Some (cline, c) when c <> last_count ->
+                     err cline
+                       (Printf.sprintf "histogram %s: _count %g <> le=\"+Inf\" bucket %g" fam
+                          c last_count)
+                   | _ -> ())
+                 | (line, _, _) :: _ -> err line (Printf.sprintf "histogram %s lacks an le=\"+Inf\" bucket" fam)
+                 | [] -> ());
+                 ignore
+                   (List.fold_left
+                      (fun prev (line, _, c) ->
+                        if c < prev then
+                          err line (Printf.sprintf "histogram %s: bucket counts not cumulative" fam);
+                        c)
+                      neg_infinity series))
+               buckets
+           end)
+         types;
+       Ok ()
+     with Bad msg -> Error msg)

@@ -1,0 +1,73 @@
+(** Prometheus text-exposition (version 0.0.4) rendering for the {!Obs}
+    registry and ad-hoc metric families, plus a parser-backed validator in
+    the spirit of [Trace.Chrome.validate].
+
+    Rendering takes care of the format's lexical rules so callers never
+    have to: metric and label names are sanitized ([.] and any other
+    character outside [[a-zA-Z0-9_:]] becomes [_], label names additionally
+    lose [:]), label values and help text are escaped (backslash, double
+    quote, newline),
+    and non-finite values print as [+Inf] / [-Inf] / [NaN]. {!Obs}
+    histograms/timers are converted from their internal per-bucket counts
+    to the cumulative [_bucket{le=...}] / [_sum] / [_count] convention, and
+    {!Quantile} sketches render as summaries with [{quantile="..."}]
+    sample lines. *)
+
+type kind = Counter | Gauge | Histogram | Summary | Untyped
+
+type sample = {
+  suffix : string;  (** appended to the family name: "", "_bucket", ... *)
+  labels : (string * string) list;
+  value : float;
+}
+
+type family = {
+  name : string;  (** sanitized on render; callers may pass raw names *)
+  help : string;
+  kind : kind;
+  samples : sample list;
+}
+
+val sample : ?suffix:string -> ?labels:(string * string) list -> float -> sample
+
+val family : name:string -> help:string -> kind:kind -> sample list -> family
+
+val of_quantile :
+  name:string -> help:string -> ?labels:(string * string) list -> Quantile.t -> family
+(** A summary family: one sample per grid point of {!Quantile.summary}
+    (labelled [quantile="0.5" .. "0.99"]) plus [_sum] and [_count]. An
+    empty sketch yields just [_sum]/[_count] at zero. *)
+
+val of_obs : unit -> family list
+(** Every metric currently registered in {!Obs} — counters as [_total]
+    counters, gauges as gauges, histograms and timers as cumulative
+    histogram families with a closing [le="+Inf"] bucket — sorted by name.
+    Reflects live values whether or not {!Obs.enabled}. *)
+
+val sanitize_name : string -> string
+(** The exact name mangling [render] applies, exposed so callers can
+    predict rendered names (e.g. ["serve.hits"] -> ["serve_hits"]). *)
+
+val render : family list -> string
+(** The exposition document: per family a [# HELP] line, a [# TYPE] line
+    and one line per sample. Always ends with a newline when non-empty. *)
+
+(** {1 Parsing and validation} *)
+
+type exposed = {
+  metric : string;  (** full sample name, including any suffix *)
+  label_set : (string * string) list;
+  v : float;
+}
+
+val parse : string -> (exposed list, string) result
+(** Parse an exposition document into its flat sample list (unescaping
+    label values). Errors carry a line number and reason. *)
+
+val validate : string -> (unit, string) result
+(** Strict structural validation on top of {!parse}: metric/label name
+    lexicon, [# TYPE] declared at most once and before any of its samples,
+    histogram families closed by an [le="+Inf"] bucket with cumulative
+    (non-decreasing) bucket counts and [_count] consistency, summary
+    [quantile] labels parsing as floats in [[0, 1]], counter samples
+    non-negative, and no duplicate (name, label-set) sample. *)

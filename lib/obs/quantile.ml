@@ -1,0 +1,138 @@
+(* DDSketch-style streaming quantile sketch.
+
+   A value v > 0 lands in bucket [ceil (log_gamma v)] with
+   gamma = (1 + alpha) / (1 - alpha); the bucket's representative value
+   2 * gamma^i / (gamma + 1) is within alpha * v of every value the bucket
+   covers, so any rank-based quantile estimate carries a relative error
+   bound of alpha. Buckets are sparse (hash table keyed by index), and two
+   sketches with equal gamma merge by adding counts bucket-wise — exact,
+   hence associative and commutative.
+
+   Memory bound: when the table exceeds max_buckets, the two lowest buckets
+   are merged (the lower one's count moves up into its neighbour). This
+   sacrifices accuracy at the low quantiles first and never perturbs the
+   upper tail, which is what the service reports (p90/p95/p99). *)
+
+type t = {
+  alpha : float;
+  gamma : float;
+  log_gamma : float;
+  max_buckets : int;
+  buckets : (int, int) Hashtbl.t;
+  mutable zero_count : int; (* observations <= min_trackable *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+(* Values below this are indistinguishable from zero: keeps bucket indexes
+   bounded (|index| <= log_gamma 1e-12 ~ a few thousand at alpha = 1%). *)
+let min_trackable = 1e-12
+
+let create ?(accuracy = 0.01) ?(max_buckets = 2048) () =
+  if not (accuracy > 0. && accuracy < 1.) then
+    invalid_arg "Quantile.create: accuracy must be in (0, 1)";
+  if max_buckets < 2 then invalid_arg "Quantile.create: max_buckets must be >= 2";
+  let gamma = (1. +. accuracy) /. (1. -. accuracy) in
+  {
+    alpha = accuracy;
+    gamma;
+    log_gamma = log gamma;
+    max_buckets;
+    buckets = Hashtbl.create 64;
+    zero_count = 0;
+    count = 0;
+    sum = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let accuracy t = t.alpha
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then nan else t.min_v
+let max_value t = if t.count = 0 then nan else t.max_v
+
+let index_of t v = int_of_float (Float.ceil (log v /. t.log_gamma))
+
+(* Representative value of bucket i: the mid-point (in relative terms) of
+   the interval (gamma^(i-1), gamma^i] it covers. *)
+let value_of t i = 2. *. exp (float_of_int i *. t.log_gamma) /. (t.gamma +. 1.)
+
+let bucket_add t i n =
+  Hashtbl.replace t.buckets i (n + Option.value ~default:0 (Hashtbl.find_opt t.buckets i))
+
+let sorted_indexes t =
+  List.sort compare (Hashtbl.fold (fun i _ acc -> i :: acc) t.buckets [])
+
+(* Collapse the lowest bucket into its neighbour until within budget. *)
+let enforce_cap t =
+  while Hashtbl.length t.buckets > t.max_buckets do
+    match sorted_indexes t with
+    | i0 :: i1 :: _ ->
+      let n0 = Hashtbl.find t.buckets i0 in
+      Hashtbl.remove t.buckets i0;
+      bucket_add t i1 n0
+    | _ -> assert false
+  done
+
+let add t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  if v <= min_trackable then t.zero_count <- t.zero_count + 1
+  else begin
+    bucket_add t (index_of t v) 1;
+    enforce_cap t
+  end
+
+let quantile t q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Quantile.quantile: q outside [0, 1]";
+  if t.count = 0 then nan
+  else begin
+    (* Nearest rank: the ceil(q * n)-th smallest observation, 1-based. *)
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))) in
+    let raw =
+      if rank <= t.zero_count then 0.
+      else begin
+        let remaining = ref (rank - t.zero_count) in
+        let result = ref t.max_v in
+        (try
+           List.iter
+             (fun i ->
+               remaining := !remaining - Hashtbl.find t.buckets i;
+               if !remaining <= 0 then begin
+                 result := value_of t i;
+                 raise Exit
+               end)
+             (sorted_indexes t)
+         with Exit -> ());
+        !result
+      end
+    in
+    Float.min t.max_v (Float.max t.min_v raw)
+  end
+
+let merge a b =
+  if a.alpha <> b.alpha then invalid_arg "Quantile.merge: accuracy mismatch";
+  let t = create ~accuracy:a.alpha ~max_buckets:(max a.max_buckets b.max_buckets) () in
+  let absorb src =
+    Hashtbl.iter (fun i n -> bucket_add t i n) src.buckets;
+    t.zero_count <- t.zero_count + src.zero_count;
+    t.count <- t.count + src.count;
+    t.sum <- t.sum +. src.sum;
+    if src.count > 0 then begin
+      if src.min_v < t.min_v then t.min_v <- src.min_v;
+      if src.max_v > t.max_v then t.max_v <- src.max_v
+    end
+  in
+  absorb a;
+  absorb b;
+  enforce_cap t;
+  t
+
+let summary t =
+  if t.count = 0 then []
+  else List.map (fun q -> (q, quantile t q)) [ 0.5; 0.9; 0.95; 0.99 ]

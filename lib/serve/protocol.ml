@@ -1,7 +1,7 @@
 module Json = Tacos_util.Json
 module Parse = Tacos_collective.Parse
 
-type op = Synthesize | Tune | Export | Ping | Stats
+type op = Synthesize | Tune | Export | Ping | Stats | Metrics
 
 type request = {
   id : Json.t;
@@ -15,6 +15,7 @@ type request = {
   fail_links : int list;
   candidates : int list option;
   format : [ `Json | `Csv ];
+  prefix : string option;
 }
 
 (* Binding-operator sugar for the field-by-field validation below: each
@@ -54,6 +55,7 @@ let parse_request line =
         | Some "export" -> Ok Export
         | Some "ping" -> Ok Ping
         | Some "stats" -> Ok Stats
+        | Some "metrics" -> Ok Metrics
         | Some other -> Error ("unknown op: " ^ other)
       in
       let* size =
@@ -95,6 +97,12 @@ let parse_request line =
         | Some "csv" -> Ok `Csv
         | Some other -> Error ("unknown format: " ^ other)
       in
+      let* prefix =
+        match Json.member "prefix" doc with
+        | None -> Ok None
+        | Some (Json.String s) -> Ok (Some s)
+        | Some _ -> Error "prefix must be a string"
+      in
       Ok
         {
           id;
@@ -108,6 +116,7 @@ let parse_request line =
           fail_links = Option.value ~default:[] fail_links;
           candidates;
           format;
+          prefix;
         }
     in
     match parsed with Ok r -> Ok r | Error msg -> Error (id, msg))

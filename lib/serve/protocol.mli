@@ -29,6 +29,9 @@ type op =
           algorithm document or the SNIPPETS §1 CSV interchange schema *)
   | Ping  (** liveness probe; bypasses admission control *)
   | Stats  (** serving counters; bypasses admission control *)
+  | Metrics
+      (** Prometheus text exposition of the telemetry registry; bypasses
+          admission control (a saturated server must still be scrapable) *)
 
 type request = {
   id : Json.t;  (** echoed on the response; [Null] when absent *)
@@ -44,6 +47,9 @@ type request = {
   fail_links : int list;  (** healthy link ids to kill before synthesis *)
   candidates : int list option;  (** tune: granularities to sweep *)
   format : [ `Json | `Csv ];  (** export flavor (default [`Json]) *)
+  prefix : string option;
+      (** metrics: only expose families whose rendered name starts with
+          this prefix (e.g. ["tacos_serve_"]) *)
 }
 
 val parse_request : string -> (request, Json.t * string) result

@@ -1,7 +1,11 @@
 (* Namespaces of the substrate libraries. *)
 module Json = Tacos_util.Json
 module Deadline = Tacos_util.Deadline
+module Clock = Tacos_util.Clock
+module Logfmt = Tacos_util.Logfmt
 module Obs = Tacos_obs.Obs
+module Quantile = Tacos_obs.Quantile
+module Expo = Tacos_obs.Expo
 module Topology = Tacos_topology.Topology
 module Link = Tacos_topology.Link
 module Spec = Tacos_collective.Spec
@@ -28,6 +32,11 @@ let c_degraded = Obs.counter "serve.degraded"
 let c_deadline_missed = Obs.counter "serve.deadline_missed"
 let c_errors = Obs.counter "serve.errors"
 
+(* Registry size accounting, satellite of the ROADMAP cache-eviction item:
+   running-max gauges refreshed on every stats/metrics render. *)
+let g_reg_entries = Obs.gauge "registry.entries"
+let g_reg_disk_bytes = Obs.gauge "registry.disk_bytes"
+
 type config = {
   queue_limit : int;
   domains : int;
@@ -35,6 +44,7 @@ type config = {
   default_deadline_ms : float option;
   registry_dir : string option;
   seed : int;
+  access_log : (string -> unit) option;
 }
 
 let default_config =
@@ -45,6 +55,7 @@ let default_config =
     default_deadline_ms = None;
     registry_dir = None;
     seed = 42;
+    access_log = None;
   }
 
 type backend =
@@ -55,11 +66,24 @@ type backend =
   Spec.t ->
   Synth.result
 
+(* The verbs latency sketches and access-log records are keyed by. *)
+let verbs = [ "synthesize"; "tune"; "export"; "ping"; "stats"; "metrics" ]
+
+let verb_name = function
+  | Protocol.Synthesize -> "synthesize"
+  | Protocol.Tune -> "tune"
+  | Protocol.Export -> "export"
+  | Protocol.Ping -> "ping"
+  | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
+
 type t = {
   config : config;
   registry : Registry.t;
   backend : backend;
+  started : Clock.span;  (** server birth — the access log's monotonic epoch *)
   lock : Mutex.t;
+  log_lock : Mutex.t;  (** serializes the access-log sink, never nested in [lock] *)
   mutable inflight : int;
   mutable ema_ms : float;  (** latency EMA — the [overloaded] retry hint *)
   mutable accepted : int;
@@ -69,6 +93,11 @@ type t = {
   mutable degraded : int;
   mutable deadline_missed : int;
   mutable errors : int;
+  (* Latency sketches, all in milliseconds, guarded by [lock]. *)
+  lat_by_verb : (string * Quantile.t) list;  (** end-to-end, per verb *)
+  q_queue_wait : Quantile.t;  (** request start -> admission decision *)
+  q_synthesis : Quantile.t;  (** time inside the miss backend *)
+  q_export : Quantile.t;  (** schedule serialization (export requests) *)
 }
 
 type stats = {
@@ -80,6 +109,10 @@ type stats = {
   deadline_missed : int;
   errors : int;
   quarantined : int;
+  inflight : int;
+  uptime_seconds : float;
+  entries : int;
+  disk : Registry.disk_usage;
 }
 
 (* The default miss backend: routed patterns have no round loop to poll,
@@ -107,7 +140,9 @@ let create ?(config = default_config) ?synthesize () =
     config;
     registry = Registry.create ?dir:config.registry_dir ();
     backend;
+    started = Clock.start ();
     lock = Mutex.create ();
+    log_lock = Mutex.create ();
     inflight = 0;
     ema_ms = 0.;
     accepted = 0;
@@ -117,11 +152,20 @@ let create ?(config = default_config) ?synthesize () =
     degraded = 0;
     deadline_missed = 0;
     errors = 0;
+    lat_by_verb = List.map (fun v -> (v, Quantile.create ())) verbs;
+    q_queue_wait = Quantile.create ();
+    q_synthesis = Quantile.create ();
+    q_export = Quantile.create ();
   }
 
 let registry t = t.registry
+let uptime_seconds t = Clock.elapsed t.started
 
 let stats t =
+  let disk = Registry.disk_usage t.registry in
+  let entries = Registry.entries t.registry in
+  Obs.observe_max g_reg_entries (float_of_int entries);
+  Obs.observe_max g_reg_disk_bytes (float_of_int disk.Registry.disk_bytes);
   Mutex.lock t.lock;
   let s =
     {
@@ -133,6 +177,10 @@ let stats t =
       deadline_missed = t.deadline_missed;
       errors = t.errors;
       quarantined = Registry.quarantined t.registry;
+      inflight = t.inflight;
+      uptime_seconds = uptime_seconds t;
+      entries;
+      disk;
     }
   in
   Mutex.unlock t.lock;
@@ -144,7 +192,12 @@ let bump t obs set =
   Mutex.unlock t.lock;
   Obs.incr obs
 
-let elapsed_ms t0 = (Unix.gettimeofday () -. t0) *. 1e3
+let elapsed_ms t0 = Clock.elapsed t0 *. 1e3
+
+let record_ms t q ms =
+  Mutex.lock t.lock;
+  Quantile.add q ms;
+  Mutex.unlock t.lock
 
 let respond = Protocol.response
 
@@ -203,15 +256,20 @@ let csv_of_result topo (result : Synth.result) =
     (Topology.edges topo);
   Buffer.contents buf
 
-let schedule_fields (req : Protocol.request) topo (result : Synth.result) =
+let schedule_fields t (req : Protocol.request) topo (result : Synth.result) =
   match req.Protocol.op with
-  | Protocol.Export -> (
-    match req.Protocol.format with
-    | `Json ->
-      let text = Schedule.to_json ~spec:result.Synth.spec result.Synth.schedule in
-      let doc = Result.value ~default:(Json.String text) (Json.parse text) in
-      [ ("schedule", doc) ]
-    | `Csv -> [ ("csv", Json.String (csv_of_result topo result)) ])
+  | Protocol.Export ->
+    let s = Clock.start () in
+    let fields =
+      match req.Protocol.format with
+      | `Json ->
+        let text = Schedule.to_json ~spec:result.Synth.spec result.Synth.schedule in
+        let doc = Result.value ~default:(Json.String text) (Json.parse text) in
+        [ ("schedule", doc) ]
+      | `Csv -> [ ("csv", Json.String (csv_of_result topo result)) ]
+    in
+    record_ms t t.q_export (elapsed_ms s);
+    fields
   | _ -> []
 
 (* --- the collective ops -------------------------------------------------- *)
@@ -273,7 +331,7 @@ let handle_synthesize t (req : Protocol.request) ~t0 ~healthy ~work_topo ~faults
       (ok_fields ~t0 ~cached ~degraded:false ~algorithm:"tacos"
          ~collective_time:result.Synth.collective_time
          ~sends:(Schedule.num_sends result.Synth.schedule)
-         (schedule_fields req work_topo result))
+         (schedule_fields t req work_topo result))
   in
   (* Cache peek first: hits are served even past the deadline — answering
      from memory is cheaper than degrading. *)
@@ -281,7 +339,10 @@ let handle_synthesize t (req : Protocol.request) ~t0 ~healthy ~work_topo ~faults
   | Some result -> answer ~cached:true result
   | None -> (
     let synthesize ~seed ~domains topo spec =
-      t.backend ~deadline ~seed ~domains topo spec
+      let s = Clock.start () in
+      Fun.protect
+        ~finally:(fun () -> record_ms t t.q_synthesis (elapsed_ms s))
+        (fun () -> t.backend ~deadline ~seed ~domains topo spec)
     in
     match
       Registry.find_or_synthesize ~seed ~domains:t.config.domains ~synthesize
@@ -302,7 +363,10 @@ let handle_tune t (req : Protocol.request) ~t0 ~healthy ~work_topo ~faults
     ~deadline ~seed ~spec ~pattern =
   let id = req.Protocol.id in
   let synthesize ~seed topo spec =
-    t.backend ~deadline ~seed ~domains:t.config.domains topo spec
+    let s = Clock.start () in
+    Fun.protect
+      ~finally:(fun () -> record_ms t t.q_synthesis (elapsed_ms s))
+      (fun () -> t.backend ~deadline ~seed ~domains:t.config.domains topo spec)
   in
   match
     Tuner.tune ~seed ?candidates:req.Protocol.candidates ~synthesize work_topo
@@ -372,9 +436,29 @@ let handle_collective t (req : Protocol.request) ~t0 =
               handle_synthesize t req ~t0 ~healthy ~work_topo ~faults ~deadline
                 ~seed ~spec)))))
 
-(* --- request lifecycle --------------------------------------------------- *)
+(* --- telemetry rendering -------------------------------------------------- *)
 
-let stats_fields st =
+let quantile_fields q =
+  ("count", Json.Number (float_of_int (Quantile.count q)))
+  :: List.map
+       (fun (p, v) -> (Printf.sprintf "p%g" (p *. 100.), Json.Number v))
+       (Quantile.summary q)
+
+(* Per-verb quantile summaries for the stats response: only verbs that
+   have seen traffic appear. *)
+let latency_json t =
+  Mutex.lock t.lock;
+  let fields =
+    List.filter_map
+      (fun (verb, q) ->
+        if Quantile.count q = 0 then None
+        else Some (verb, Json.Object (quantile_fields q)))
+      t.lat_by_verb
+  in
+  Mutex.unlock t.lock;
+  Json.Object fields
+
+let stats_fields t st =
   [
     ("accepted", Json.Number (float_of_int st.accepted));
     ("shed", Json.Number (float_of_int st.shed));
@@ -384,19 +468,170 @@ let stats_fields st =
     ("deadline_missed", Json.Number (float_of_int st.deadline_missed));
     ("errors", Json.Number (float_of_int st.errors));
     ("quarantined", Json.Number (float_of_int st.quarantined));
+    ("inflight", Json.Number (float_of_int st.inflight));
+    ("uptime_seconds", Json.Number st.uptime_seconds);
+    ( "registry",
+      Json.Object
+        [
+          ("entries", Json.Number (float_of_int st.entries));
+          ("disk_entries", Json.Number (float_of_int st.disk.Registry.disk_entries));
+          ("disk_corrupt", Json.Number (float_of_int st.disk.Registry.disk_corrupt));
+          ("disk_bytes", Json.Number (float_of_int st.disk.Registry.disk_bytes));
+        ] );
+    ("latency_ms", latency_json t);
   ]
 
-let handle_line t line =
-  match Protocol.parse_request line with
-  | Error (id, msg) -> error_response t ~id msg
-  | Ok req -> (
-    match req.Protocol.op with
-    | Protocol.Ping ->
-      respond ~id:req.Protocol.id ~status:"ok" [ ("pong", Json.Bool true) ]
-    | Protocol.Stats ->
-      respond ~id:req.Protocol.id ~status:"ok" (stats_fields (stats t))
-    | Protocol.Synthesize | Protocol.Tune | Protocol.Export -> (
-      let t0 = Unix.gettimeofday () in
+(* The exposition families owned by the service itself. These read the
+   always-on plain counters, so a scrape is meaningful (and the bench can
+   assert on it) even when the Obs registry is disabled. *)
+let service_families t =
+  let st = stats t in
+  let gauge name help v = Expo.family ~name ~help ~kind:Expo.Gauge [ Expo.sample v ] in
+  let outcome name v = Expo.sample ~labels:[ ("outcome", name) ] (float_of_int v) in
+  let requests =
+    Expo.family ~name:"tacos_serve_requests_total"
+      ~help:"Requests by lifecycle outcome since server start." ~kind:Expo.Counter
+      [
+        outcome "accepted" st.accepted;
+        outcome "shed" st.shed;
+        outcome "hit" st.hits;
+        outcome "miss" st.misses;
+        outcome "degraded" st.degraded;
+        outcome "deadline_missed" st.deadline_missed;
+        outcome "error" st.errors;
+      ]
+  in
+  let quarantined =
+    Expo.family ~name:"tacos_registry_quarantined_total"
+      ~help:"Corrupt cache files quarantined since server start." ~kind:Expo.Counter
+      [ Expo.sample (float_of_int st.quarantined) ]
+  in
+  Mutex.lock t.lock;
+  let verb_samples =
+    List.concat_map
+      (fun (verb, q) ->
+        if Quantile.count q = 0 then []
+        else
+          (Expo.of_quantile ~name:"tacos_serve_latency_ms" ~help:""
+             ~labels:[ ("verb", verb) ] q)
+            .Expo.samples)
+      t.lat_by_verb
+  in
+  let stage name help q = Expo.of_quantile ~name ~help q in
+  let stages =
+    [
+      stage "tacos_serve_queue_wait_ms"
+        "Request start to admission decision (milliseconds)." t.q_queue_wait;
+      stage "tacos_serve_synthesis_ms"
+        "Time inside the miss-path synthesis backend (milliseconds)." t.q_synthesis;
+      stage "tacos_serve_export_ms"
+        "Schedule serialization time for export requests (milliseconds)." t.q_export;
+    ]
+  in
+  Mutex.unlock t.lock;
+  [
+    gauge "tacos_serve_uptime_seconds" "Seconds since server start." st.uptime_seconds;
+    gauge "tacos_serve_inflight" "Requests currently past admission."
+      (float_of_int st.inflight);
+    requests;
+    Expo.family ~name:"tacos_serve_latency_ms"
+      ~help:"End-to-end request latency by verb (milliseconds)." ~kind:Expo.Summary
+      verb_samples;
+  ]
+  @ stages
+  @ [
+      gauge "tacos_registry_entries" "Schedules cached in memory."
+        (float_of_int st.entries);
+      gauge "tacos_registry_disk_entries" "Live cache entry files on disk."
+        (float_of_int st.disk.Registry.disk_entries);
+      gauge "tacos_registry_disk_corrupt" "Quarantined *.corrupt files on disk."
+        (float_of_int st.disk.Registry.disk_corrupt);
+      gauge "tacos_registry_disk_bytes"
+        "Disk bytes held by the cache, quarantined files included."
+        (float_of_int st.disk.Registry.disk_bytes);
+      quarantined;
+    ]
+
+let metrics ?prefix t =
+  let families = service_families t @ Expo.of_obs () in
+  let families =
+    match prefix with
+    | None -> families
+    | Some p ->
+      List.filter
+        (fun f -> String.starts_with ~prefix:p (Expo.sanitize_name f.Expo.name))
+        families
+  in
+  Expo.render families
+
+(* --- access log ----------------------------------------------------------- *)
+
+let id_string = function
+  | Json.Null -> "-"
+  | Json.String s -> s
+  | j -> Json.encode j
+
+(* The outcome an operator greps for, recovered from the response itself so
+   the log can never disagree with what the client saw. *)
+let classify op response =
+  match Json.parse response with
+  | Error _ -> "error"
+  | Ok doc -> (
+    let flag k = match Json.member k doc with Some (Json.Bool b) -> b | _ -> false in
+    match Option.bind (Json.member "status" doc) Json.to_string with
+    | Some "overloaded" -> "shed"
+    | Some "ok" -> (
+      match op with
+      | Some (Protocol.Synthesize | Protocol.Tune | Protocol.Export) ->
+        if flag "degraded" then "degraded"
+        else if flag "cached" then "hit"
+        else "miss"
+      | _ -> "ok")
+    | Some _ | None -> "error")
+
+let access_log_line t ~t0 ~id ~verb ~deadline_ms ~outcome ~response =
+  match t.config.access_log with
+  | None -> ()
+  | Some sink ->
+    let ms = elapsed_ms t0 in
+    let pairs =
+      [
+        (* Monotonic span since server start: bursts of sheds and deadline
+           expiries stay reconstructible on a timeline. *)
+        ("t", Printf.sprintf "%.6f" (uptime_seconds t));
+        ("id", id_string id);
+        ("verb", verb);
+        ("outcome", outcome);
+        ("elapsed_ms", Printf.sprintf "%.3f" ms);
+      ]
+      @ (match deadline_ms with
+        | Some d ->
+          [
+            ("deadline_ms", Printf.sprintf "%g" d);
+            ("slack_ms", Printf.sprintf "%.3f" (d -. ms));
+          ]
+        | None -> [])
+      @ [ ("bytes_out", string_of_int (String.length response)) ]
+    in
+    let line = Logfmt.encode pairs in
+    Mutex.lock t.log_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.log_lock) (fun () -> sink line)
+
+(* --- request lifecycle --------------------------------------------------- *)
+
+let handle_request t (req : Protocol.request) ~t0 =
+  match req.Protocol.op with
+  | Protocol.Ping ->
+    respond ~id:req.Protocol.id ~status:"ok" [ ("pong", Json.Bool true) ]
+  | Protocol.Stats ->
+    respond ~id:req.Protocol.id ~status:"ok" (stats_fields t (stats t))
+  | Protocol.Metrics ->
+    respond ~id:req.Protocol.id ~status:"ok"
+      [
+        ("uptime_seconds", Json.Number (uptime_seconds t));
+        ("metrics", Json.String (metrics ?prefix:req.Protocol.prefix t));
+      ]
+  | Protocol.Synthesize | Protocol.Tune | Protocol.Export -> (
       (* Bounded admission: beyond [queue_limit] in-flight requests, shed
          with a structured reply and a retry hint instead of queueing
          unboundedly behind syntheses that take seconds. *)
@@ -417,6 +652,7 @@ let handle_line t line =
           Ok ()
         end
       in
+      record_ms t t.q_queue_wait (elapsed_ms t0);
       match admitted with
       | Error retry_after_ms ->
         respond ~id:req.Protocol.id ~status:"overloaded"
@@ -437,4 +673,33 @@ let handle_line t line =
             try handle_collective t req ~t0 with
             | e ->
               error_response t ~id:req.Protocol.id
-                ("internal error: " ^ Printexc.to_string e))))
+                ("internal error: " ^ Printexc.to_string e)))
+
+let handle_line t line =
+  let t0 = Clock.start () in
+  let parsed = Protocol.parse_request line in
+  let response =
+    match parsed with
+    | Error (id, msg) -> error_response t ~id msg
+    | Ok req -> handle_request t req ~t0
+  in
+  let verb, id, op, deadline_ms =
+    match parsed with
+    | Error (id, _) -> ("invalid", id, None, None)
+    | Ok req ->
+      let deadline_ms =
+        match req.Protocol.op with
+        | Protocol.Synthesize | Protocol.Tune | Protocol.Export -> (
+          match req.Protocol.deadline_ms with
+          | Some _ as d -> d
+          | None -> t.config.default_deadline_ms)
+        | _ -> None
+      in
+      (verb_name req.Protocol.op, req.Protocol.id, Some req.Protocol.op, deadline_ms)
+  in
+  (match List.assoc_opt verb t.lat_by_verb with
+  | Some q -> record_ms t q (elapsed_ms t0)
+  | None -> ());
+  access_log_line t ~t0 ~id ~verb ~deadline_ms ~outcome:(classify op response)
+    ~response;
+  response

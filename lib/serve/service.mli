@@ -32,7 +32,16 @@ module Registry := Tacos.Registry
 
     Every lifecycle event is counted twice: in always-on plain counters
     ({!stats}, for assertions and the [stats] op) and in the off-by-default
-    [serve.*] {!Tacos_obs.Obs} registry (for profiles and bench rows). *)
+    [serve.*] {!Tacos_obs.Obs} registry (for profiles and bench rows).
+
+    On top of the counters sits the telemetry layer: every request's
+    end-to-end latency lands in a per-verb {!Tacos_obs.Quantile} sketch
+    (with queue-wait, synthesis, and export stage sketches alongside),
+    {!metrics} renders the whole registry as Prometheus text (also served
+    by the [metrics] protocol verb), and a configurable access-log sink
+    receives one logfmt record per request — stamped with the monotonic
+    span since server start, so bursts of sheds and deadline expiries are
+    reconstructible on a timeline. *)
 
 type config = {
   queue_limit : int;  (** max in-flight requests before shedding (default 16) *)
@@ -42,6 +51,17 @@ type config = {
       (** deadline for requests that carry none (default: unbounded) *)
   registry_dir : string option;  (** persistent cache directory *)
   seed : int;  (** seed for requests that carry none (default 42) *)
+  access_log : (string -> unit) option;
+      (** per-request logfmt record sink (default none). Records look like
+          [t=12.081310 id=7 verb=synthesize outcome=hit elapsed_ms=0.113
+          deadline_ms=500 slack_ms=499.887 bytes_out=133]: the monotonic
+          span since server start, the echoed request id ([-] when
+          absent), the verb ([invalid] for unparseable lines), the
+          lifecycle outcome ([hit], [miss], [degraded], [shed], [error],
+          or [ok] for control verbs), latency, the applied deadline and
+          the slack left at completion (present only when a deadline
+          applied), and the response size. Calls are serialized by the
+          service; the sink itself need not be thread-safe. *)
 }
 
 val default_config : config
@@ -77,11 +97,34 @@ type stats = {
   deadline_missed : int;  (** requests whose deadline expired before an answer *)
   errors : int;  (** error responses (malformed, infeasible, internal) *)
   quarantined : int;  (** corrupt cache files set aside by this service's registry *)
+  inflight : int;  (** requests currently past admission *)
+  uptime_seconds : float;  (** monotonic span since [create] *)
+  entries : int;  (** schedules cached in memory *)
+  disk : Registry.disk_usage;  (** disk store size accounting *)
 }
 
 val stats : t -> stats
 
+val uptime_seconds : t -> float
+(** Monotonic seconds since [create] — the epoch of access-log [t=]
+    stamps and metrics flushes. *)
+
+val metrics : ?prefix:string -> t -> string
+(** The telemetry registry as a Prometheus text-exposition document (it
+    passes {!Tacos_obs.Expo.validate}): always-on serving families —
+    [tacos_serve_requests_total{outcome=...}], per-verb
+    [tacos_serve_latency_ms{verb=...}] quantile summaries, queue-wait /
+    synthesis / export stage summaries, uptime, inflight, and the
+    [tacos_registry_*] size gauges — followed by every metric registered
+    in {!Tacos_obs.Obs}. [prefix] keeps only families whose rendered name
+    starts with it. Also served by the [metrics] protocol verb (which
+    bypasses admission: a saturated server must still be scrapable). *)
+
 val handle_line : t -> string -> string
 (** Process one request line, returning the one response line (no trailing
     newline). Never raises: malformed input, infeasible fabrics, expired
-    deadlines, and internal errors all map to structured responses. *)
+    deadlines, and internal errors all map to structured responses.
+
+    Every call additionally records the request's end-to-end latency into
+    the per-verb quantile sketches and, when [config.access_log] is set,
+    emits one logfmt access record. *)

@@ -1,0 +1,96 @@
+(* logfmt: space-separated key=value pairs, values quoted only when they
+   must be. The access log favours this over JSON lines because operators
+   grep it ("outcome=shed") and every serious log pipeline ingests it. *)
+
+let valid_key k =
+  k <> ""
+  && String.for_all
+       (fun c -> not (c = ' ' || c = '"' || c = '=' || Char.code c < 0x20))
+       k
+
+let needs_quoting v =
+  v = ""
+  || String.exists (fun c -> c = ' ' || c = '"' || c = '=' || Char.code c < 0x20) v
+
+let quote b v =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.add_char b '"'
+
+let encode pairs =
+  let b = Buffer.create 128 in
+  List.iteri
+    (fun i (k, v) ->
+      if not (valid_key k) then invalid_arg (Printf.sprintf "Logfmt.encode: bad key %S" k);
+      if i > 0 then Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      if needs_quoting v || String.contains v '\\' then quote b v
+      else Buffer.add_string b v)
+    pairs;
+  Buffer.contents b
+
+exception Bad of string
+
+let parse line =
+  let n = String.length line in
+  let i = ref 0 in
+  let pairs = ref [] in
+  try
+    while !i < n do
+      while !i < n && line.[!i] = ' ' do incr i done;
+      if !i < n then begin
+        let s0 = !i in
+        while !i < n && line.[!i] <> '=' && line.[!i] <> ' ' do incr i done;
+        if !i >= n || line.[!i] <> '=' then raise (Bad "expected '=' after key");
+        let key = String.sub line s0 (!i - s0) in
+        if not (valid_key key) then raise (Bad (Printf.sprintf "bad key %S" key));
+        incr i;
+        let value =
+          if !i < n && line.[!i] = '"' then begin
+            incr i;
+            let b = Buffer.create 16 in
+            let closed = ref false in
+            while not !closed do
+              if !i >= n then raise (Bad "unterminated quoted value")
+              else if line.[!i] = '\\' then begin
+                if !i + 1 >= n then raise (Bad "dangling backslash");
+                (match line.[!i + 1] with
+                | '\\' -> Buffer.add_char b '\\'
+                | '"' -> Buffer.add_char b '"'
+                | 'n' -> Buffer.add_char b '\n'
+                | c -> raise (Bad (Printf.sprintf "invalid escape \\%c" c)));
+                i := !i + 2
+              end
+              else if line.[!i] = '"' then begin
+                incr i;
+                closed := true
+              end
+              else begin
+                Buffer.add_char b line.[!i];
+                incr i
+              end
+            done;
+            if !i < n && line.[!i] <> ' ' then raise (Bad "garbage after quoted value");
+            Buffer.contents b
+          end
+          else begin
+            let s0 = !i in
+            while !i < n && line.[!i] <> ' ' do incr i done;
+            let v = String.sub line s0 (!i - s0) in
+            if String.contains v '"' then raise (Bad "unexpected '\"' in bare value");
+            v
+          end
+        in
+        pairs := (key, value) :: !pairs
+      end
+    done;
+    Ok (List.rev !pairs)
+  with Bad msg -> Error msg

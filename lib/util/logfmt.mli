@@ -1,0 +1,14 @@
+(** Minimal logfmt encoding for structured access-log records.
+
+    A record is an ordered list of [key=value] pairs joined by single
+    spaces. Values containing spaces, quotes, equals signs, control
+    characters — or empty values — are double-quoted with backslash
+    escaping (["\\"], ["\""], newline as ["\n"]); everything else is
+    emitted bare, so records stay grep-friendly. *)
+
+val encode : (string * string) list -> string
+(** Raises [Invalid_argument] on an invalid key (empty, or containing
+    spaces, quotes or [=]). *)
+
+val parse : string -> ((string * string) list, string) result
+(** Inverse of {!encode}; also accepts runs of spaces between pairs. *)

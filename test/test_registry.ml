@@ -158,6 +158,36 @@ let test_find_cached_peek () =
     (Registry.find_cached reg2 topo s <> None);
   rm_rf dir
 
+let test_disk_usage_accounting () =
+  let dir = fresh_dir () in
+  let topo = ring 6 in
+  let s = spec Pattern.All_gather 6 in
+  (* Memory-only registry: the disk store reports all zeros, not an error. *)
+  let mem = Registry.create () in
+  let u0 = Registry.disk_usage mem in
+  Alcotest.(check int) "no dir: entries" 0 u0.Registry.disk_entries;
+  Alcotest.(check int) "no dir: bytes" 0 u0.Registry.disk_bytes;
+  (* One warmed entry: counted with a positive byte size. *)
+  let _, path = warm_entry dir topo s in
+  let reg = Registry.create ~dir () in
+  let u1 = Registry.disk_usage reg in
+  Alcotest.(check int) "one entry" 1 u1.Registry.disk_entries;
+  Alcotest.(check int) "no corrupt files" 0 u1.Registry.disk_corrupt;
+  Alcotest.(check bool) "entry bytes positive" true (u1.Registry.disk_bytes > 0);
+  (* Quarantined files stay on disk and stay accounted — the operator can
+     see how much space the *.corrupt residue costs. *)
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "definitely not json {{{");
+  let reg2 = Registry.create ~dir () in
+  let _, m = Registry.find_or_synthesize reg2 topo s in
+  Alcotest.(check bool) "re-synthesized" true (m = `Miss);
+  let u2 = Registry.disk_usage reg2 in
+  Alcotest.(check int) "rewritten entry counted" 1 u2.Registry.disk_entries;
+  Alcotest.(check int) "quarantined file counted" 1 u2.Registry.disk_corrupt;
+  Alcotest.(check bool) "corrupt bytes included" true
+    (u2.Registry.disk_bytes > 0);
+  rm_rf dir
+
 let test_failed_synthesis_releases_key () =
   (* A miss whose synthesis raises must release the single-flight key so
      the next request for the same key retries cleanly instead of
@@ -205,6 +235,8 @@ let () =
         [
           Alcotest.test_case "find_cached peeks memory and disk" `Quick
             test_find_cached_peek;
+          Alcotest.test_case "disk usage accounting" `Quick
+            test_disk_usage_accounting;
           Alcotest.test_case "failed synthesis releases the key" `Quick
             test_failed_synthesis_releases_key;
         ] );

@@ -91,7 +91,8 @@ let test_protocol_rejects () =
   bad {|{"op":"frobnicate"}|} "unknown op";
   bad {|{"op":"synthesize","size":-3}|} "size";
   bad {|{"op":"synthesize","chunks":0}|} "chunks";
-  bad {|{"op":"synthesize","fail_links":[1,"x"]}|} "fail_links"
+  bad {|{"op":"synthesize","fail_links":[1,"x"]}|} "fail_links";
+  bad {|{"op":"metrics","prefix":7}|} "prefix must be a string"
 
 (* --- lifecycle ----------------------------------------------------------- *)
 
@@ -242,6 +243,161 @@ let test_ping_and_stats () =
   | Some (Json.Number 1.) -> ()
   | _ -> Alcotest.failf "stats should report the miss: %s" s
 
+(* --- telemetry ----------------------------------------------------------- *)
+
+module Expo = Tacos_obs.Expo
+module Logfmt = Tacos_util.Logfmt
+
+let metrics_text ?prefix svc =
+  let fields =
+    [ ("id", Json.Number 1.); ("op", Json.String "metrics") ]
+    @ match prefix with Some p -> [ ("prefix", Json.String p) ] | None -> []
+  in
+  let r = Service.handle_line svc (req fields) in
+  Alcotest.(check string) "metrics ok" "ok" (status r);
+  match Json.member "metrics" (parse_response r) with
+  | Some (Json.String text) -> text
+  | _ -> Alcotest.failf "no metrics text in %s" r
+
+let test_metrics_verb () =
+  let svc = service () in
+  ignore (Service.handle_line svc (synth_req "ring:4"));
+  ignore (Service.handle_line svc (synth_req ~id:2. "ring:4"));
+  let text = metrics_text svc in
+  (match Expo.validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "exposition invalid: %s" e);
+  let samples =
+    match Expo.parse text with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "exposition unparseable: %s" e
+  in
+  let value metric labels =
+    match
+      List.find_opt
+        (fun (e : Expo.exposed) ->
+          e.Expo.metric = metric
+          && List.for_all (fun kv -> List.mem kv e.Expo.label_set) labels)
+        samples
+    with
+    | Some e -> e.Expo.v
+    | None -> Alcotest.failf "no sample %s in exposition" metric
+  in
+  Alcotest.(check bool) "accepted counter" true
+    (value "tacos_serve_requests_total" [ ("outcome", "accepted") ] = 2.);
+  Alcotest.(check bool) "hit counter" true
+    (value "tacos_serve_requests_total" [ ("outcome", "hit") ] = 1.);
+  (* Per-verb latency quantiles: the acceptance bar for the metrics verb. *)
+  List.iter
+    (fun q ->
+      let v =
+        value "tacos_serve_latency_ms" [ ("verb", "synthesize"); ("quantile", q) ]
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "synthesize p%s present" q)
+        true
+        (Float.is_finite v && v >= 0.))
+    [ "0.5"; "0.95"; "0.99" ];
+  Alcotest.(check bool) "registry entries gauge" true
+    (value "tacos_registry_entries" [] = 1.)
+
+let test_metrics_prefix_filter () =
+  let svc = service () in
+  ignore (Service.handle_line svc (synth_req "ring:4"));
+  let text = metrics_text ~prefix:"tacos_registry_" svc in
+  match Expo.parse text with
+  | Ok [] -> Alcotest.fail "prefixed exposition is empty"
+  | Ok samples ->
+    List.iter
+      (fun (e : Expo.exposed) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s matches the prefix" e.Expo.metric)
+          true
+          (String.starts_with ~prefix:"tacos_registry_" e.Expo.metric))
+      samples
+  | Error e -> Alcotest.failf "prefixed exposition unparseable: %s" e
+
+let test_extended_stats () =
+  let svc = service () in
+  ignore (Service.handle_line svc (synth_req "ring:4"));
+  let r = Service.handle_line svc (req [ ("id", Json.Number 2.); ("op", Json.String "stats") ]) in
+  let doc = parse_response r in
+  (match Json.member "inflight" doc with
+  | Some (Json.Number 0.) -> ()
+  | _ -> Alcotest.failf "stats should report 0 inflight at rest: %s" r);
+  (match Json.member "uptime_seconds" doc with
+  | Some (Json.Number up) ->
+    Alcotest.(check bool) "uptime non-negative" true (up >= 0.)
+  | _ -> Alcotest.failf "no uptime_seconds in %s" r);
+  (match Json.member "registry" doc with
+  | Some (Json.Object fields) ->
+    Alcotest.(check bool) "one entry in memory" true
+      (List.assoc_opt "entries" fields = Some (Json.Number 1.));
+    (* No registry_dir configured: the disk store is empty, not an error. *)
+    Alcotest.(check bool) "no disk entries" true
+      (List.assoc_opt "disk_entries" fields = Some (Json.Number 0.))
+  | _ -> Alcotest.failf "no registry object in %s" r);
+  match Json.member "latency_ms" doc with
+  | Some (Json.Object verbs) ->
+    (match List.assoc_opt "synthesize" verbs with
+    | Some summary ->
+      (match Json.member "p99" summary with
+      | Some (Json.Number p99) ->
+        Alcotest.(check bool) "p99 non-negative" true (p99 >= 0.)
+      | _ -> Alcotest.failf "no p99 for synthesize in %s" r)
+    | None -> Alcotest.failf "no synthesize latency summary in %s" r)
+  | _ -> Alcotest.failf "no latency_ms in %s" r
+
+let test_access_log () =
+  let records = ref [] in
+  let config =
+    {
+      Service.default_config with
+      access_log = Some (fun line -> records := line :: !records);
+    }
+  in
+  let svc = service ~config () in
+  ignore (Service.handle_line svc (synth_req "ring:4"));
+  ignore (Service.handle_line svc (synth_req ~id:2. ~deadline_ms:500. "ring:4"));
+  ignore (Service.handle_line svc "not json at all");
+  let parsed =
+    List.rev_map
+      (fun line ->
+        match Logfmt.parse line with
+        | Ok kvs -> kvs
+        | Error e -> Alcotest.failf "access record unparseable: %s (%s)" e line)
+      !records
+  in
+  (match parsed with
+  | [ miss; hit; bad ] ->
+    Alcotest.(check (option string)) "miss outcome" (Some "miss")
+      (List.assoc_opt "outcome" miss);
+    Alcotest.(check (option string)) "hit outcome" (Some "hit")
+      (List.assoc_opt "outcome" hit);
+    (* The deadline applied to the hit shows up with its remaining slack. *)
+    Alcotest.(check (option string)) "deadline recorded" (Some "500")
+      (List.assoc_opt "deadline_ms" hit);
+    Alcotest.(check bool) "slack recorded" true (List.mem_assoc "slack_ms" hit);
+    Alcotest.(check (option string)) "malformed line logged as invalid"
+      (Some "invalid") (List.assoc_opt "verb" bad);
+    Alcotest.(check (option string)) "malformed line is an error" (Some "error")
+      (List.assoc_opt "outcome" bad);
+    List.iter
+      (fun kvs ->
+        List.iter
+          (fun k ->
+            Alcotest.(check bool) (k ^ " present") true (List.mem_assoc k kvs))
+          [ "t"; "id"; "verb"; "outcome"; "elapsed_ms"; "bytes_out" ])
+      parsed
+  | l -> Alcotest.failf "expected 3 access records, got %d" (List.length l));
+  Alcotest.(check bool) "stamps stay within uptime" true
+    (List.for_all
+       (fun kvs ->
+         match float_of_string_opt (List.assoc "t" kvs) with
+         | Some t -> t >= 0. && t <= Service.uptime_seconds svc
+         | None -> false)
+       parsed)
+
 (* --- export flavors ------------------------------------------------------ *)
 
 let test_export_json () =
@@ -335,6 +491,15 @@ let () =
             test_disconnected_fault_is_structured_error;
           Alcotest.test_case "saturated queue sheds" `Quick test_overload_sheds;
           Alcotest.test_case "ping and stats" `Quick test_ping_and_stats;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics verb exposes the counters" `Quick
+            test_metrics_verb;
+          Alcotest.test_case "metrics prefix filter" `Quick
+            test_metrics_prefix_filter;
+          Alcotest.test_case "extended stats" `Quick test_extended_stats;
+          Alcotest.test_case "access log records" `Quick test_access_log;
         ] );
       ( "export-and-tune",
         [

@@ -1,0 +1,323 @@
+(* Tests for the telemetry layer: the DDSketch-style quantile sketch
+   (rank-error bound, lossless associative merge), the Prometheus text
+   exposition renderer and its parser-backed validator (escaping round
+   trips, structural rejections), and the logfmt access-log codec. *)
+
+module Obs = Tacos_obs.Obs
+module Quantile = Tacos_obs.Quantile
+module Expo = Tacos_obs.Expo
+module Logfmt = Tacos_util.Logfmt
+
+let feq a b = (Float.is_nan a && Float.is_nan b) || a = b
+
+(* --- quantile sketch ----------------------------------------------------- *)
+
+let test_quantile_empty () =
+  let q = Quantile.create () in
+  Alcotest.(check int) "count" 0 (Quantile.count q);
+  Alcotest.(check bool) "median is nan" true (Float.is_nan (Quantile.quantile q 0.5));
+  Alcotest.(check bool) "min is nan" true (Float.is_nan (Quantile.min_value q));
+  Alcotest.(check bool) "empty summary" true (Quantile.summary q = [])
+
+let test_quantile_single_value () =
+  let q = Quantile.create () in
+  Quantile.add q 5.;
+  List.iter
+    (fun p ->
+      let v = Quantile.quantile q p in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%g within 1%% of 5 (got %g)" p v)
+        true
+        (Float.abs (v -. 5.) <= 0.05))
+    [ 0.; 0.5; 1. ]
+
+let test_quantile_rank_error_uniform () =
+  (* 1..1000: nearest-rank q-quantile is exactly [ceil (q * 1000)], and the
+     sketch's estimate must land within its relative-error bound of it. *)
+  let q = Quantile.create ~accuracy:0.01 () in
+  for v = 1 to 1000 do
+    Quantile.add q (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 1000 (Quantile.count q);
+  List.iter
+    (fun p ->
+      let truth = float_of_int (int_of_float (Float.ceil (p *. 1000.))) in
+      let est = Quantile.quantile q p in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%g: |%g - %g| within 1%%" p est truth)
+        true
+        (Float.abs (est -. truth) <= (0.01 *. truth) +. 1e-9))
+    [ 0.5; 0.9; 0.95; 0.99 ]
+
+let test_quantile_zero_bucket () =
+  let q = Quantile.create () in
+  List.iter (Quantile.add q) [ -3.; 0.; 1e-15 ];
+  Alcotest.(check int) "count" 3 (Quantile.count q);
+  Alcotest.(check (float 0.)) "all collapse to the zero bucket" 0.
+    (Quantile.quantile q 0.99)
+
+let test_quantile_raises () =
+  let q = Quantile.create () in
+  Quantile.add q 1.;
+  Alcotest.check_raises "q outside [0,1]"
+    (Invalid_argument "Quantile.quantile: q outside [0, 1]") (fun () ->
+      ignore (Quantile.quantile q 1.5));
+  (match Quantile.create ~accuracy:0. () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accuracy 0 must be rejected");
+  let a = Quantile.create ~accuracy:0.01 ()
+  and b = Quantile.create ~accuracy:0.02 () in
+  match Quantile.merge a b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatched accuracies must not merge"
+
+let lists3 =
+  QCheck.(
+    make
+      Gen.(
+        triple
+          (list_size (int_range 0 80) (int_range 1 1_000_000))
+          (list_size (int_range 0 80) (int_range 1 1_000_000))
+          (list_size (int_range 0 80) (int_range 1 1_000_000))))
+
+let sketch_of ints =
+  let q = Quantile.create () in
+  List.iter (fun v -> Quantile.add q (float_of_int v)) ints;
+  q
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"merge is associative" ~count:50 lists3
+    (fun (xs, ys, zs) ->
+      let a = sketch_of xs and b = sketch_of ys and c = sketch_of zs in
+      let l = Quantile.merge (Quantile.merge a b) c in
+      let r = Quantile.merge a (Quantile.merge b c) in
+      Quantile.count l = Quantile.count r
+      && feq (Quantile.min_value l) (Quantile.min_value r)
+      && feq (Quantile.max_value l) (Quantile.max_value r)
+      && List.for_all
+           (fun p -> feq (Quantile.quantile l p) (Quantile.quantile r p))
+           [ 0.; 0.5; 0.9; 0.99; 1. ])
+
+let prop_rank_error =
+  QCheck.Test.make ~name:"estimates respect the rank-error bound" ~count:50
+    QCheck.(make Gen.(list_size (int_range 1 300) (int_range 1 1_000_000)))
+    (fun ints ->
+      let q = sketch_of ints in
+      let sorted = Array.of_list (List.map float_of_int ints) in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      List.for_all
+        (fun p ->
+          let rank = max 1 (int_of_float (Float.ceil (p *. float_of_int n))) in
+          let truth = sorted.(rank - 1) in
+          let est = Quantile.quantile q p in
+          Float.abs (est -. truth) <= (Quantile.accuracy q *. truth) +. 1e-9)
+        [ 0.5; 0.9; 0.95; 0.99 ])
+
+(* --- exposition rendering ------------------------------------------------ *)
+
+let parse_ok text =
+  match Expo.parse text with
+  | Ok samples -> samples
+  | Error e -> Alcotest.failf "exposition unparseable: %s\n%s" e text
+
+let validate_ok text =
+  match Expo.validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "exposition invalid: %s\n%s" e text
+
+let test_expo_escaping_roundtrip () =
+  (* Label values carrying every escapable character must survive a
+     render -> parse round trip unchanged. *)
+  let nasty = "quote \" backslash \\ newline \n done" in
+  let fam =
+    Expo.family ~name:"tacos_test_escapes" ~help:"help with \\ and \n inside"
+      ~kind:Expo.Gauge
+      [ Expo.sample ~labels:[ ("path", nasty); ("plain", "ok") ] 1. ]
+  in
+  let text = Expo.render [ fam ] in
+  validate_ok text;
+  match parse_ok text with
+  | [ e ] ->
+    Alcotest.(check string) "metric" "tacos_test_escapes" e.Expo.metric;
+    Alcotest.(check string) "escaped label round-trips" nasty
+      (List.assoc "path" e.Expo.label_set);
+    Alcotest.(check string) "plain label" "ok" (List.assoc "plain" e.Expo.label_set)
+  | l -> Alcotest.failf "expected one sample, parsed %d" (List.length l)
+
+let test_expo_sanitize () =
+  Alcotest.(check string) "dots" "serve_hits" (Expo.sanitize_name "serve.hits");
+  Alcotest.(check string) "leading digit" "_9lives" (Expo.sanitize_name "9lives");
+  Alcotest.(check string) "spaces and dashes" "a_b_c" (Expo.sanitize_name "a b-c")
+
+let test_expo_values () =
+  let fam =
+    Expo.family ~name:"tacos_test_vals" ~help:"values" ~kind:Expo.Untyped
+      [
+        Expo.sample ~labels:[ ("k", "inf") ] Float.infinity;
+        Expo.sample ~labels:[ ("k", "ninf") ] Float.neg_infinity;
+        Expo.sample ~labels:[ ("k", "int") ] 42.;
+      ]
+  in
+  let text = Expo.render [ fam ] in
+  validate_ok text;
+  let v key =
+    List.find (fun e -> List.assoc "k" e.Expo.label_set = key) (parse_ok text)
+  in
+  Alcotest.(check bool) "+Inf" true ((v "inf").Expo.v = Float.infinity);
+  Alcotest.(check bool) "-Inf" true ((v "ninf").Expo.v = Float.neg_infinity);
+  Alcotest.(check bool) "integral" true ((v "int").Expo.v = 42.)
+
+let test_expo_of_quantile () =
+  let q = Quantile.create () in
+  for v = 1 to 100 do
+    Quantile.add q (float_of_int v)
+  done;
+  let text =
+    Expo.render
+      [
+        Expo.of_quantile ~name:"tacos_test_lat" ~help:"latency"
+          ~labels:[ ("verb", "synthesize") ] q;
+      ]
+  in
+  validate_ok text;
+  let samples = parse_ok text in
+  Alcotest.(check bool) "has the p99 quantile sample" true
+    (List.exists
+       (fun e ->
+         e.Expo.metric = "tacos_test_lat"
+         && List.assoc_opt "quantile" e.Expo.label_set = Some "0.99")
+       samples);
+  let count =
+    List.find (fun e -> e.Expo.metric = "tacos_test_lat_count") samples
+  in
+  Alcotest.(check bool) "count sample" true (count.Expo.v = 100.);
+  (* An empty sketch still renders a valid summary (sum/count at zero). *)
+  let empty =
+    Expo.render
+      [ Expo.of_quantile ~name:"tacos_test_empty" ~help:"none" (Quantile.create ()) ]
+  in
+  validate_ok empty
+
+let test_expo_of_obs () =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () -> Obs.disable ())
+    (fun () ->
+      Obs.incr (Obs.counter "tele.test.count");
+      Obs.observe_max (Obs.gauge "tele.test.peak") 7.5;
+      Obs.observe (Obs.histogram "tele.test.sizes") 3.;
+      Obs.observe (Obs.histogram "tele.test.sizes") 900.;
+      let text = Expo.render (Expo.of_obs ()) in
+      validate_ok text;
+      let samples = parse_ok text in
+      let value name =
+        match List.find_opt (fun e -> e.Expo.metric = name) samples with
+        | Some e -> e.Expo.v
+        | None -> Alcotest.failf "no sample %s in of_obs output" name
+      in
+      Alcotest.(check bool) "counter renders as _total" true
+        (value "tele_test_count_total" = 1.);
+      Alcotest.(check bool) "gauge value" true (value "tele_test_peak" = 7.5);
+      Alcotest.(check bool) "histogram count" true
+        (value "tele_test_sizes_count" = 2.);
+      (* The cumulative convention: the +Inf bucket equals the count. *)
+      Alcotest.(check bool) "+Inf bucket closes the histogram" true
+        (List.exists
+           (fun e ->
+             e.Expo.metric = "tele_test_sizes_bucket"
+             && List.assoc_opt "le" e.Expo.label_set = Some "+Inf"
+             && e.Expo.v = 2.)
+           samples))
+
+let test_expo_validate_rejects () =
+  let bad text why =
+    match Expo.validate text with
+    | Ok () -> Alcotest.failf "validator accepted %s: %s" why text
+    | Error _ -> ()
+  in
+  bad "# TYPE m counter\n# TYPE m counter\nm_total 1\n" "a duplicate TYPE";
+  bad "m_total 1\n# TYPE m_total counter\n" "TYPE after samples";
+  bad "# TYPE m gauge\nm{a=\"1\"} 1\nm{a=\"1\"} 2\n" "a duplicate series";
+  bad "# TYPE m counter\nm -1\n" "a negative counter";
+  bad "# TYPE m summary\nm{quantile=\"1.5\"} 3\nm_sum 3\nm_count 1\n"
+    "a quantile outside [0,1]";
+  bad "# TYPE m histogram\nm_bucket{le=\"1\"} 1\nm_sum 1\nm_count 1\n"
+    "a histogram without +Inf";
+  bad
+    "# TYPE m histogram\nm_bucket{le=\"1\"} 5\nm_bucket{le=\"+Inf\"} 3\nm_sum 1\nm_count 3\n"
+    "non-cumulative buckets";
+  bad "# TYPE m gauge\nm{__reserved=\"x\"} 1\n" "a reserved label name";
+  bad "bad-name 1\n" "an invalid metric name";
+  bad "m 1 2 3\n" "trailing junk after the timestamp";
+  bad "m {a=\"unterminated} 1\n" "an unterminated label value"
+
+(* --- logfmt -------------------------------------------------------------- *)
+
+let test_logfmt_roundtrip () =
+  let record =
+    [
+      ("t", "12.500000"); ("id", "r-1"); ("msg", "hello world");
+      ("q", "say \"hi\""); ("path", "a\\b"); ("nl", "a\nb"); ("empty", "");
+      ("eq", "a=b");
+    ]
+  in
+  let line = Logfmt.encode record in
+  (match Logfmt.parse line with
+  | Ok kvs -> Alcotest.(check bool) "round trip" true (kvs = record)
+  | Error e -> Alcotest.failf "logfmt unparseable: %s (%s)" e line);
+  (* Simple values stay bare — the records must remain grep-friendly. *)
+  let simple = Logfmt.encode [ ("verb", "synthesize"); ("elapsed_ms", "0.113") ] in
+  Alcotest.(check string) "bare encoding" "verb=synthesize elapsed_ms=0.113" simple
+
+let test_logfmt_bad_keys () =
+  List.iter
+    (fun k ->
+      match Logfmt.encode [ (k, "v") ] with
+      | exception Invalid_argument _ -> ()
+      | s -> Alcotest.failf "key %S should be rejected, encoded %S" k s)
+    [ ""; "a b"; "a=b"; "a\"b" ]
+
+let test_logfmt_parse_errors () =
+  (match Logfmt.parse "=x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty key should not parse");
+  (match Logfmt.parse "k=\"unterminated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated quote should not parse");
+  match Logfmt.parse "a=1    b=2" with
+  | Ok [ ("a", "1"); ("b", "2") ] -> ()
+  | _ -> Alcotest.fail "runs of spaces between pairs must be accepted"
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "quantile",
+        [
+          Alcotest.test_case "empty sketch" `Quick test_quantile_empty;
+          Alcotest.test_case "single value" `Quick test_quantile_single_value;
+          Alcotest.test_case "rank error on 1..1000" `Quick
+            test_quantile_rank_error_uniform;
+          Alcotest.test_case "zero bucket" `Quick test_quantile_zero_bucket;
+          Alcotest.test_case "argument validation" `Quick test_quantile_raises;
+        ] );
+      ( "quantile-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_merge_associative; prop_rank_error ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "escaping round trip" `Quick test_expo_escaping_roundtrip;
+          Alcotest.test_case "name sanitization" `Quick test_expo_sanitize;
+          Alcotest.test_case "non-finite and integral values" `Quick test_expo_values;
+          Alcotest.test_case "quantile summary family" `Quick test_expo_of_quantile;
+          Alcotest.test_case "of_obs renders the registry" `Quick test_expo_of_obs;
+          Alcotest.test_case "validator rejections" `Quick test_expo_validate_rejects;
+        ] );
+      ( "logfmt",
+        [
+          Alcotest.test_case "round trip" `Quick test_logfmt_roundtrip;
+          Alcotest.test_case "bad keys rejected" `Quick test_logfmt_bad_keys;
+          Alcotest.test_case "parse errors" `Quick test_logfmt_parse_errors;
+        ] );
+    ]
