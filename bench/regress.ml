@@ -101,6 +101,23 @@ let specs =
         ];
     };
     {
+      exp = "pareto";
+      keys = [ "topology"; "pattern"; "buffer_bytes"; "chunks_per_npu" ];
+      metrics =
+        (* The frontier must reproduce deterministically: dominance is
+           computed over (chunks, steps, simulated time) only, so both the
+           per-point fields and the membership bit are pinned.
+           synthesis_seconds is in the row but untracked (wall clock). *)
+        [
+          ("steps", Exact);
+          ("sends", Exact);
+          ("collective_time", Lower_better);
+          ("simulated_time", Lower_better);
+          ("on_frontier", Exact);
+          ("frontier_size", Exact);
+        ];
+    };
+    {
       exp = "hierarchy";
       keys = [ "topology"; "npus" ];
       metrics =

@@ -145,7 +145,7 @@ let run () =
      cache. The backend counts real syntheses so the duplicate burst can
      assert single-flight coalescing. *)
   let synth_calls = Atomic.make 0 in
-  let counting ~deadline ~seed ~domains topo spec =
+  let counting ~deadline ~sketch:_ ~seed ~domains topo spec =
     Atomic.incr synth_calls;
     Synthesizer.synthesize ~seed ~domains ?deadline topo spec
   in
@@ -394,7 +394,7 @@ let run () =
   let opened = Condition.create () in
   let released = ref false in
   let started = Atomic.make 0 in
-  let blocking ~deadline ~seed ~domains topo spec =
+  let blocking ~deadline ~sketch:_ ~seed ~domains topo spec =
     Atomic.incr started;
     Mutex.lock latch;
     while not !released do

@@ -23,6 +23,8 @@ module Critpath = Tacos_obs.Critpath
 module Fault = Tacos_resilience.Fault
 module Resilience = Tacos_resilience.Resilience
 module Service = Tacos_serve.Service
+module Sketch = Tacos_sketch.Sketch
+module Strategy = Tacos_sketch.Strategy
 
 (* --- common options ------------------------------------------------------ *)
 
@@ -87,6 +89,22 @@ let parse_groups topo gstr =
 
 let fail fmt = Printf.ksprintf (fun msg -> `Error (false, msg)) fmt
 
+let sketch_arg =
+  let doc =
+    "Communication sketch file (JSON rules: forbid/prefer/pin/buddy) \
+     constraining the synthesis; see the README's sketch section."
+  in
+  Arg.(value & opt (some string) None & info [ "sketch" ] ~docv:"FILE" ~doc)
+
+(* Load a [--sketch FILE] argument, if any, as a [Sketch.t option]. *)
+let with_sketch sketch_path f =
+  match sketch_path with
+  | None -> f None
+  | Some path -> (
+    match Sketch.of_file path with
+    | Error e -> fail "--sketch %s: %s" path e
+    | Ok sk -> f (Some sk))
+
 let with_setup topo_str alpha_us bw_gbps f =
   match Parse.parse_topology ~alpha:(alpha_us *. 1e-6) ~bw:(Units.gbps bw_gbps) topo_str with
   | Error e -> fail "%s" e
@@ -122,23 +140,26 @@ let synthesize_cmd =
       & info [ "program" ] ~docv:"NPU"
           ~doc:"Print the lowered per-NPU send/recv program of $(docv).")
   in
-  let run topo_str alpha bw size_str pattern_str chunks seed trials domains groups ten events json svg program =
+  let run topo_str alpha bw size_str pattern_str chunks seed trials domains groups sketch_path ten events json svg program =
     with_setup topo_str alpha bw (fun topo ->
         match Parse.parse_size size_str with
         | Error e -> fail "%s" e
         | Ok size -> (
           match Parse.parse_pattern pattern_str (Topology.num_npus topo) with
           | Error e -> fail "%s" e
-          | Ok pattern -> (
+          | Ok pattern ->
+            with_sketch sketch_path (fun sketch ->
             let spec =
               Spec.make ~chunks_per_npu:chunks ~buffer_size:size ~pattern
                 ~npus:(Topology.num_npus topo) ()
             in
             let synthesize () =
               match groups with
+              | Some _ when sketch <> None ->
+                Error "--sketch does not compose with --groups"
               | Some gstr -> (
                 match parse_groups topo gstr with
-                | Error e -> Error e
+                | Error e -> Error ("--groups: " ^ e)
                 | Ok gs ->
                   let plan =
                     Tacos_groups.Plan.synthesize ~seed ~trials ~domains topo spec
@@ -146,16 +167,23 @@ let synthesize_cmd =
                   in
                   Ok (plan.Tacos_groups.Plan.result, Some plan))
               | None ->
+                (* Compiling first surfaces a typed infeasibility (including
+                   routed patterns) before any matching work. *)
+                let constraints = Option.map (Sketch.compile topo spec) sketch in
                 Ok
                   ( (if pattern = Pattern.All_to_all then
                        Tacos.Alltoall.synthesize ~seed topo spec
-                     else Synth.synthesize ~seed ~trials ~domains topo spec),
+                     else
+                       Synth.synthesize ~seed ~trials ~domains ?sketch:constraints
+                         topo spec),
                     None )
             in
             match synthesize () with
             | exception Synth.Stuck msg -> fail "synthesis stuck: %s" msg
             | exception Synth.Unsupported msg -> fail "unsupported: %s" msg
-            | Error e -> fail "--groups: %s" e
+            | exception Sketch.Infeasible off ->
+              fail "sketch infeasible: %s" (Sketch.offender_to_string off)
+            | Error e -> fail "%s" e
             | Ok (result, plan) ->
               Format.printf "topology:        %a@." Topology.pp topo;
               Format.printf "collective:      %a@." Spec.pp spec;
@@ -188,6 +216,14 @@ let synthesize_cmd =
                with
               | Ok () -> Format.printf "validation:      ok (congestion-free, postconditions met)@."
               | Error e -> Format.printf "validation:      FAILED: %s@." e);
+              (match sketch with
+              | Some sk -> (
+                match Sketch.compliant topo spec sk result.Synth.schedule with
+                | Ok () ->
+                  Format.printf "sketch:          ok (%d rules, schedule compliant)@."
+                    (List.length sk.Sketch.rules)
+                | Error e -> Format.printf "sketch:          VIOLATED: %s@." e)
+              | None -> ());
               (match Ideal.all_reduce_time topo ~size with
               | ideal when pattern = Pattern.All_reduce ->
                 Format.printf "vs ideal:        %.2f%%@."
@@ -241,7 +277,7 @@ let synthesize_cmd =
       ret
         (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
        $ chunks_arg $ seed_arg $ trials_arg $ domains_arg $ groups_arg
-       $ render_ten $ list_events $ json_out $ svg_out $ program_of))
+       $ sketch_arg $ render_ten $ list_events $ json_out $ svg_out $ program_of))
   in
   Cmd.v (Cmd.info "synthesize" ~doc:"Synthesize a topology-aware collective algorithm") term
 
@@ -305,68 +341,171 @@ let tune_cmd =
       & info [ "candidates" ] ~docv:"K1,K2,..."
           ~doc:"Chunks-per-NPU granularities to try.")
   in
-  let run topo_str alpha bw size_str pattern_str seed domains candidates groups =
+  let run topo_str alpha bw size_str pattern_str seed domains candidates groups
+      sketch_path =
     with_setup topo_str alpha bw (fun topo ->
         match Parse.parse_size size_str with
         | Error e -> fail "%s" e
         | Ok size -> (
           match Parse.parse_pattern pattern_str (Topology.num_npus topo) with
           | Error e -> fail "%s" e
-          | Ok pattern -> (
+          | Ok pattern ->
+            with_sketch sketch_path (fun sketch ->
             (* With --groups, every candidate granularity is synthesized
                hierarchically through the group planner. *)
             let backend =
-              match groups with
-              | None -> Ok None
-              | Some gstr ->
-                Result.map
-                  (fun gs ->
-                    Some
-                      (fun ~seed topo spec ->
-                        (Tacos_groups.Plan.synthesize ~seed ~domains topo spec
-                           ~groups:gs)
-                          .Tacos_groups.Plan.result))
-                  (parse_groups topo gstr)
+              match (groups, sketch) with
+              | Some _, Some _ -> Error "--sketch does not compose with --groups"
+              | None, None -> Ok None
+              | None, Some sk ->
+                Ok
+                  (Some
+                     (fun ~seed topo spec ->
+                       (* Per candidate: pin chunk ids are validated against
+                          each candidate's own chunk space. *)
+                       let c = Sketch.compile topo spec sk in
+                       Synth.synthesize ~seed ~domains ~sketch:c topo spec))
+              | Some gstr, None ->
+                Result.map_error
+                  (fun e -> "--groups: " ^ e)
+                  (Result.map
+                     (fun gs ->
+                       Some
+                         (fun ~seed topo spec ->
+                           (Tacos_groups.Plan.synthesize ~seed ~domains topo spec
+                              ~groups:gs)
+                             .Tacos_groups.Plan.result))
+                     (parse_groups topo gstr))
             in
             match backend with
-            | Error e -> fail "--groups: %s" e
-            | Ok synthesize ->
-              let rows = ref [] in
-              List.iter
-                (fun k ->
-                  let choice =
-                    Tacos.Tuner.tune ~seed ~domains ~candidates:[ k ] ?synthesize
-                      topo ~pattern ~size
-                  in
-                  rows :=
+            | Error e -> fail "%s" e
+            | Ok synthesize -> (
+              match
+                let rows = ref [] in
+                List.iter
+                  (fun k ->
+                    let choice =
+                      Tacos.Tuner.tune ~seed ~domains ~candidates:[ k ] ?synthesize
+                        topo ~pattern ~size
+                    in
+                    rows :=
+                      [
+                        string_of_int k;
+                        Units.time_pp choice.Tacos.Tuner.simulated_time;
+                        Units.bandwidth_pp (size /. choice.Tacos.Tuner.simulated_time);
+                      ]
+                      :: !rows)
+                  candidates;
+                let best =
+                  Tacos.Tuner.tune ~seed ~domains ~candidates ?synthesize topo
+                    ~pattern ~size
+                in
+                (List.rev !rows, best)
+              with
+              | exception Sketch.Infeasible off ->
+                fail "sketch infeasible: %s" (Sketch.offender_to_string off)
+              | exception Synth.Stuck msg -> fail "synthesis stuck: %s" msg
+              | rows, best ->
+                Format.printf "%s of %s on %a@." (Pattern.name pattern)
+                  (Units.bytes_pp size) Topology.pp topo;
+                Table.print ~header:[ "chunks/NPU"; "simulated time"; "bandwidth" ]
+                  rows;
+                Format.printf "best: %d chunks/NPU (%s)@."
+                  best.Tacos.Tuner.chunks_per_npu
+                  (Units.time_pp best.Tacos.Tuner.simulated_time);
+                `Ok ()))))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
+       $ seed_arg $ domains_arg $ candidates_arg $ groups_arg $ sketch_arg))
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Sweep chunk granularities and report the fastest")
+    term
+
+(* --- pareto ---------------------------------------------------------------- *)
+
+let pareto_cmd =
+  let candidates_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16 ]
+      & info [ "candidates" ] ~docv:"K1,K2,..."
+          ~doc:"Chunks-per-NPU granularities to sweep.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the full outcome (every point, the frontier, and the \
+             dominated pairs) as one JSON document on stdout.")
+  in
+  let run topo_str alpha bw size_str pattern_str seed trials domains candidates
+      sketch_path json =
+    with_setup topo_str alpha bw (fun topo ->
+        match Parse.parse_size size_str with
+        | Error e -> fail "%s" e
+        | Ok size -> (
+          match Parse.parse_pattern pattern_str (Topology.num_npus topo) with
+          | Error e -> fail "%s" e
+          | Ok pattern ->
+            with_sketch sketch_path (fun sketch ->
+            match
+              Strategy.sweep ~seed ~trials ~domains ~candidates ?sketch topo
+                ~pattern ~size
+            with
+            | exception Sketch.Infeasible off ->
+              fail "sketch infeasible: %s" (Sketch.offender_to_string off)
+            | exception Synth.Stuck msg -> fail "synthesis stuck: %s" msg
+            | exception Synth.Unsupported msg -> fail "unsupported: %s" msg
+            | exception Invalid_argument msg -> fail "%s" msg
+            | outcome ->
+              if json then print_endline (Strategy.to_json outcome)
+              else begin
+                Format.printf "%s of %s on %a — latency/bandwidth tradeoffs@."
+                  (Pattern.name pattern) (Units.bytes_pp size) Topology.pp topo;
+                let on_frontier p = List.memq p outcome.Strategy.frontier in
+                Table.print
+                  ~header:
                     [
-                      string_of_int k;
-                      Units.time_pp choice.Tacos.Tuner.simulated_time;
-                      Units.bandwidth_pp (size /. choice.Tacos.Tuner.simulated_time);
+                      "chunks/NPU"; "steps"; "sends"; "collective"; "simulated";
+                      "synth wall"; "frontier";
                     ]
-                    :: !rows)
-                candidates;
-              let best =
-                Tacos.Tuner.tune ~seed ~domains ~candidates ?synthesize topo
-                  ~pattern ~size
-              in
-              Format.printf "%s of %s on %a@." (Pattern.name pattern)
-                (Units.bytes_pp size) Topology.pp topo;
-              Table.print ~header:[ "chunks/NPU"; "simulated time"; "bandwidth" ]
-                (List.rev !rows);
-              Format.printf "best: %d chunks/NPU (%s)@."
-                best.Tacos.Tuner.chunks_per_npu
-                (Units.time_pp best.Tacos.Tuner.simulated_time);
+                  (List.map
+                     (fun (p : Strategy.point) ->
+                       [
+                         string_of_int p.Strategy.chunks_per_npu;
+                         string_of_int p.Strategy.steps;
+                         string_of_int p.Strategy.sends;
+                         Units.time_pp p.Strategy.collective_time;
+                         Units.time_pp p.Strategy.simulated_time;
+                         Units.time_pp p.Strategy.synthesis_seconds;
+                         (if on_frontier p then "*" else "dominated");
+                       ])
+                     outcome.Strategy.points);
+                Format.printf
+                  "frontier: %d of %d points non-dominated over (chunks, steps, \
+                   simulated time)@."
+                  (List.length outcome.Strategy.frontier)
+                  (List.length outcome.Strategy.points)
+              end;
               `Ok ())))
   in
   let term =
     Term.(
       ret
         (const run $ topology_arg $ alpha_arg $ bw_arg $ size_arg $ pattern_arg
-       $ seed_arg $ domains_arg $ candidates_arg $ groups_arg))
+       $ seed_arg $ trials_arg $ domains_arg $ candidates_arg $ sketch_arg
+       $ json_flag))
   in
   Cmd.v
-    (Cmd.info "tune" ~doc:"Sweep chunk granularities and report the fastest")
+    (Cmd.info "pareto"
+       ~doc:
+         "Sweep chunk granularities (optionally under a communication sketch) \
+          and report the latency/bandwidth Pareto frontier")
     term
 
 (* --- profile ---------------------------------------------------------------- *)
@@ -1281,6 +1420,16 @@ let serve_cmd =
             "Persist the schedule cache under $(docv) (crash-safe writes; \
              corrupt entries are quarantined to *.corrupt on load).")
   in
+  let max_disk_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-disk-mb" ] ~docv:"MB"
+          ~doc:
+            "Cap the --registry disk store at $(docv) mebibytes: past it, \
+             the oldest-mtime cache files are evicted after every write \
+             (counted in stats and as tacos_registry_evicted_total).")
+  in
   let queue_limit_arg =
     Arg.(
       value & opt int 16
@@ -1339,13 +1488,17 @@ let serve_cmd =
       done
     with End_of_file | Sys_error _ -> ()
   in
-  let run stdio socket registry_dir queue_limit deadline_ms metrics_file
-      metrics_interval access_log seed trials domains =
+  let run stdio socket registry_dir max_disk_mb queue_limit deadline_ms
+      metrics_file metrics_interval access_log seed trials domains =
     if (not stdio) && socket = None then
       fail "pass --stdio or --socket PATH (nothing to serve on)"
     else if trials <= 0 || domains <= 0 || queue_limit <= 0 then
       fail "--trials, --domains and --queue-limit must be positive"
     else if metrics_interval <= 0. then fail "--metrics-interval must be positive"
+    else if (match max_disk_mb with Some mb -> mb <= 0 | None -> false) then
+      fail "--max-disk-mb must be positive"
+    else if max_disk_mb <> None && registry_dir = None then
+      fail "--max-disk-mb needs --registry DIR (nothing on disk to cap)"
     else begin
       (* The daemon keeps observability on: serve.* counters feed the
          stats op, the metrics exposition, and any profile taken against a
@@ -1373,6 +1526,7 @@ let serve_cmd =
           trials;
           default_deadline_ms = deadline_ms;
           registry_dir;
+          max_disk_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_disk_mb;
           seed;
           access_log = access_sink;
         }
@@ -1407,33 +1561,64 @@ let serve_cmd =
         flush_metrics ();
         close_access ();
         `Ok ()
-      | Some path ->
-        if Sys.file_exists path then Sys.remove path;
-        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        Unix.bind sock (Unix.ADDR_UNIX path);
-        Unix.listen sock 64;
-        Printf.eprintf "tacos serve: listening on %s\n%!" path;
-        let rec accept_loop () =
-          let conn, _ = Unix.accept sock in
-          ignore
-            (Thread.create
-               (fun conn ->
-                 let ic = Unix.in_channel_of_descr conn in
-                 let oc = Unix.out_channel_of_descr conn in
-                 serve_loop svc ic oc;
-                 try Unix.close conn with Unix.Unix_error _ -> ())
-               conn);
-          accept_loop ()
+      | Some path -> (
+        (* A socket file left behind by a previous run would make bind fail
+           with EADDRINUSE. Unlink it — but only if it actually is a
+           socket: silently clobbering a regular file at that path would
+           destroy user data. *)
+        let stale =
+          match Unix.lstat path with
+          | { Unix.st_kind = Unix.S_SOCK; _ } -> Ok true
+          | _ -> Error (Printf.sprintf "refusing to replace non-socket file %s" path)
+          | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok false
         in
-        accept_loop ()
+        match stale with
+        | Error msg -> fail "--socket: %s" msg
+        | Ok was_stale ->
+          if was_stale then begin
+            Printf.eprintf "tacos serve: removing stale socket %s\n%!" path;
+            try Unix.unlink path with Unix.Unix_error _ -> ()
+          end;
+          let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.bind sock (Unix.ADDR_UNIX path);
+          Unix.listen sock 64;
+          (* Clean shutdown (SIGINT/SIGTERM): remove the socket so the next
+             start binds without finding our corpse, flush the final
+             metrics snapshot, and close the access log. *)
+          let cleanup () =
+            (try Unix.unlink path with Unix.Unix_error _ -> ());
+            flush_metrics ();
+            close_access ()
+          in
+          let on_signal _ =
+            cleanup ();
+            exit 0
+          in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+          Printf.eprintf "tacos serve: listening on %s\n%!" path;
+          let rec accept_loop () =
+            let conn, _ = Unix.accept sock in
+            ignore
+              (Thread.create
+                 (fun conn ->
+                   let ic = Unix.in_channel_of_descr conn in
+                   let oc = Unix.out_channel_of_descr conn in
+                   serve_loop svc ic oc;
+                   try Unix.close conn with Unix.Unix_error _ -> ())
+                 conn);
+            accept_loop ()
+          in
+          (* If accept ever fails hard, still leave a clean filesystem. *)
+          Fun.protect ~finally:cleanup accept_loop)
     end
   in
   let term =
     Term.(
       ret
-        (const run $ stdio_arg $ socket_arg $ registry_arg $ queue_limit_arg
-       $ deadline_arg $ metrics_file_arg $ metrics_interval_arg $ access_log_arg
-       $ seed_arg $ trials_arg $ domains_arg))
+        (const run $ stdio_arg $ socket_arg $ registry_arg $ max_disk_mb_arg
+       $ queue_limit_arg $ deadline_arg $ metrics_file_arg $ metrics_interval_arg
+       $ access_log_arg $ seed_arg $ trials_arg $ domains_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1668,6 +1853,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            synthesize_cmd; compare_cmd; tune_cmd; profile_cmd; trace_cmd;
-            faults_cmd; serve_cmd; top_cmd; info_cmd;
+            synthesize_cmd; compare_cmd; tune_cmd; pareto_cmd; profile_cmd;
+            trace_cmd; faults_cmd; serve_cmd; top_cmd; info_cmd;
           ]))

@@ -10,15 +10,18 @@ type flight = { mutable outcome : (Synthesizer.result, exn) result option }
 
 type t = {
   dir : string option;
+  max_disk_bytes : int option;  (** disk cap; oldest-mtime entries evicted past it *)
   lock : Mutex.t;
   cond : Condition.t;
   table : (string, Synthesizer.result) Hashtbl.t;
   inflight : (string, flight) Hashtbl.t;
   mutable quarantined : int;  (** disk entries set aside as [*.corrupt] *)
+  mutable evicted : int;  (** disk entries deleted by the size cap *)
 }
 
 let c_inflight_joins = Obs.counter "registry.inflight_joins"
 let c_quarantined = Obs.counter "registry.quarantined"
+let c_evicted = Obs.counter "registry.evicted"
 
 (* mkdir -p. Tolerates concurrent creation: another process winning the
    race leaves the directory in place, which is all we need. *)
@@ -30,15 +33,22 @@ let rec mkdir_p dir =
     | Sys_error _ when Sys.file_exists dir -> ()
   end
 
-let create ?dir () =
+let create ?dir ?max_disk_bytes () =
   Option.iter mkdir_p dir;
+  Option.iter
+    (fun cap ->
+      if cap <= 0 then
+        invalid_arg "Registry.create: max_disk_bytes must be positive")
+    max_disk_bytes;
   {
     dir;
+    max_disk_bytes;
     lock = Mutex.create ();
     cond = Condition.create ();
     table = Hashtbl.create 16;
     inflight = Hashtbl.create 8;
     quarantined = 0;
+    evicted = 0;
   }
 
 (* Full-width (128-bit) digest of the canonical edge buffer. The
@@ -71,7 +81,13 @@ let spec_key (spec : Spec.t) =
        (Pattern.name spec.pattern))
     spec.npus spec.chunks_per_npu spec.buffer_size
 
-let key topo spec = fingerprint topo ^ "-" ^ spec_key spec
+(* [variant] distinguishes otherwise-identical requests synthesized under
+   different extra constraints — a sketched request must never collide with
+   (or poison) the unsketched cache line for the same (fabric, spec). The
+   empty default keeps every pre-existing key, and disk filename, intact. *)
+let key ?(variant = "") topo spec =
+  let base = fingerprint topo ^ "-" ^ spec_key spec in
+  if variant = "" then base else base ^ "-" ^ variant
 
 let disk_path t k = Option.map (fun d -> Filename.concat d (k ^ ".json")) t.dir
 
@@ -228,6 +244,59 @@ let save_to_disk t spec (result : Synthesizer.result) k =
     Sys.rename tmp path
   | None -> ()
 
+(* Disk-cap enforcement, run after every write: while the store (live
+   entries plus quarantined files, the same accounting as [disk_usage])
+   exceeds [max_disk_bytes], delete the oldest-mtime file — except the entry
+   just written, so a cap smaller than one schedule degrades to "keep only
+   the latest" instead of thrashing the write we are completing. Failures
+   are swallowed: another instance may have evicted the same file first, and
+   eviction must never take the serving path down. *)
+let enforce_disk_cap t ~keep =
+  match (t.dir, t.max_disk_bytes) with
+  | Some dir, Some cap ->
+    let files = try Sys.readdir dir with Sys_error _ -> [||] in
+    let entries =
+      Array.to_list files
+      |> List.filter (fun f ->
+             Filename.check_suffix f ".json" || Filename.check_suffix f ".corrupt")
+      |> List.filter_map (fun f ->
+             let path = Filename.concat dir f in
+             match Unix.stat path with
+             | { Unix.st_size; st_mtime; _ } -> Some (path, st_size, st_mtime)
+             | exception (Unix.Unix_error _ | Sys_error _) -> None)
+    in
+    let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 entries in
+    if total > cap then begin
+      (* Oldest first; mtime ties break on the filename for determinism. *)
+      let oldest_first =
+        List.sort
+          (fun (pa, _, ma) (pb, _, mb) -> compare (ma, pa) (mb, pb))
+          entries
+      in
+      ignore
+        (List.fold_left
+           (fun remaining (path, size, _) ->
+             if remaining <= cap || path = keep then remaining
+             else begin
+               match Sys.remove path with
+               | () ->
+                 Obs.incr c_evicted;
+                 Mutex.lock t.lock;
+                 t.evicted <- t.evicted + 1;
+                 Mutex.unlock t.lock;
+                 remaining - size
+               | exception Sys_error _ -> remaining
+             end)
+           total oldest_first)
+    end
+  | _ -> ()
+
+let evicted t =
+  Mutex.lock t.lock;
+  let n = t.evicted in
+  Mutex.unlock t.lock;
+  n
+
 (* Single-flight lookup. Under [t.lock], a request either hits the
    completed table, joins an in-flight synthesis for the same key (and
    blocks until the owner publishes), or claims ownership by installing
@@ -246,8 +315,8 @@ let default_backend ~seed ~domains topo (spec : Spec.t) =
   | _ -> Synthesizer.synthesize ~seed ~domains topo spec
 
 let find_or_synthesize ?(seed = 42) ?(domains = 1) ?(synthesize = default_backend)
-    t topo (spec : Spec.t) =
-  let k = key topo spec in
+    ?variant t topo (spec : Spec.t) =
+  let k = key ?variant topo spec in
   let claim () =
     Mutex.lock t.lock;
     match Hashtbl.find_opt t.table k with
@@ -295,6 +364,9 @@ let find_or_synthesize ?(seed = 42) ?(domains = 1) ?(synthesize = default_backen
       | None ->
         let result = synthesize ~seed ~domains topo spec in
         save_to_disk t spec result k;
+        (match disk_path t k with
+        | Some path -> enforce_disk_cap t ~keep:path
+        | None -> ());
         (result, `Miss)
     with
     | (result, outcome) ->
@@ -309,8 +381,8 @@ let find_or_synthesize ?(seed = 42) ?(domains = 1) ?(synthesize = default_backen
    answering cache probes must not block behind a miss in progress. A disk
    hit is published to the table (losing a publish race is benign: both
    sides hold validated results for the same key). *)
-let find_cached t topo (spec : Spec.t) =
-  let k = key topo spec in
+let find_cached ?variant t topo (spec : Spec.t) =
+  let k = key ?variant topo spec in
   Mutex.lock t.lock;
   let hit = Hashtbl.find_opt t.table k in
   Mutex.unlock t.lock;

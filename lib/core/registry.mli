@@ -19,11 +19,19 @@ open Tacos_collective
 
 type t
 
-val create : ?dir:string -> unit -> t
+val create : ?dir:string -> ?max_disk_bytes:int -> unit -> t
 (** An empty registry. With [dir], cache entries are also written to (and
     on miss, looked up from) [dir] as one JSON file per entry; the
     directory is created if needed, [mkdir -p]-style (missing parents are
-    created too). *)
+    created too).
+
+    [max_disk_bytes] caps the disk store (live entries plus quarantined
+    files, the same accounting as {!disk_usage}): after every write, the
+    oldest-mtime files are deleted — mtime ties break on the filename —
+    until the total fits, never evicting the entry just written. Evictions
+    are counted under {!evicted} and the [registry.evicted] obs counter.
+    The cap needs [dir] to mean anything and must be positive
+    ([Invalid_argument] otherwise). *)
 
 val fingerprint : Topology.t -> string
 (** Structural digest of a topology: NPU count plus every link's endpoints
@@ -42,6 +50,7 @@ val find_or_synthesize :
   ?seed:int ->
   ?domains:int ->
   ?synthesize:(seed:int -> domains:int -> Topology.t -> Spec.t -> Synthesizer.result) ->
+  ?variant:string ->
   t ->
   Topology.t ->
   Spec.t ->
@@ -71,12 +80,20 @@ val find_or_synthesize :
     {!quarantined} and the [registry.quarantined] obs counter, and treated
     as a miss. A lookup never raises because of disk state.
 
+    [variant] (default empty) is appended to the cache key: requests
+    synthesized under extra constraints — e.g. a communication sketch,
+    digested by [Tacos_sketch.Sketch.digest] — get their own cache line
+    and disk file instead of colliding with the unconstrained schedule
+    for the same (topology, spec). The empty default reproduces every
+    pre-existing key and filename.
+
     Safe to call concurrently from many domains; identical concurrent
     requests trigger exactly one synthesis (single-flight). If the
     synthesis (injected or default) raises, every joined waiter re-raises
     the same exception and the key is released for retry. *)
 
-val find_cached : t -> Topology.t -> Spec.t -> Synthesizer.result option
+val find_cached :
+  ?variant:string -> t -> Topology.t -> Spec.t -> Synthesizer.result option
 (** Non-blocking cache peek: the in-memory table, then the disk store
     (publishing a disk hit to the table, quarantining broken files as
     above). Never synthesizes and never joins an in-flight synthesis —
@@ -89,6 +106,10 @@ val entries : t -> int
 val quarantined : t -> int
 (** Number of broken disk entries this registry has set aside as
     [*.corrupt] since creation. *)
+
+val evicted : t -> int
+(** Number of disk files this registry has deleted to stay under
+    [max_disk_bytes] since creation (zero without a cap). *)
 
 type disk_usage = { disk_entries : int; disk_corrupt : int; disk_bytes : int }
 

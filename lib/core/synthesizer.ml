@@ -39,6 +39,22 @@ exception Unsupported of string
 exception Stuck of string
 exception Deadline_exceeded
 
+(* The matcher-facing compilation target of a communication sketch
+   ([Tacos_sketch.Sketch.compile]): plain link/chunk id lists, already
+   validated structurally by the sketch layer. The synthesizer re-checks
+   only cheap range invariants — callers handing a malformed record get
+   [Invalid_argument], not a typed infeasibility. *)
+type constraints = {
+  forbid : int list;  (** link ids that must carry nothing *)
+  prefer : (int * float) list;
+      (** (link id, weight > 0): divide the link's §IV-F ordering cost by
+          the weight, so weighted links sort (and match) first *)
+  pin : (int * int list) list;
+      (** (chunk id, route): the chunk may only travel the route's links *)
+}
+
+let no_constraints = { forbid = []; prefer = []; pin = [] }
+
 (* A synthesis goal in positional form: where the chunks are and where they
    must end up, untied from any collective pattern. Specs lower to goals
    ([goal_of_spec]); mid-flight repair builds goals directly from the chunk
@@ -203,7 +219,7 @@ let check_feasible_masked exp ~dead_mask goal =
    same greedy maximal matching as iterating shuffled postconditions, found
    by scanning whichever of the two sets is smaller. *)
 let synthesize_pull ~prefer_cheap_links ?deadline ?reuse ?(dead = [])
-    ?(slowed = []) rng topo goal =
+    ?(slowed = []) ?(constraints = no_constraints) rng topo goal =
   let exp =
     match reuse with Some e -> e | None -> Ten.Expansion.prepare topo
   in
@@ -224,6 +240,63 @@ let synthesize_pull ~prefer_cheap_links ?deadline ?reuse ?(dead = [])
         invalid_arg "Synthesizer: slowdown factor must be >= 1";
       cost.(e) <- cost.(e) *. factor)
     slowed;
+  (* Forbidden links ride the dead-link machinery: never free, masked out of
+     the feasibility check, absent from the candidate scan — and an empty
+     sketch leaves the RNG draw sequence bit-identical. *)
+  let dead =
+    match constraints.forbid with
+    | [] -> dead
+    | forbid ->
+      List.iter
+        (fun e ->
+          if e < 0 || e >= m then
+            invalid_arg "Synthesizer: sketch forbids a link out of range")
+        forbid;
+      dead @ forbid
+  in
+  (* Preference weights bias only the §IV-F match *ordering*, never the
+     transfer duration: sorting reads [order_cost], the schedule [cost]. *)
+  let order_cost =
+    match constraints.prefer with
+    | [] -> cost
+    | prefs ->
+      let oc = Array.copy cost in
+      List.iter
+        (fun (e, w) ->
+          if e < 0 || e >= m then
+            invalid_arg "Synthesizer: sketch prefers a link out of range";
+          if not (w > 0.) then
+            invalid_arg "Synthesizer: sketch preference weight must be positive";
+          oc.(e) <- oc.(e) /. w)
+        prefs;
+      oc
+  in
+  (* Per-chunk allowed-route sets; duplicate pins of one chunk intersect. *)
+  let has_pins = constraints.pin <> [] in
+  let pins =
+    if not has_pins then [||]
+    else begin
+      let a = Array.make num_chunks None in
+      List.iter
+        (fun (c, route) ->
+          if c < 0 || c >= num_chunks then
+            invalid_arg "Synthesizer: sketch pins a chunk out of range";
+          List.iter
+            (fun e ->
+              if e < 0 || e >= m then
+                invalid_arg "Synthesizer: sketch pin names a link out of range")
+            route;
+          let set = Iset.of_list route in
+          a.(c) <-
+            Some (match a.(c) with None -> set | Some prev -> Iset.inter prev set))
+        constraints.pin;
+      a
+    end
+  in
+  let pin_ok e c =
+    (not has_pins)
+    || match pins.(c) with None -> true | Some route -> Iset.mem e route
+  in
   (match dead with
   | [] -> check_feasible topo goal
   | _ ->
@@ -283,10 +356,13 @@ let synthesize_pull ~prefer_cheap_links ?deadline ?reuse ?(dead = [])
   let saw_pending = ref false in
   let obs_on = Obs.enabled () in
   let probes = ref 0 in
-  let pick_chunk s d =
+  let pick_chunk e s d =
     let t = !now in
     saw_pending := false;
     probes := 0;
+    (* Pin filtering precedes the arrival check: a pinned-away chunk is a
+       *static* rejection, so it must not set [saw_pending] (which would
+       defeat the failed-scan memoization below). *)
     let found =
       if Ivec.length holds.(s) <= Ivec.length wants.(d) then begin
         let len = Ivec.length holds.(s) in
@@ -296,6 +372,7 @@ let synthesize_pull ~prefer_cheap_links ?deadline ?reuse ?(dead = [])
             Ivec.exists_from holds.(s) ~start:(Rng.int rng len) (fun c ->
                 if obs_on then incr probes;
                 wants_pos.(d).(c) >= 0
+                && pin_ok e c
                 &&
                 if arrival.(s).(c) <= t then true
                 else begin
@@ -313,6 +390,8 @@ let synthesize_pull ~prefer_cheap_links ?deadline ?reuse ?(dead = [])
           let i =
             Ivec.exists_from wants.(d) ~start:(Rng.int rng len) (fun c ->
                 if obs_on then incr probes;
+                pin_ok e c
+                &&
                 if arrival.(s).(c) <= t then true
                 else begin
                   if arrival.(s).(c) < infinity then saw_pending := true;
@@ -353,7 +432,7 @@ let synthesize_pull ~prefer_cheap_links ?deadline ?reuse ?(dead = [])
     if obs_on then Obs.observe obs_idle_links (float_of_int !idle_count);
     Rng.shuffle_in_place rng idle_links;
     if prefer_cheap_links then
-      Array.stable_sort (fun a b -> compare cost.(a) cost.(b)) idle_links;
+      Array.stable_sort (fun a b -> compare order_cost.(a) order_cost.(b)) idle_links;
     Array.iter
       (fun e ->
         let d = dst.(e) and s = src.(e) in
@@ -363,7 +442,7 @@ let synthesize_pull ~prefer_cheap_links ?deadline ?reuse ?(dead = [])
             && scanned_wants.(e) = wants_version.(d)
           then Obs.incr obs_memo_hits
           else begin
-          let c = pick_chunk s d in
+          let c = pick_chunk e s d in
           if c >= 0 then begin
             let finish = t +. cost.(e) in
             sends :=
@@ -409,15 +488,20 @@ let synthesize_pull ~prefer_cheap_links ?deadline ?reuse ?(dead = [])
   done;
   (Schedule.make !sends, !rounds, !matches)
 
-let synthesize_simple ~prefer_cheap_links ?deadline rng topo (spec : Spec.t) =
+let synthesize_simple ~prefer_cheap_links ?deadline ~constraints rng topo
+    (spec : Spec.t) =
   match spec.pattern with
   | Pattern.All_gather | Pattern.Broadcast _ ->
-    synthesize_pull ~prefer_cheap_links ?deadline rng topo (goal_of_spec spec)
+    synthesize_pull ~prefer_cheap_links ?deadline ~constraints rng topo
+      (goal_of_spec spec)
   | Pattern.Reduce_scatter | Pattern.Reduce _ ->
     (* §IV-E: synthesize the non-combining counterpart on the reversed
-       topology, then mirror the schedule in time and direction. *)
+       topology, then mirror the schedule in time and direction. Link ids
+       are preserved by the reversal, so the same sketch constraints apply
+       verbatim to the mirrored phase. *)
     let sched, rounds, matches =
-      synthesize_pull ~prefer_cheap_links ?deadline rng (Topology.reverse topo)
+      synthesize_pull ~prefer_cheap_links ?deadline ~constraints rng
+        (Topology.reverse topo)
         (goal_of_spec (Spec.reverse spec))
     in
     (Schedule.reverse sched, rounds, matches)
@@ -435,35 +519,36 @@ let synthesize_simple ~prefer_cheap_links ?deadline rng topo (spec : Spec.t) =
           use Tacos.Router (or Tacos.Alltoall)")
 
 (* One full trial, returning (schedule, phases, rounds, matches). *)
-let trial_untimed ~prefer_cheap_links ?deadline rng topo (spec : Spec.t) =
+let trial_untimed ~prefer_cheap_links ?deadline ~constraints rng topo
+    (spec : Spec.t) =
   match spec.pattern with
   | Pattern.All_reduce ->
     let rs, r1, m1 =
-      synthesize_simple ~prefer_cheap_links ?deadline rng topo
+      synthesize_simple ~prefer_cheap_links ?deadline ~constraints rng topo
         (Spec.with_pattern spec Pattern.Reduce_scatter)
     in
     let ag, r2, m2 =
-      synthesize_simple ~prefer_cheap_links ?deadline rng topo
+      synthesize_simple ~prefer_cheap_links ?deadline ~constraints rng topo
         (Spec.with_pattern spec Pattern.All_gather)
     in
     let ag_shifted = Schedule.shift ag rs.Schedule.makespan in
     (Schedule.concat rs ag, Some (rs, ag_shifted), r1 + r2, m1 + m2)
   | _ ->
     let sched, rounds, matches =
-      synthesize_simple ~prefer_cheap_links ?deadline rng topo spec
+      synthesize_simple ~prefer_cheap_links ?deadline ~constraints rng topo spec
     in
     (sched, None, rounds, matches)
 
-let trial ~prefer_cheap_links ?deadline rng topo spec =
+let trial ~prefer_cheap_links ?deadline ~constraints rng topo spec =
   let ((sched, _, _, _) as result) =
     Obs.time obs_trial_timer (fun () ->
-        trial_untimed ~prefer_cheap_links ?deadline rng topo spec)
+        trial_untimed ~prefer_cheap_links ?deadline ~constraints rng topo spec)
   in
   Obs.observe obs_trial_makespan sched.Schedule.makespan;
   result
 
 let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = true)
-    ?deadline topo spec =
+    ?deadline ?(sketch = no_constraints) topo spec =
   if trials <= 0 then invalid_arg "Synthesizer.synthesize: trials must be positive";
   if domains <= 0 then invalid_arg "Synthesizer.synthesize: domains must be positive";
   if Topology.num_npus topo <> spec.Spec.npus then
@@ -481,7 +566,8 @@ let synthesize ?(seed = 42) ?(trials = 1) ?(domains = 1) ?(prefer_cheap_links = 
        buffers stay attributable. *)
     Obs.with_trial i (fun () ->
         Trace.with_span "trial" (fun () ->
-            trial ~prefer_cheap_links ?deadline (Rng.create seeds.(i)) topo spec))
+            trial ~prefer_cheap_links ?deadline ~constraints:sketch
+              (Rng.create seeds.(i)) topo spec))
   in
   let results =
     (* Trials run on the shared pool so trial- and group-parallelism draw

@@ -72,12 +72,34 @@ exception Deadline_exceeded
     ([Tacos_resilience.Resilience.synthesize] turns it into a baseline
     fallback rung). *)
 
+type constraints = {
+  forbid : int list;  (** link ids that must carry nothing *)
+  prefer : (int * float) list;
+      (** [(link, weight > 0)]: the link's §IV-F ordering cost is divided by
+          [weight], so weighted links sort — and therefore match — first.
+          Weights bias the match order only; transfer durations are
+          untouched. *)
+  pin : (int * int list) list;
+      (** [(chunk, route)]: the chunk may only travel the route's link ids.
+          Pinning the same chunk twice intersects the routes. *)
+}
+(** The matcher-facing compilation target of a communication sketch. Build
+    one by hand for programmatic use, or let [Tacos_sketch.Sketch.compile]
+    produce a structurally validated record (unknown ids, contradictions and
+    sketch-induced disconnections surface there as a typed [Infeasible]; the
+    synthesizer itself only range-checks and raises [Invalid_argument]). *)
+
+val no_constraints : constraints
+(** The empty record: [synthesize ~sketch:no_constraints] is bit-identical
+    to not passing a sketch at all (same RNG draw sequence). *)
+
 val synthesize :
   ?seed:int ->
   ?trials:int ->
   ?domains:int ->
   ?prefer_cheap_links:bool ->
   ?deadline:Tacos_util.Deadline.t ->
+  ?sketch:constraints ->
   Topology.t ->
   Spec.t ->
   result
@@ -103,7 +125,17 @@ val synthesize :
     {!Deadline_exceeded} once it passes — with parallel trials the raise
     propagates through the pool's futures, so no partial best-of-trials
     merge ever escapes. A deadline far in the future leaves the result
-    bit-identical to not passing one. *)
+    bit-identical to not passing one.
+
+    [sketch] (default {!no_constraints}) constrains the matching loop:
+    forbidden links never become free, so they are absent from the idle-link
+    candidate scan (and from the resulting schedule — All-Reduce applies the
+    same link ids to both mirrored phases); preferred links sort earlier in
+    the §IV-F cheapest-first order by their weight; pinned chunks are
+    filtered to their route inside the chunk scan. A sketch that forbids
+    every path to some postcondition raises {!Stuck} here — use
+    [Tacos_sketch.Sketch.compile] to get the typed [Infeasible] instead,
+    before synthesis starts. *)
 
 type goal = {
   num_chunks : int;

@@ -15,10 +15,10 @@ let simulated_time topo (result : Synthesizer.result) =
   in
   (Tacos_sim.Engine.run topo program).Tacos_sim.Engine.finish_time
 
-let tune ?(seed = 42) ?(domains = 1) ?(candidates = [ 1; 2; 4; 8; 16 ])
+let sweep ?(seed = 42) ?(domains = 1) ?(candidates = [ 1; 2; 4; 8; 16 ])
     ?synthesize topo ~pattern ~size =
   if candidates = [] then invalid_arg "Tuner.tune: no candidates";
-  if domains <= 0 then invalid_arg "Tuner.tune: domains must be positive";
+  if domains <= 0 then invalid_arg "Tuner.sweep: domains must be positive";
   let npus = Topology.num_npus topo in
   let synthesize =
     match synthesize with
@@ -30,14 +30,18 @@ let tune ?(seed = 42) ?(domains = 1) ?(candidates = [ 1; 2; 4; 8; 16 ])
           Router.synthesize ~seed topo spec
         | _ -> Synthesizer.synthesize ~seed ~domains topo spec)
   in
-  let evaluate chunks_per_npu =
-    let spec = Spec.make ~chunks_per_npu ~buffer_size:size ~pattern ~npus () in
-    let result = synthesize ~seed topo spec in
-    { chunks_per_npu; result; simulated_time = simulated_time topo result }
-  in
-  List.fold_left
-    (fun best k ->
-      let candidate = evaluate k in
-      if candidate.simulated_time < best.simulated_time then candidate else best)
-    (evaluate (List.hd candidates))
-    (List.tl candidates)
+  List.map
+    (fun chunks_per_npu ->
+      let spec = Spec.make ~chunks_per_npu ~buffer_size:size ~pattern ~npus () in
+      let result = synthesize ~seed topo spec in
+      { chunks_per_npu; result; simulated_time = simulated_time topo result })
+    candidates
+
+let tune ?seed ?domains ?candidates ?synthesize topo ~pattern ~size =
+  match sweep ?seed ?domains ?candidates ?synthesize topo ~pattern ~size with
+  | [] -> invalid_arg "Tuner.tune: no candidates"
+  | first :: rest ->
+    (* Strict [<] keeps ties on the earliest candidate, as before. *)
+    List.fold_left
+      (fun best c -> if c.simulated_time < best.simulated_time then c else best)
+      first rest

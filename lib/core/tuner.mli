@@ -17,6 +17,20 @@ type choice = {
   simulated_time : float;
 }
 
+val sweep :
+  ?seed:int ->
+  ?domains:int ->
+  ?candidates:int list ->
+  ?synthesize:(seed:int -> Topology.t -> Spec.t -> Synthesizer.result) ->
+  Topology.t ->
+  pattern:Pattern.t ->
+  size:float ->
+  choice list
+(** [sweep topo ~pattern ~size] evaluates every candidate granularity and
+    returns all choices in candidate order — the raw material of a
+    latency/bandwidth Pareto sweep ([Tacos_sketch.Strategy] builds its
+    frontier on this). Same parameters and backend dispatch as {!tune}. *)
+
 val tune :
   ?seed:int ->
   ?domains:int ->

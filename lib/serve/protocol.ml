@@ -1,5 +1,6 @@
 module Json = Tacos_util.Json
 module Parse = Tacos_collective.Parse
+module Sketch = Tacos_sketch.Sketch
 
 type op = Synthesize | Tune | Export | Ping | Stats | Metrics
 
@@ -14,6 +15,7 @@ type request = {
   deadline_ms : float option;
   fail_links : int list;
   candidates : int list option;
+  sketch : Sketch.t option;
   format : [ `Json | `Csv ];
   prefix : string option;
 }
@@ -91,6 +93,14 @@ let parse_request line =
       in
       let* fail_links = int_list doc "fail_links" in
       let* candidates = int_list doc "candidates" in
+      let* sketch =
+        match Json.member "sketch" doc with
+        | None -> Ok None
+        | Some j -> (
+          match Sketch.of_json_value j with
+          | Ok s -> Ok (Some s)
+          | Error e -> Error ("sketch: " ^ e))
+      in
       let* format =
         match str "format" with
         | None | Some "json" -> Ok `Json
@@ -115,6 +125,7 @@ let parse_request line =
           deadline_ms;
           fail_links = Option.value ~default:[] fail_links;
           candidates;
+          sketch;
           format;
           prefix;
         }

@@ -1,4 +1,5 @@
 module Json := Tacos_util.Json
+module Sketch := Tacos_sketch.Sketch
 
 (** The wire format of the synthesis service: line-framed JSON.
 
@@ -46,6 +47,12 @@ type request = {
           configured default (absent there too = unbounded) *)
   fail_links : int list;  (** healthy link ids to kill before synthesis *)
   candidates : int list option;  (** tune: granularities to sweep *)
+  sketch : Sketch.t option;
+      (** communication sketch constraining the synthesis, in the
+          {!Tacos_sketch.Sketch} JSON rule format (embedded as a JSON
+          value, not a string). Parse errors are reported at the protocol
+          edge; infeasibility against the concrete topology surfaces as a
+          structured [error] response from the service. *)
   format : [ `Json | `Csv ];  (** export flavor (default [`Json]) *)
   prefix : string option;
       (** metrics: only expose families whose rendered name starts with

@@ -20,6 +20,7 @@ module Engine = Tacos_sim.Engine
 module Algo = Tacos_baselines.Algo
 module Resilience = Tacos_resilience.Resilience
 module Fault = Tacos_resilience.Fault
+module Sketch = Tacos_sketch.Sketch
 
 (* Obs mirrors of the lifecycle counters — off by default like the rest of
    the obs registry; the plain mutable counters below are always on so the
@@ -32,8 +33,9 @@ let c_degraded = Obs.counter "serve.degraded"
 let c_deadline_missed = Obs.counter "serve.deadline_missed"
 let c_errors = Obs.counter "serve.errors"
 
-(* Registry size accounting, satellite of the ROADMAP cache-eviction item:
-   running-max gauges refreshed on every stats/metrics render. *)
+(* Registry size accounting (the input signal of the disk-cap eviction in
+   [Registry]): running-max gauges refreshed on every stats/metrics
+   render. *)
 let g_reg_entries = Obs.gauge "registry.entries"
 let g_reg_disk_bytes = Obs.gauge "registry.disk_bytes"
 
@@ -43,6 +45,7 @@ type config = {
   trials : int;
   default_deadline_ms : float option;
   registry_dir : string option;
+  max_disk_bytes : int option;
   seed : int;
   access_log : (string -> unit) option;
 }
@@ -54,12 +57,14 @@ let default_config =
     trials = 1;
     default_deadline_ms = None;
     registry_dir = None;
+    max_disk_bytes = None;
     seed = 42;
     access_log = None;
   }
 
 type backend =
   deadline:Deadline.t option ->
+  sketch:Synth.constraints option ->
   seed:int ->
   domains:int ->
   Topology.t ->
@@ -109,6 +114,7 @@ type stats = {
   deadline_missed : int;
   errors : int;
   quarantined : int;
+  evicted : int;
   inflight : int;
   uptime_seconds : float;
   entries : int;
@@ -119,14 +125,17 @@ type stats = {
    so an already-expired deadline refuses them up front — the caller
    degrades exactly as it would for a pull synthesis that ran out of
    time. *)
-let default_backend ~trials ~deadline ~seed ~domains topo (spec : Spec.t) =
+let default_backend ~trials ~deadline ~sketch ~seed ~domains topo
+    (spec : Spec.t) =
   match spec.Spec.pattern with
   | Pattern.All_to_all | Pattern.Gather _ | Pattern.Scatter _ ->
+    (* Sketched routed requests never reach here: sketch compilation
+       rejects routed patterns up front with Unsupported_pattern. *)
     (match deadline with
     | Some d when Deadline.expired d -> raise Synth.Deadline_exceeded
     | _ -> ());
     Router.synthesize ~seed topo spec
-  | _ -> Synth.synthesize ~seed ~trials ~domains ?deadline topo spec
+  | _ -> Synth.synthesize ~seed ~trials ~domains ?deadline ?sketch topo spec
 
 let create ?(config = default_config) ?synthesize () =
   if config.queue_limit <= 0 then
@@ -138,7 +147,9 @@ let create ?(config = default_config) ?synthesize () =
   in
   {
     config;
-    registry = Registry.create ?dir:config.registry_dir ();
+    registry =
+      Registry.create ?dir:config.registry_dir
+        ?max_disk_bytes:config.max_disk_bytes ();
     backend;
     started = Clock.start ();
     lock = Mutex.create ();
@@ -177,6 +188,7 @@ let stats t =
       deadline_missed = t.deadline_missed;
       errors = t.errors;
       quarantined = Registry.quarantined t.registry;
+      evicted = Registry.evicted t.registry;
       inflight = t.inflight;
       uptime_seconds = uptime_seconds t;
       entries;
@@ -322,7 +334,7 @@ let degrade t ~id ~t0 ~healthy ~faults ~deadline ~seed ~spec ~deadline_missed =
       (Format.asprintf "%a" Resilience.pp_failure failure)
 
 let handle_synthesize t (req : Protocol.request) ~t0 ~healthy ~work_topo ~faults
-    ~deadline ~seed ~spec =
+    ~deadline ~seed ~spec ~sketch =
   let id = req.Protocol.id in
   let answer ~cached (result : Synth.result) =
     if cached then bump t c_hits (fun t -> t.hits <- t.hits + 1)
@@ -333,20 +345,25 @@ let handle_synthesize t (req : Protocol.request) ~t0 ~healthy ~work_topo ~faults
          ~sends:(Schedule.num_sends result.Synth.schedule)
          (schedule_fields t req work_topo result))
   in
+  (* Sketched requests get their own cache line: the sketch digest becomes
+     the registry key variant, so constrained and unconstrained schedules
+     for the same (topology, spec) never alias. *)
+  let variant = Option.map (fun (sk, _) -> Sketch.digest sk) sketch in
+  let constraints = Option.map snd sketch in
   (* Cache peek first: hits are served even past the deadline — answering
      from memory is cheaper than degrading. *)
-  match Registry.find_cached t.registry work_topo spec with
+  match Registry.find_cached ?variant t.registry work_topo spec with
   | Some result -> answer ~cached:true result
   | None -> (
     let synthesize ~seed ~domains topo spec =
       let s = Clock.start () in
       Fun.protect
         ~finally:(fun () -> record_ms t t.q_synthesis (elapsed_ms s))
-        (fun () -> t.backend ~deadline ~seed ~domains topo spec)
+        (fun () -> t.backend ~deadline ~sketch:constraints ~seed ~domains topo spec)
     in
     match
       Registry.find_or_synthesize ~seed ~domains:t.config.domains ~synthesize
-        t.registry work_topo spec
+        ?variant t.registry work_topo spec
     with
     | result, `Hit -> answer ~cached:true result
     | result, `Miss -> answer ~cached:false result
@@ -363,10 +380,16 @@ let handle_tune t (req : Protocol.request) ~t0 ~healthy ~work_topo ~faults
     ~deadline ~seed ~spec ~pattern =
   let id = req.Protocol.id in
   let synthesize ~seed topo spec =
+    (* Compiled per candidate: pin chunk ids are validated against each
+       candidate's own chunk space. *)
+    let sketch =
+      Option.map (fun sk -> Sketch.compile topo spec sk) req.Protocol.sketch
+    in
     let s = Clock.start () in
     Fun.protect
       ~finally:(fun () -> record_ms t t.q_synthesis (elapsed_ms s))
-      (fun () -> t.backend ~deadline ~seed ~domains:t.config.domains topo spec)
+      (fun () ->
+        t.backend ~deadline ~sketch ~seed ~domains:t.config.domains topo spec)
   in
   match
     Tuner.tune ~seed ?candidates:req.Protocol.candidates ~synthesize work_topo
@@ -388,6 +411,8 @@ let handle_tune t (req : Protocol.request) ~t0 ~healthy ~work_topo ~faults
   | exception (Synth.Stuck _ | Synth.Unsupported _) ->
     degrade t ~id ~t0 ~healthy ~faults ~deadline ~seed ~spec
       ~deadline_missed:false
+  | exception Sketch.Infeasible off ->
+    error_response t ~id ("sketch: " ^ Sketch.offender_to_string off)
   | exception Invalid_argument msg -> error_response t ~id ("tune: " ^ msg)
 
 let handle_collective t (req : Protocol.request) ~t0 =
@@ -432,9 +457,25 @@ let handle_collective t (req : Protocol.request) ~t0 =
             | Protocol.Tune ->
               handle_tune t req ~t0 ~healthy ~work_topo ~faults ~deadline ~seed
                 ~spec ~pattern
-            | _ ->
-              handle_synthesize t req ~t0 ~healthy ~work_topo ~faults ~deadline
-                ~seed ~spec)))))
+            | _ -> (
+              (* Validate the sketch against the fabric actually served,
+                 before any cache or synthesis work: infeasibility is a
+                 typed, structured answer, not a late Stuck. *)
+              let sketched =
+                match req.Protocol.sketch with
+                | None -> Ok None
+                | Some sk -> (
+                  match Sketch.check work_topo spec sk with
+                  | Ok c -> Ok (Some (sk, c))
+                  | Error off -> Error off)
+              in
+              match sketched with
+              | Error off ->
+                error_response t ~id
+                  ("sketch: " ^ Sketch.offender_to_string off)
+              | Ok sketch ->
+                handle_synthesize t req ~t0 ~healthy ~work_topo ~faults
+                  ~deadline ~seed ~spec ~sketch))))))
 
 (* --- telemetry rendering -------------------------------------------------- *)
 
@@ -468,6 +509,7 @@ let stats_fields t st =
     ("deadline_missed", Json.Number (float_of_int st.deadline_missed));
     ("errors", Json.Number (float_of_int st.errors));
     ("quarantined", Json.Number (float_of_int st.quarantined));
+    ("evicted", Json.Number (float_of_int st.evicted));
     ("inflight", Json.Number (float_of_int st.inflight));
     ("uptime_seconds", Json.Number st.uptime_seconds);
     ( "registry",
@@ -505,6 +547,12 @@ let service_families t =
     Expo.family ~name:"tacos_registry_quarantined_total"
       ~help:"Corrupt cache files quarantined since server start." ~kind:Expo.Counter
       [ Expo.sample (float_of_int st.quarantined) ]
+  in
+  let evicted =
+    Expo.family ~name:"tacos_registry_evicted_total"
+      ~help:"Cache files deleted to stay under the disk cap since server start."
+      ~kind:Expo.Counter
+      [ Expo.sample (float_of_int st.evicted) ]
   in
   Mutex.lock t.lock;
   let verb_samples =
@@ -550,6 +598,7 @@ let service_families t =
         "Disk bytes held by the cache, quarantined files included."
         (float_of_int st.disk.Registry.disk_bytes);
       quarantined;
+      evicted;
     ]
 
 let metrics ?prefix t =

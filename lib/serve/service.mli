@@ -50,6 +50,10 @@ type config = {
   default_deadline_ms : float option;
       (** deadline for requests that carry none (default: unbounded) *)
   registry_dir : string option;  (** persistent cache directory *)
+  max_disk_bytes : int option;
+      (** disk cap for the persistent cache: past it, the oldest-mtime
+          entries are evicted after every write (counted in {!stats} and
+          as [tacos_registry_evicted_total]). Default: unbounded. *)
   seed : int;  (** seed for requests that carry none (default 42) *)
   access_log : (string -> unit) option;
       (** per-request logfmt record sink (default none). Records look like
@@ -68,6 +72,7 @@ val default_config : config
 
 type backend =
   deadline:Deadline.t option ->
+  sketch:Synth.constraints option ->
   seed:int ->
   domains:int ->
   Topology.t ->
@@ -75,9 +80,11 @@ type backend =
   Synth.result
 (** The synthesis function run on a cache miss. The default dispatches
     routed patterns to {!Tacos.Router} and the rest to
-    {!Tacos.Synthesizer.synthesize} with the deadline threaded through
-    (and refuses routed syntheses whose deadline already passed, raising
-    {!Tacos.Synthesizer.Deadline_exceeded}). Tests and benches inject
+    {!Tacos.Synthesizer.synthesize} with the deadline and the compiled
+    communication sketch threaded through (and refuses routed syntheses
+    whose deadline already passed, raising
+    {!Tacos.Synthesizer.Deadline_exceeded}; sketched routed requests are
+    rejected upstream at sketch compilation). Tests and benches inject
     stubs — a backend that blocks, fails once, or sleeps. *)
 
 type t
@@ -97,6 +104,7 @@ type stats = {
   deadline_missed : int;  (** requests whose deadline expired before an answer *)
   errors : int;  (** error responses (malformed, infeasible, internal) *)
   quarantined : int;  (** corrupt cache files set aside by this service's registry *)
+  evicted : int;  (** cache files deleted to stay under the disk cap *)
   inflight : int;  (** requests currently past admission *)
   uptime_seconds : float;  (** monotonic span since [create] *)
   entries : int;  (** schedules cached in memory *)

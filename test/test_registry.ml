@@ -215,6 +215,97 @@ let test_failed_synthesis_releases_key () =
   Alcotest.(check bool) "then a hit" true (m3 = `Hit);
   Alcotest.(check int) "hit runs no synthesis" 2 !calls
 
+let json_files dir =
+  List.filter (fun f -> Filename.check_suffix f ".json") (files dir)
+
+(* Set every entry's mtime except [skip] to [age] seconds in the past, so
+   the eviction order is unambiguous age, never the filename tie-break. *)
+let backdate dir ~skip ~age =
+  let t = Unix.gettimeofday () -. age in
+  List.iter
+    (fun f ->
+      if not (List.mem f skip) then Unix.utimes (Filename.concat dir f) t t)
+    (json_files dir)
+
+let test_disk_cap_evicts_oldest () =
+  let dir = fresh_dir () in
+  let topo = ring 6 in
+  (* Same structure, different buffer sizes: three near-identical entry
+     files, so a cap of ~2.5 entries holds exactly two. *)
+  let s size = spec ~buffer_size:size Pattern.All_gather 6 in
+  let reg0 = Registry.create ~dir () in
+  ignore (Registry.find_or_synthesize reg0 topo (s 1e6));
+  let entry_bytes = (Registry.disk_usage reg0).Registry.disk_bytes in
+  Alcotest.(check bool) "probe entry has a size" true (entry_bytes > 0);
+  rm_rf dir;
+  let cap = (2 * entry_bytes) + (entry_bytes / 2) in
+  let reg = Registry.create ~dir ~max_disk_bytes:cap () in
+  ignore (Registry.find_or_synthesize reg topo (s 1e6));
+  backdate dir ~skip:[] ~age:200.;
+  let oldest = json_files dir in
+  ignore (Registry.find_or_synthesize reg topo (s 2e6));
+  backdate dir ~skip:oldest ~age:100.;
+  Alcotest.(check int) "two entries fit the cap" 0 (Registry.evicted reg);
+  ignore (Registry.find_or_synthesize reg topo (s 3e6));
+  Alcotest.(check int) "third write evicts the oldest" 1 (Registry.evicted reg);
+  let u = Registry.disk_usage reg in
+  Alcotest.(check int) "two entries remain" 2 u.Registry.disk_entries;
+  Alcotest.(check bool) "store fits the cap" true (u.Registry.disk_bytes <= cap);
+  (* A fresh registry over the directory proves which entries survived:
+     the oldest is gone, the two younger ones still load. *)
+  let reg2 = Registry.create ~dir () in
+  Alcotest.(check bool) "oldest entry evicted" true
+    (Registry.find_cached reg2 topo (s 1e6) = None);
+  Alcotest.(check bool) "middle entry kept" true
+    (Registry.find_cached reg2 topo (s 2e6) <> None);
+  Alcotest.(check bool) "newest entry kept" true
+    (Registry.find_cached reg2 topo (s 3e6) <> None);
+  rm_rf dir
+
+let test_cap_never_evicts_just_written () =
+  (* A cap smaller than a single entry still keeps the entry just written —
+     the cache stays useful, the counter records the pressure. *)
+  let dir = fresh_dir () in
+  let topo = ring 6 in
+  let reg = Registry.create ~dir ~max_disk_bytes:1 () in
+  ignore (Registry.find_or_synthesize reg topo (spec Pattern.All_gather 6));
+  Alcotest.(check int) "the only entry survives" 1
+    (Registry.disk_usage reg).Registry.disk_entries;
+  backdate dir ~skip:[] ~age:200.;
+  ignore (Registry.find_or_synthesize reg topo (spec Pattern.All_reduce 6));
+  Alcotest.(check int) "previous entry evicted" 1 (Registry.evicted reg);
+  Alcotest.(check int) "newest entry survives" 1
+    (Registry.disk_usage reg).Registry.disk_entries;
+  rm_rf dir
+
+let test_variant_cache_lines () =
+  (* A sketched request (keyed by the sketch digest as [variant]) must get
+     its own cache line and disk file, never aliasing the unconstrained
+     schedule for the same (topology, spec). *)
+  let dir = fresh_dir () in
+  let topo = ring 6 in
+  let s = spec Pattern.All_gather 6 in
+  let reg = Registry.create ~dir () in
+  let _, m1 = Registry.find_or_synthesize reg topo s in
+  Alcotest.(check bool) "plain miss" true (m1 = `Miss);
+  Alcotest.(check bool) "variant peek misses despite the plain entry" true
+    (Registry.find_cached ~variant:"sketch-digest" reg topo s = None);
+  let _, m2 = Registry.find_or_synthesize ~variant:"sketch-digest" reg topo s in
+  Alcotest.(check bool) "variant synthesizes its own entry" true (m2 = `Miss);
+  let _, m3 = Registry.find_or_synthesize ~variant:"sketch-digest" reg topo s in
+  Alcotest.(check bool) "variant then hits" true (m3 = `Hit);
+  let _, m4 = Registry.find_or_synthesize reg topo s in
+  Alcotest.(check bool) "plain line undisturbed" true (m4 = `Hit);
+  Alcotest.(check int) "two disk files" 2
+    (Registry.disk_usage reg).Registry.disk_entries;
+  (* Both lines survive a restart. *)
+  let reg2 = Registry.create ~dir () in
+  Alcotest.(check bool) "plain line reloads" true
+    (Registry.find_cached reg2 topo s <> None);
+  Alcotest.(check bool) "variant line reloads" true
+    (Registry.find_cached ~variant:"sketch-digest" reg2 topo s <> None);
+  rm_rf dir
+
 let () =
   Alcotest.run "registry"
     [
@@ -239,5 +330,14 @@ let () =
             test_disk_usage_accounting;
           Alcotest.test_case "failed synthesis releases the key" `Quick
             test_failed_synthesis_releases_key;
+        ] );
+      ( "disk-cap",
+        [
+          Alcotest.test_case "cap evicts oldest-mtime entries" `Quick
+            test_disk_cap_evicts_oldest;
+          Alcotest.test_case "cap never evicts the entry just written" `Quick
+            test_cap_never_evicts_just_written;
+          Alcotest.test_case "variants get their own cache lines" `Quick
+            test_variant_cache_lines;
         ] );
     ]

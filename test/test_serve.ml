@@ -134,7 +134,7 @@ let test_backend_deadline_exceeded_degrades () =
      [degraded] stays false); the deadline miss is still counted. *)
   let svc =
     service
-      ~synthesize:(fun ~deadline:_ ~seed:_ ~domains:_ _ _ ->
+      ~synthesize:(fun ~deadline:_ ~sketch:_ ~seed:_ ~domains:_ _ _ ->
         raise Synth.Deadline_exceeded)
       ()
   in
@@ -160,7 +160,7 @@ let test_flaky_backend_retries_through_server () =
      raises must leave the key clean, so the next identical request runs
      the backend again and succeeds. *)
   let calls = ref 0 in
-  let flaky ~deadline:_ ~seed ~domains:_ topo spec =
+  let flaky ~deadline:_ ~sketch:_ ~seed ~domains:_ topo spec =
     incr calls;
     if !calls = 1 then raise (Synth.Stuck "injected transient failure")
     else Synth.synthesize ~seed topo spec
@@ -200,7 +200,7 @@ let test_overload_sheds () =
   let opened = Condition.create () in
   let released = ref false in
   let started = Atomic.make 0 in
-  let blocking ~deadline:_ ~seed ~domains:_ topo spec =
+  let blocking ~deadline:_ ~sketch:_ ~seed ~domains:_ topo spec =
     Atomic.incr started;
     Mutex.lock latch;
     while not !released do
@@ -466,6 +466,91 @@ let test_tune_op () =
     Alcotest.(check bool) "winner among candidates" true (c = 1. || c = 2.)
   | _ -> Alcotest.failf "no chunks_per_npu in %s" r
 
+(* --- sketches ------------------------------------------------------------ *)
+
+let sketch_field rules = ("sketch", Json.Object [ ("rules", Json.Array rules) ])
+let forbid l = Json.Object [ ("forbid", Json.Number (float_of_int l)) ]
+
+let test_sketch_request_separate_cache_line () =
+  let svc = service () in
+  (* Unconstrained first, then the same (topology, spec) under a sketch:
+     the sketched request must be its own miss, not a cache hit aliasing
+     the unconstrained schedule. *)
+  let plain = Service.handle_line svc (synth_req "ring:4") in
+  Alcotest.(check string) "plain ok" "ok" (status plain);
+  let sketched =
+    Service.handle_line svc
+      (synth_req ~id:2. ~extra:[ sketch_field [ forbid 0 ] ] "ring:4")
+  in
+  Alcotest.(check string) "sketched ok" "ok" (status sketched);
+  Alcotest.(check bool) "sketched is a fresh miss" false
+    (bool_field "cached" sketched);
+  (* Replaying the sketched request hits its own line. *)
+  let again =
+    Service.handle_line svc
+      (synth_req ~id:3. ~extra:[ sketch_field [ forbid 0 ] ] "ring:4")
+  in
+  Alcotest.(check bool) "sketched replay hits" true (bool_field "cached" again);
+  let s = Service.stats svc in
+  Alcotest.(check int) "two misses" 2 s.Service.misses;
+  Alcotest.(check int) "one hit" 1 s.Service.hits
+
+let test_sketch_infeasible_is_structured_error () =
+  let svc = service () in
+  (* Forbidding both directions of two opposite hops cuts the 4-ring into
+     {1,2} and {3,0}: typed infeasibility, reported as a structured error
+     before any synthesis. *)
+  let r =
+    Service.handle_line svc
+      (synth_req ~extra:[ sketch_field (List.map forbid [ 0; 1; 4; 5 ]) ] "ring:4")
+  in
+  Alcotest.(check string) "error" "error" (status r);
+  Alcotest.(check bool)
+    (Printf.sprintf "names the disconnection (got %s)" r)
+    true
+    (has_substring "sketch" r && has_substring "disconnects" r)
+
+let test_sketch_malformed_is_structured_error () =
+  let svc = service () in
+  let r =
+    Service.handle_line svc
+      (synth_req
+         ~extra:
+           [
+             ( "sketch",
+               Json.Object
+                 [ ("rules", Json.Array [ Json.Object [ ("prefer", Json.Number 0.) ] ]) ]
+             );
+           ]
+         "ring:4")
+  in
+  Alcotest.(check string) "error" "error" (status r);
+  Alcotest.(check bool)
+    (Printf.sprintf "names the missing weight (got %s)" r)
+    true
+    (has_substring "weight" r)
+
+let test_tune_under_sketch () =
+  let svc = service () in
+  let r =
+    Service.handle_line svc
+      (req
+         [
+           ("id", Json.Number 1.);
+           ("op", Json.String "tune");
+           ("topology", Json.String "ring:4");
+           ("pattern", Json.String "all-gather");
+           ("size", Json.Number 4e6);
+           ("candidates", Json.Array [ Json.Number 1.; Json.Number 2. ]);
+           sketch_field [ forbid 0 ];
+         ])
+  in
+  Alcotest.(check string) "ok" "ok" (status r);
+  match Json.member "chunks_per_npu" (parse_response r) with
+  | Some (Json.Number c) ->
+    Alcotest.(check bool) "winner among candidates" true (c = 1. || c = 2.)
+  | _ -> Alcotest.failf "no chunks_per_npu in %s" r
+
 let () =
   Alcotest.run "serve"
     [
@@ -506,5 +591,15 @@ let () =
           Alcotest.test_case "export json" `Quick test_export_json;
           Alcotest.test_case "export csv" `Quick test_export_csv;
           Alcotest.test_case "tune" `Quick test_tune_op;
+        ] );
+      ( "sketches",
+        [
+          Alcotest.test_case "sketched requests get their own cache line" `Quick
+            test_sketch_request_separate_cache_line;
+          Alcotest.test_case "infeasible sketch -> structured error" `Quick
+            test_sketch_infeasible_is_structured_error;
+          Alcotest.test_case "malformed sketch -> structured error" `Quick
+            test_sketch_malformed_is_structured_error;
+          Alcotest.test_case "tune under a sketch" `Quick test_tune_under_sketch;
         ] );
     ]
